@@ -1,0 +1,33 @@
+"""Bench: ablation — program-level features vs simulator error.
+
+The paper motivates microarchitecture-independent program features as a
+countermeasure to performance-simulator inaccuracy.  The ablation sweeps
+the simulator's systematic bias and compares the SRAM group's MAPE with
+and without the features; the gap must widen as the simulator degrades.
+"""
+
+from repro.experiments import ablation_program_features
+from repro.experiments.tables import format_table
+
+
+def test_program_feature_ablation(benchmark):
+    result = benchmark.pedantic(
+        ablation_program_features.run,
+        kwargs={"bias_magnitudes": (0.0, 0.07, 0.15)},
+        rounds=1,
+        iterations=1,
+    )
+    print()
+    print(
+        format_table(
+            ["sim bias", "with prog feats %", "without %", "delta %"],
+            result.rows(),
+            title="Ablation — program features under simulator error (SRAM group)",
+        )
+    )
+    rows = result.rows_
+    benchmark.extra_info["rows"] = [list(r) for r in rows]
+    # With a badly biased simulator, program features must not hurt, and
+    # generally help (the paper's motivation for adding them).
+    bias_high = rows[-1]
+    assert bias_high[1] <= bias_high[2] * 1.15

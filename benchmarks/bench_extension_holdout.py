@@ -1,0 +1,32 @@
+"""Bench: extension — generalization to unseen workloads.
+
+Not a paper figure; an adoption-relevant stress test.  Train on 2 configs
+x 6 workloads, evaluate on 13 configs x 2 held-out workloads.  AutoPower's
+structural decoupling must keep it ahead of the direct-ML ablation.
+"""
+
+from repro.experiments import extension_workload_holdout
+from repro.experiments.tables import format_table
+
+
+def test_unseen_workload_generalization(benchmark, flow):
+    result = benchmark.pedantic(
+        extension_workload_holdout.run, args=(flow,), rounds=1, iterations=1
+    )
+    print()
+    print(
+        format_table(
+            ["method", "MAPE %", "R2"],
+            result.rows(),
+            title=(
+                "Extension — unseen workloads "
+                f"({', '.join(result.holdout_workloads)})"
+            ),
+        )
+    )
+    benchmark.extra_info["autopower_mape"] = result.autopower_mape
+    benchmark.extra_info["minus_mape"] = result.minus_mape
+    # On doubly-unseen points AutoPower must stay at least competitive with
+    # the direct-ML ablation (both face the workload shift in their GBMs).
+    assert result.autopower_mape < result.minus_mape * 1.1
+    assert result.autopower_r2 > 0.7

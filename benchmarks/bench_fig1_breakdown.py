@@ -1,0 +1,25 @@
+"""Bench: Fig. 1 / Observation 1 — power-group breakdown.
+
+Regenerates the framework figure's observation: the golden power-group
+shares across all 15 configurations and 8 workloads, with clock + SRAM
+dominating.
+"""
+
+from repro.experiments import fig1_breakdown
+from repro.experiments.tables import format_table
+
+
+def test_fig1_breakdown(benchmark, flow):
+    result = benchmark.pedantic(
+        fig1_breakdown.run, args=(flow,), rounds=1, iterations=1
+    )
+    print()
+    print(
+        format_table(
+            ["config", "clock %", "sram %", "register %", "comb %"],
+            result.rows(),
+            title="Fig. 1 — power-group breakdown (golden)",
+        )
+    )
+    benchmark.extra_info["clock_plus_sram_share"] = result.clock_plus_sram
+    assert result.clock_plus_sram > 0.55  # Observation 1

@@ -1,0 +1,33 @@
+"""Bench: Fig. 4 — end-to-end accuracy with 2 known configurations.
+
+Paper: AutoPower MAPE 4.36 % / R² 0.96 vs McPAT-Calib 9.29 % / 0.87.
+The reproduction target is the comparison shape: AutoPower clearly ahead
+on both metrics.
+"""
+
+from repro.experiments import fig45_accuracy
+from repro.experiments.tables import format_table
+
+
+def test_fig4_two_config_accuracy(benchmark, flow):
+    result = benchmark.pedantic(
+        fig45_accuracy.run,
+        args=(flow,),
+        kwargs={"n_train": 2, "methods": ("AutoPower", "McPAT-Calib")},
+        rounds=1,
+        iterations=1,
+    )
+    print()
+    print(
+        format_table(
+            ["method", "MAPE %", "R2", "R"],
+            result.rows(),
+            title="Fig. 4 — 2 known configurations (train C1, C15)",
+        )
+    )
+    ours = result.methods["AutoPower"]
+    calib = result.methods["McPAT-Calib"]
+    benchmark.extra_info["autopower_mape"] = ours.mape
+    benchmark.extra_info["mcpat_calib_mape"] = calib.mape
+    assert ours.mape < calib.mape
+    assert ours.r2 > calib.r2

@@ -1,0 +1,31 @@
+"""Bench: Fig. 5 — end-to-end accuracy with 3 known configurations.
+
+Paper: AutoPower MAPE 3.64 % / R² 0.97 vs McPAT-Calib 7.07 % / 0.91.
+"""
+
+from repro.experiments import fig45_accuracy
+from repro.experiments.tables import format_table
+
+
+def test_fig5_three_config_accuracy(benchmark, flow):
+    result = benchmark.pedantic(
+        fig45_accuracy.run,
+        args=(flow,),
+        kwargs={"n_train": 3, "methods": ("AutoPower", "McPAT-Calib")},
+        rounds=1,
+        iterations=1,
+    )
+    print()
+    print(
+        format_table(
+            ["method", "MAPE %", "R2", "R"],
+            result.rows(),
+            title="Fig. 5 — 3 known configurations (train C1, C8, C15)",
+        )
+    )
+    ours = result.methods["AutoPower"]
+    calib = result.methods["McPAT-Calib"]
+    benchmark.extra_info["autopower_mape"] = ours.mape
+    benchmark.extra_info["mcpat_calib_mape"] = calib.mape
+    assert ours.mape < calib.mape
+    assert ours.r2 > calib.r2

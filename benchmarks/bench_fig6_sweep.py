@@ -1,0 +1,42 @@
+"""Bench: Fig. 6 — accuracy vs number of known configurations.
+
+Regenerates the sweep over training budgets for AutoPower, McPAT-Calib
+and McPAT-Calib + Component.  The reproduction target: AutoPower's curve
+sits below both baselines at every budget (MAPE) and accuracy improves
+with more known configurations.
+"""
+
+from repro.experiments import fig6_sweep
+from repro.experiments.tables import format_table
+
+
+def test_fig6_training_budget_sweep(benchmark, flow):
+    result = benchmark.pedantic(
+        fig6_sweep.run,
+        args=(flow,),
+        kwargs={"budgets": (2, 3, 4, 5, 6)},
+        rounds=1,
+        iterations=1,
+    )
+    print()
+    print(
+        format_table(
+            ["#configs", "method", "MAPE %", "R2"],
+            result.rows(),
+            title="Fig. 6 — accuracy vs number of known configurations",
+        )
+    )
+    ours = result.series("AutoPower", "mape")
+    calib = result.series("McPAT-Calib", "mape")
+    comp = result.series("McPAT-Calib+Comp", "mape")
+    benchmark.extra_info["autopower_mape_series"] = ours
+    benchmark.extra_info["mcpat_calib_mape_series"] = calib
+    # AutoPower below (or within noise of) both baselines at every budget,
+    # and strictly better at the few-shot budgets the paper headlines.
+    for n, (a, b, c) in enumerate(zip(ours, calib, comp)):
+        assert a < b * 1.05, f"budget {result.budgets[n]}"
+        assert a < c * 1.05, f"budget {result.budgets[n]}"
+    assert ours[0] < calib[0]
+    assert ours[0] < comp[0]
+    # More configurations help AutoPower overall (end vs start).
+    assert ours[-1] < ours[0]

@@ -1,0 +1,29 @@
+"""Bench: Fig. 7 — clock-group accuracy, AutoPower vs AutoPower−.
+
+Paper: clock MAPE 11.37 %, R 0.93 with 2 known configurations, beating
+the direct-ML ablation on most components.
+"""
+
+from repro.experiments import fig7_clock
+from repro.experiments.tables import format_table
+
+
+def test_fig7_clock_group(benchmark, flow):
+    result = benchmark.pedantic(
+        fig7_clock.run, args=(flow,), kwargs={"n_train": 2}, rounds=1, iterations=1
+    )
+    print()
+    print(
+        format_table(
+            ["component", "AutoPower MAPE %", "AutoPower- MAPE %"],
+            result.rows(),
+            title="Fig. 7 — clock power accuracy (2 known configs)",
+        )
+    )
+    benchmark.extra_info["overall_mape"] = result.overall_mape[0]
+    benchmark.extra_info["overall_pearson"] = result.overall_pearson[0]
+    assert result.overall_mape[0] < result.overall_mape[1]
+    assert result.overall_pearson[0] > 0.9  # paper: R = 0.93
+    assert result.overall_mape[0] < 12.0  # paper: 11.37 %
+    # AutoPower wins on the majority of components.
+    assert result.components_won > len(result.per_component) / 2

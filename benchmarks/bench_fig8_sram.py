@@ -1,0 +1,27 @@
+"""Bench: Fig. 8 — SRAM-group accuracy, AutoPower vs AutoPower−.
+
+Paper: SRAM MAPE 7.60 %, R 0.94 with 2 known configurations; the
+hierarchy + scaling-law model beats the direct-ML ablation.
+"""
+
+from repro.experiments import fig8_sram
+from repro.experiments.tables import format_table
+
+
+def test_fig8_sram_group(benchmark, flow):
+    result = benchmark.pedantic(
+        fig8_sram.run, args=(flow,), kwargs={"n_train": 2}, rounds=1, iterations=1
+    )
+    print()
+    print(
+        format_table(
+            ["component", "AutoPower MAPE %", "AutoPower- MAPE %"],
+            result.rows(),
+            title="Fig. 8 — SRAM power accuracy (2 known configs)",
+        )
+    )
+    benchmark.extra_info["overall_mape"] = result.overall_mape[0]
+    benchmark.extra_info["overall_pearson"] = result.overall_pearson[0]
+    assert result.overall_mape[0] < result.overall_mape[1]
+    assert result.overall_pearson[0] > 0.9  # paper: R = 0.94
+    assert result.overall_mape[0] < 10.0  # paper: 7.60 %

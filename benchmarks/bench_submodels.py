@@ -1,0 +1,26 @@
+"""Bench: sub-model accuracy (paper Sec. III-B3 / III-B4).
+
+* register count + gating rate: paper reports 6.93 % MAPE @ 2 configs,
+* SRAM block hardware model: paper reports "nearly 0" MAPE.
+"""
+
+from repro.experiments import submodels
+from repro.experiments.tables import format_table
+
+
+def test_submodel_accuracy(benchmark, flow):
+    result = benchmark.pedantic(
+        submodels.run, args=(flow,), kwargs={"n_train": 2}, rounds=1, iterations=1
+    )
+    print()
+    print(
+        format_table(
+            ["kind", "name", "MAPE-1 %", "MAPE-2 %"],
+            result.rows(),
+            title="Sub-models (R/g: register count & gating rate; block: width & depth)",
+        )
+    )
+    benchmark.extra_info["mean_reg_and_gate_mape"] = result.mean_reg_and_gate_mape
+    benchmark.extra_info["mean_block_mape"] = result.mean_block_mape
+    assert result.mean_reg_and_gate_mape < 7.0  # paper: 6.93 %
+    assert result.mean_block_mape < 0.5  # paper: ~0

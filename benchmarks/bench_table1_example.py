@@ -1,0 +1,29 @@
+"""Bench: Table I — the IFU metadata-table scaling-law walk-through.
+
+The hardware model, trained on {C1, C15}, must discover Capacity =
+240 * FetchWidth * DecodeWidth and Width/Throughput = 30 * FetchWidth and
+predict exact block shapes for all 15 configurations.
+"""
+
+from repro.experiments import table1_example
+from repro.experiments.tables import format_table
+
+
+def test_table1_meta_example(benchmark, flow):
+    result = benchmark.pedantic(
+        table1_example.run, args=(flow,), rounds=1, iterations=1
+    )
+    print()
+    print(f"Capacity   = {result.capacity_law}")
+    print(f"Throughput = {result.throughput_law}")
+    print(f"Width      = {result.width_law}")
+    print(
+        format_table(
+            ["config", "true WxDxC", "predicted WxDxC", "exact"], result.rows()
+        )
+    )
+    benchmark.extra_info["capacity_law"] = result.capacity_law
+    assert "FetchWidth" in result.capacity_law
+    assert "DecodeWidth" in result.capacity_law
+    assert result.throughput_law == "30 * FetchWidth"
+    assert result.all_exact

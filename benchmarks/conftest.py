@@ -1,0 +1,12 @@
+"""Benchmark fixtures: one shared flow so label generation is cached."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.vlsi.flow import VlsiFlow
+
+
+@pytest.fixture(scope="session")
+def flow() -> VlsiFlow:
+    return VlsiFlow()

@@ -1,0 +1,49 @@
+#!/usr/bin/env python
+"""Quickstart: few-shot power modeling with AutoPower.
+
+Train on two known configurations (C1, C15) and predict the power of an
+unseen configuration (C8) on every workload — the paper's core scenario.
+
+Run:  python examples/quickstart.py
+"""
+
+from repro import AutoPower, VlsiFlow, WORKLOADS, config_by_name
+from repro.ml.metrics import mape
+
+def main() -> None:
+    # The synthetic EDA flow plays the role of the paper's
+    # Chipyard + VCS + Design Compiler + PrimePower + gem5 stack.
+    flow = VlsiFlow()
+
+    # Few-shot training: only two known configurations.
+    train_configs = [config_by_name("C1"), config_by_name("C15")]
+    print("training AutoPower on:", [c.name for c in train_configs])
+    model = AutoPower(library=flow.library).fit(flow, train_configs, list(WORKLOADS))
+
+    # Predict an unseen configuration.
+    target = config_by_name("C8")
+    print(f"\npredicting {target.name} (never seen during training):\n")
+    print(f"{'workload':>12s} {'golden mW':>10s} {'predicted mW':>12s} {'error %':>8s}")
+    golden_all, pred_all = [], []
+    for workload in WORKLOADS:
+        run = flow.run(target, workload)          # golden reference
+        predicted = model.predict_total(target, run.events, workload)
+        golden = run.power.total
+        err = abs(predicted - golden) / golden * 100.0
+        golden_all.append(golden)
+        pred_all.append(predicted)
+        print(f"{workload.name:>12s} {golden:10.2f} {predicted:12.2f} {err:8.2f}")
+
+    print(f"\nMAPE on {target.name}: {mape(golden_all, pred_all):.2f}%")
+
+    # Per-group view of one prediction (the power-group decoupling).
+    run = flow.run(target, WORKLOADS[0])
+    report = model.predict_report(target, run.events, WORKLOADS[0])
+    print(f"\npower groups for {target.name} / {WORKLOADS[0].name}:")
+    for group in ("clock", "sram", "register", "comb"):
+        print(f"  {group:>9s}: {report.group_total(group):8.2f} mW")
+    print(f"  {'total':>9s}: {report.total:8.2f} mW")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,58 @@
+#!/usr/bin/env python
+"""Walk the four-level SRAM hierarchy (the paper's Table I example).
+
+Component -> SRAM Position -> SRAM Block -> SRAM Macro, for the IFU
+metadata table: fit the scaling-pattern hardware model on two known
+configurations, inspect the discovered laws, predict block shapes for
+every configuration, and map the blocks onto memory-compiler macros.
+
+Run:  python examples/sram_hierarchy_demo.py
+"""
+
+from repro import AutoPower, BOOM_CONFIGS, VlsiFlow, WORKLOADS, config_by_name
+
+
+def main() -> None:
+    flow = VlsiFlow()
+    train = [config_by_name("C1"), config_by_name("C15")]
+    model = AutoPower(library=flow.library).fit(flow, train, list(WORKLOADS))
+    sram = model.sram_model
+
+    print("Level 1: Component = IFU")
+    print("Level 2: SRAM positions discovered from the training RTL:",
+          [p for p in sram.position_names if sram._positions[p].component == "IFU"])
+
+    print("\nLevel 3: scaling laws fitted for the 'meta' position "
+          "(trained on C1 + C15 only):")
+    for kind, law in sram.laws("meta").items():
+        print(f"  {kind:>10s} = {law.describe()}")
+
+    print("\npredicted SRAM Block shapes (width x depth x count):")
+    print(f"{'config':>7s} {'true':>12s} {'predicted':>12s}")
+    for config in BOOM_CONFIGS:
+        true = flow.design(config).component("IFU").position("meta").block
+        pred = sram.predict_block("meta", config)
+        t = f"{true.width}x{true.depth}x{true.count}"
+        p = f"{pred.width}x{pred.depth}x{pred.count}"
+        print(f"{config.name:>7s} {t:>12s} {p:>12s}")
+
+    print("\nLevel 4: macro mapping (the VLSI flow's deterministic rule):")
+    for name in ("C1", "C8", "C15"):
+        config = config_by_name(name)
+        block = sram.predict_block("meta", config)
+        mapping = flow.mapper.map(block.width, block.depth)
+        print(
+            f"  {name}: block {block.width}x{block.depth} -> "
+            f"{mapping.n_row}x{mapping.n_col} of {mapping.macro.name} "
+            f"(read {mapping.macro.read_energy_pj:.2f} pJ, "
+            f"write {mapping.macro.write_energy_pj:.2f} pJ)"
+        )
+
+    print(
+        f"\ncalibrated per-macro constant C (pin toggling + leakage): "
+        f"{sram.c_constant_mw * 1000.0:.3f} uW"
+    )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,63 @@
+"""AutoPower reproduction: few-shot architecture-level CPU power modeling.
+
+Public API quick-reference::
+
+    from repro import (
+        AutoPower,            # the paper's model
+        VlsiFlow,             # synthetic EDA flow (labels)
+        BOOM_CONFIGS,         # Table II configurations C1..C15
+        WORKLOADS,            # the 8 riscv-tests workload profiles
+        config_by_name, workload_by_name,
+    )
+
+    flow = VlsiFlow()
+    train = [config_by_name("C1"), config_by_name("C15")]
+    model = AutoPower(library=flow.library).fit(flow, train, list(WORKLOADS))
+
+    cfg = config_by_name("C8")
+    run = flow.run(cfg, workload_by_name("dhrystone"))
+    predicted = model.predict_total(cfg, run.events, run.workload)
+
+See ``examples/`` for runnable scenarios and ``repro.experiments`` for the
+paper's tables and figures.
+"""
+
+from repro.arch.config import BOOM_CONFIGS, BoomConfig, config_by_name
+from repro.arch.workloads import (
+    LARGE_WORKLOADS,
+    WORKLOADS,
+    Workload,
+    workload_by_name,
+)
+from repro.baselines.autopower_minus import AutoPowerMinus
+from repro.baselines.mcpat import McPatAnalytical
+from repro.baselines.mcpat_calib import McPatCalib
+from repro.baselines.mcpat_calib_component import McPatCalibComponent
+from repro.core.autopower import AutoPower
+from repro.library.stdcell import TechLibrary, default_library
+from repro.power.report import ComponentPower, PowerReport
+from repro.vlsi.flow import FlowResult, VlsiFlow
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "AutoPower",
+    "AutoPowerMinus",
+    "BOOM_CONFIGS",
+    "BoomConfig",
+    "ComponentPower",
+    "FlowResult",
+    "LARGE_WORKLOADS",
+    "McPatAnalytical",
+    "McPatCalib",
+    "McPatCalibComponent",
+    "PowerReport",
+    "TechLibrary",
+    "VlsiFlow",
+    "WORKLOADS",
+    "Workload",
+    "__version__",
+    "config_by_name",
+    "default_library",
+    "workload_by_name",
+]

@@ -1,0 +1,47 @@
+"""Architecture substrate: configurations, components, workloads, events.
+
+This package encodes the paper's experiment setup:
+
+* the 14-row hardware-parameter table (Table II) expanded to the full
+  per-parameter form used by the component mapping,
+* the 15 BOOM configurations C1..C15,
+* the 22 design components and their architecture-level hardware
+  parameters (Table III),
+* the 8 evaluation workloads from riscv-tests plus the two large
+  time-based-trace workloads (GEMM, SPMM), modelled as instruction-mix /
+  footprint / phase profiles.
+"""
+
+from repro.arch.components import COMPONENTS, Component, component_by_name
+from repro.arch.config import (
+    BOOM_CONFIGS,
+    BoomConfig,
+    config_by_name,
+    config_matrix,
+)
+from repro.arch.events import EVENT_NAMES, EventParams
+from repro.arch.params import HARDWARE_PARAMETERS, expand_raw_parameters
+from repro.arch.workloads import (
+    LARGE_WORKLOADS,
+    WORKLOADS,
+    Workload,
+    workload_by_name,
+)
+
+__all__ = [
+    "BOOM_CONFIGS",
+    "BoomConfig",
+    "COMPONENTS",
+    "Component",
+    "EVENT_NAMES",
+    "EventParams",
+    "HARDWARE_PARAMETERS",
+    "LARGE_WORKLOADS",
+    "WORKLOADS",
+    "Workload",
+    "component_by_name",
+    "config_by_name",
+    "config_matrix",
+    "expand_raw_parameters",
+    "workload_by_name",
+]

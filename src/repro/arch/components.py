@@ -1,0 +1,98 @@
+"""The 22 design components and their hardware parameters (Table III).
+
+Each component is modelled at the architecture level by the subset of
+hardware parameters Table III assigns to it.  The same subsets drive the
+RTL generator's ground-truth structure, the synthesizer's gating policies
+and AutoPower's per-component feature extraction — exactly the information
+boundary the paper assumes.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.arch.params import HARDWARE_PARAMETERS
+
+__all__ = ["COMPONENTS", "Component", "component_by_name", "sram_components"]
+
+
+@dataclass(frozen=True)
+class Component:
+    """One architecture-level design component.
+
+    Attributes
+    ----------
+    name:
+        Component name as printed in Table III.
+    hardware_parameters:
+        The architecture-level hardware parameters of the component.
+    has_sram:
+        Whether the component contains SRAM positions (caches, big tables).
+    domain:
+        Coarse functional domain, used by the synthesizer's gating policy
+        and the activity simulator (``frontend`` / ``backend`` / ``memory``).
+    """
+
+    name: str
+    hardware_parameters: tuple[str, ...]
+    has_sram: bool
+    domain: str
+
+    def __post_init__(self) -> None:
+        unknown = set(self.hardware_parameters) - set(HARDWARE_PARAMETERS)
+        if unknown:
+            raise ValueError(f"{self.name}: unknown parameters {sorted(unknown)}")
+        if self.domain not in ("frontend", "backend", "memory"):
+            raise ValueError(f"{self.name}: bad domain {self.domain!r}")
+
+
+# Table III, with "All" for Other Logic expanded to the full parameter set.
+COMPONENTS: tuple[Component, ...] = (
+    Component("BPTAGE", ("FetchWidth", "BranchCount"), True, "frontend"),
+    Component("BPBTB", ("FetchWidth", "BranchCount"), True, "frontend"),
+    Component("BPOthers", ("FetchWidth", "BranchCount"), False, "frontend"),
+    Component("ICacheTagArray", ("ICacheWay", "ICacheFetchBytes"), True, "frontend"),
+    Component("ICacheDataArray", ("ICacheWay", "ICacheFetchBytes"), True, "frontend"),
+    Component("ICacheOthers", ("ICacheWay", "ICacheFetchBytes"), False, "frontend"),
+    Component("RNU", ("DecodeWidth",), False, "backend"),
+    Component("ROB", ("DecodeWidth", "RobEntry"), True, "backend"),
+    Component(
+        "Regfile", ("DecodeWidth", "IntPhyRegister", "FpPhyRegister"), False, "backend"
+    ),
+    Component(
+        "DCacheTagArray", ("DCacheWay", "MemIssueWidth", "DTLBEntry"), True, "memory"
+    ),
+    Component("DCacheDataArray", ("DCacheWay", "MemIssueWidth"), True, "memory"),
+    Component(
+        "DCacheOthers", ("DCacheWay", "MemIssueWidth", "DTLBEntry"), False, "memory"
+    ),
+    Component("FP-ISU", ("DecodeWidth", "FpIssueWidth"), False, "backend"),
+    Component("Int-ISU", ("DecodeWidth", "IntIssueWidth"), False, "backend"),
+    Component("Mem-ISU", ("DecodeWidth", "MemIssueWidth"), False, "backend"),
+    Component("I-TLB", ("ITLBEntry",), True, "frontend"),
+    Component("D-TLB", ("DTLBEntry",), True, "memory"),
+    Component(
+        "FU Pool", ("MemIssueWidth", "FpIssueWidth", "IntIssueWidth"), False, "backend"
+    ),
+    Component("Other Logic", tuple(HARDWARE_PARAMETERS), False, "backend"),
+    Component("DCacheMSHR", ("MSHREntry",), False, "memory"),
+    Component("LSU", ("LDQEntry", "STQEntry", "MemIssueWidth"), True, "memory"),
+    Component("IFU", ("FetchWidth", "DecodeWidth", "FetchBufferEntry"), True, "frontend"),
+)
+
+_BY_NAME = {c.name: c for c in COMPONENTS}
+
+
+def component_by_name(name: str) -> Component:
+    """Look up a component by its Table III name."""
+    try:
+        return _BY_NAME[name]
+    except KeyError:
+        raise KeyError(
+            f"unknown component {name!r}; expected one of {sorted(_BY_NAME)}"
+        ) from None
+
+
+def sram_components() -> tuple[Component, ...]:
+    """Components that contain at least one SRAM position."""
+    return tuple(c for c in COMPONENTS if c.has_sram)

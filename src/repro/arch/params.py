@@ -1,0 +1,89 @@
+"""Hardware-parameter definitions (expanded form of the paper's Table II).
+
+Table II lists 14 rows; several rows set two parameters at once
+("LDQ/STQEntry", "Mem/FpIssueWidth", "DCache/ICacheWay").  The expanded
+parameter set below is what the component mapping (Table III) refers to.
+``ITLBEntry`` is not in Table II; BOOM ties the I-TLB size to the D-TLB
+entry count in the evaluated configurations, so we expand it the same way.
+"""
+
+from __future__ import annotations
+
+__all__ = ["HARDWARE_PARAMETERS", "RAW_PARAMETER_ROWS", "expand_raw_parameters"]
+
+# Expanded architecture-level hardware parameters, in canonical order.
+HARDWARE_PARAMETERS: tuple[str, ...] = (
+    "FetchWidth",
+    "DecodeWidth",
+    "FetchBufferEntry",
+    "RobEntry",
+    "IntPhyRegister",
+    "FpPhyRegister",
+    "LDQEntry",
+    "STQEntry",
+    "BranchCount",
+    "MemIssueWidth",
+    "FpIssueWidth",
+    "IntIssueWidth",
+    "DCacheWay",
+    "ICacheWay",
+    "DTLBEntry",
+    "ITLBEntry",
+    "MSHREntry",
+    "ICacheFetchBytes",
+)
+
+# The 14 raw rows exactly as printed in Table II of the paper.
+RAW_PARAMETER_ROWS: tuple[str, ...] = (
+    "FetchWidth",
+    "DecodeWidth",
+    "FetchBufferEntry",
+    "RobEntry",
+    "IntPhyRegister",
+    "FpPhyRegister",
+    "LDQ/STQEntry",
+    "BranchCount",
+    "Mem/FpIssueWidth",
+    "IntIssueWidth",
+    "DCache/ICacheWay",
+    "DTLBEntry",
+    "MSHREntry",
+    "ICacheFetchBytes",
+)
+
+# How each raw Table II row expands into canonical parameters.
+_RAW_EXPANSION: dict[str, tuple[str, ...]] = {
+    "FetchWidth": ("FetchWidth",),
+    "DecodeWidth": ("DecodeWidth",),
+    "FetchBufferEntry": ("FetchBufferEntry",),
+    "RobEntry": ("RobEntry",),
+    "IntPhyRegister": ("IntPhyRegister",),
+    "FpPhyRegister": ("FpPhyRegister",),
+    "LDQ/STQEntry": ("LDQEntry", "STQEntry"),
+    "BranchCount": ("BranchCount",),
+    "Mem/FpIssueWidth": ("MemIssueWidth", "FpIssueWidth"),
+    "IntIssueWidth": ("IntIssueWidth",),
+    "DCache/ICacheWay": ("DCacheWay", "ICacheWay"),
+    "DTLBEntry": ("DTLBEntry", "ITLBEntry"),
+    "MSHREntry": ("MSHREntry",),
+    "ICacheFetchBytes": ("ICacheFetchBytes",),
+}
+
+
+def expand_raw_parameters(raw: dict[str, int]) -> dict[str, int]:
+    """Expand a 14-row Table II dict into the canonical 18-parameter dict.
+
+    Raises ``KeyError`` if a raw row is missing and ``ValueError`` on
+    unknown rows, so malformed configuration tables fail immediately.
+    """
+    unknown = set(raw) - set(RAW_PARAMETER_ROWS)
+    if unknown:
+        raise ValueError(f"unknown Table II rows: {sorted(unknown)}")
+    expanded: dict[str, int] = {}
+    for row in RAW_PARAMETER_ROWS:
+        value = raw[row]  # KeyError on missing row is intentional
+        if value <= 0:
+            raise ValueError(f"parameter {row} must be positive, got {value}")
+        for name in _RAW_EXPANSION[row]:
+            expanded[name] = int(value)
+    return expanded

@@ -1,0 +1,332 @@
+"""Workload profiles standing in for riscv-tests binaries and GEMM/SPMM.
+
+The paper evaluates on eight riscv-tests workloads (dhrystone, median,
+multiply, qsort, rsort, towers, spmv, vvadd) and uses two large workloads
+with millions of cycles (GEMM, SPMM) for time-based power-trace prediction.
+We cannot run the RISC-V binaries offline, so each workload is modelled as
+the *profile* the downstream pipeline actually consumes:
+
+* a dynamic instruction mix (ALU / multiply / FP / load / store / branch),
+* branch predictability and instruction/data footprints that drive the
+  performance simulator's miss and misprediction models,
+* intrinsic ILP, which bounds achievable IPC,
+* a phase structure used by the windowed trace generator for the two
+  large workloads.
+
+Program-level features — the microarchitecture-independent inputs the
+paper adds to the SRAM activity model — are derived directly from these
+profiles (they play the role of static/ISA-level program analysis).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+__all__ = [
+    "LARGE_WORKLOADS",
+    "Phase",
+    "WORKLOADS",
+    "Workload",
+    "all_workloads",
+    "workload_by_name",
+]
+
+
+@dataclass(frozen=True)
+class Phase:
+    """One execution phase of a large workload.
+
+    ``weight`` is the fraction of total cycles spent in the phase;
+    ``activity_scale`` multiplies the workload's average activity;
+    ``ripple_amplitude``/``ripple_period`` describe a periodic modulation
+    (in units of 50-cycle windows) such as the blocking structure of a
+    tiled GEMM; ``noise`` is the relative magnitude of window-to-window
+    jitter.
+    """
+
+    name: str
+    weight: float
+    activity_scale: float
+    ripple_amplitude: float = 0.0
+    ripple_period: float = 16.0
+    noise: float = 0.02
+
+    def __post_init__(self) -> None:
+        if not 0.0 < self.weight <= 1.0:
+            raise ValueError(f"phase {self.name}: weight must be in (0, 1]")
+        if self.activity_scale <= 0.0:
+            raise ValueError(f"phase {self.name}: activity_scale must be > 0")
+        if self.ripple_period <= 0.0:
+            raise ValueError(f"phase {self.name}: ripple_period must be > 0")
+
+
+@dataclass(frozen=True)
+class Workload:
+    """Profile of one benchmark program.
+
+    Instruction-mix fractions must sum to 1.  Footprints are in bytes.
+    ``branch_entropy`` in [0, 1]: 0 = perfectly predictable branches,
+    1 = essentially random.  ``locality`` in [0, 1]: 1 = streaming/unit
+    stride, 0 = pointer chasing.  ``ilp`` is the intrinsic instruction-level
+    parallelism that caps IPC on a perfectly provisioned machine.
+    """
+
+    name: str
+    instructions: int
+    frac_int_alu: float
+    frac_int_mul: float
+    frac_fp: float
+    frac_load: float
+    frac_store: float
+    frac_branch: float
+    branch_entropy: float
+    icache_footprint: int
+    dcache_footprint: int
+    locality: float
+    ilp: float
+    phases: tuple[Phase, ...] = field(default=())
+
+    def __post_init__(self) -> None:
+        mix = (
+            self.frac_int_alu
+            + self.frac_int_mul
+            + self.frac_fp
+            + self.frac_load
+            + self.frac_store
+            + self.frac_branch
+        )
+        if abs(mix - 1.0) > 1e-9:
+            raise ValueError(f"{self.name}: instruction mix sums to {mix}, not 1.0")
+        for attr in ("branch_entropy", "locality"):
+            value = getattr(self, attr)
+            if not 0.0 <= value <= 1.0:
+                raise ValueError(f"{self.name}: {attr} must be in [0, 1]")
+        if self.instructions <= 0:
+            raise ValueError(f"{self.name}: instructions must be positive")
+        if self.ilp < 1.0:
+            raise ValueError(f"{self.name}: ilp must be >= 1")
+        if self.phases:
+            total = sum(p.weight for p in self.phases)
+            if abs(total - 1.0) > 1e-9:
+                raise ValueError(f"{self.name}: phase weights sum to {total}, not 1.0")
+
+    @property
+    def is_large(self) -> bool:
+        """Large workloads carry a phase structure for trace prediction."""
+        return bool(self.phases)
+
+    def program_features(self) -> dict[str, float]:
+        """Microarchitecture-independent program-level features.
+
+        These are the features the paper adds to the SRAM activity model
+        because they are immune to performance-simulator inaccuracy.
+        """
+        n = float(self.instructions)
+        return {
+            "prog_instructions": n,
+            "prog_branches": n * self.frac_branch,
+            "prog_loads": n * self.frac_load,
+            "prog_stores": n * self.frac_store,
+            "prog_fp_ops": n * self.frac_fp,
+            "prog_mul_ops": n * self.frac_int_mul,
+            "prog_branch_entropy": self.branch_entropy,
+            "prog_locality": self.locality,
+            "prog_icache_footprint": float(self.icache_footprint),
+            "prog_dcache_footprint": float(self.dcache_footprint),
+            "prog_ilp": self.ilp,
+        }
+
+
+# ---------------------------------------------------------------------------
+# The eight riscv-tests evaluation workloads.  Profiles are hand-written to
+# reflect the well-known character of each benchmark (e.g. vvadd streams,
+# qsort is branchy with poor locality, multiply is ALU/mul bound).
+# ---------------------------------------------------------------------------
+WORKLOADS: tuple[Workload, ...] = (
+    Workload(
+        name="dhrystone",
+        instructions=200_000,
+        frac_int_alu=0.46,
+        frac_int_mul=0.02,
+        frac_fp=0.00,
+        frac_load=0.23,
+        frac_store=0.13,
+        frac_branch=0.16,
+        branch_entropy=0.18,
+        icache_footprint=12_288,
+        dcache_footprint=8_192,
+        locality=0.82,
+        ilp=2.6,
+    ),
+    Workload(
+        name="median",
+        instructions=40_000,
+        frac_int_alu=0.38,
+        frac_int_mul=0.00,
+        frac_fp=0.00,
+        frac_load=0.28,
+        frac_store=0.12,
+        frac_branch=0.22,
+        branch_entropy=0.42,
+        icache_footprint=4_096,
+        dcache_footprint=16_384,
+        locality=0.66,
+        ilp=2.1,
+    ),
+    Workload(
+        name="multiply",
+        instructions=60_000,
+        frac_int_alu=0.45,
+        frac_int_mul=0.25,
+        frac_fp=0.00,
+        frac_load=0.12,
+        frac_store=0.06,
+        frac_branch=0.12,
+        branch_entropy=0.10,
+        icache_footprint=2_048,
+        dcache_footprint=8_192,
+        locality=0.88,
+        ilp=4.6,
+    ),
+    Workload(
+        name="qsort",
+        instructions=160_000,
+        frac_int_alu=0.33,
+        frac_int_mul=0.00,
+        frac_fp=0.00,
+        frac_load=0.30,
+        frac_store=0.14,
+        frac_branch=0.23,
+        branch_entropy=0.58,
+        icache_footprint=6_144,
+        dcache_footprint=65_536,
+        locality=0.38,
+        ilp=1.8,
+    ),
+    Workload(
+        name="rsort",
+        instructions=180_000,
+        frac_int_alu=0.30,
+        frac_int_mul=0.00,
+        frac_fp=0.00,
+        frac_load=0.32,
+        frac_store=0.24,
+        frac_branch=0.14,
+        branch_entropy=0.16,
+        icache_footprint=4_096,
+        dcache_footprint=24_576,
+        locality=0.60,
+        ilp=3.2,
+    ),
+    Workload(
+        name="towers",
+        instructions=50_000,
+        frac_int_alu=0.40,
+        frac_int_mul=0.00,
+        frac_fp=0.00,
+        frac_load=0.24,
+        frac_store=0.16,
+        frac_branch=0.20,
+        branch_entropy=0.30,
+        icache_footprint=3_072,
+        dcache_footprint=12_288,
+        locality=0.72,
+        ilp=1.9,
+    ),
+    Workload(
+        name="spmv",
+        instructions=220_000,
+        frac_int_alu=0.22,
+        frac_int_mul=0.02,
+        frac_fp=0.18,
+        frac_load=0.38,
+        frac_store=0.08,
+        frac_branch=0.12,
+        branch_entropy=0.34,
+        icache_footprint=4_096,
+        dcache_footprint=262_144,
+        locality=0.25,
+        ilp=2.0,
+    ),
+    Workload(
+        name="vvadd",
+        instructions=120_000,
+        frac_int_alu=0.14,
+        frac_int_mul=0.00,
+        frac_fp=0.20,
+        frac_load=0.38,
+        frac_store=0.22,
+        frac_branch=0.06,
+        branch_entropy=0.04,
+        icache_footprint=1_024,
+        dcache_footprint=196_608,
+        locality=0.96,
+        ilp=3.8,
+    ),
+)
+
+# ---------------------------------------------------------------------------
+# Large workloads (millions of cycles) for time-based trace prediction.
+# GEMM is a tiled dense matmul: a short ramp, a long compute-dominated
+# steady state with blocking ripples, and a writeback tail.  SPMM is a
+# sparse matmul: burstier, memory-bound, with larger window-level noise.
+# ---------------------------------------------------------------------------
+LARGE_WORKLOADS: tuple[Workload, ...] = (
+    Workload(
+        name="gemm",
+        instructions=3_000_000,
+        frac_int_alu=0.20,
+        frac_int_mul=0.01,
+        frac_fp=0.38,
+        frac_load=0.26,
+        frac_store=0.08,
+        frac_branch=0.07,
+        branch_entropy=0.05,
+        icache_footprint=2_048,
+        dcache_footprint=786_432,
+        locality=0.85,
+        ilp=3.6,
+        phases=(
+            Phase("ramp", 0.08, 0.72, ripple_amplitude=0.05, ripple_period=10.0),
+            Phase("compute", 0.80, 1.10, ripple_amplitude=0.12, ripple_period=24.0),
+            Phase("writeback", 0.12, 0.78, ripple_amplitude=0.06, ripple_period=12.0),
+        ),
+    ),
+    Workload(
+        name="spmm",
+        instructions=2_400_000,
+        frac_int_alu=0.24,
+        frac_int_mul=0.02,
+        frac_fp=0.26,
+        frac_load=0.34,
+        frac_store=0.06,
+        frac_branch=0.08,
+        branch_entropy=0.40,
+        icache_footprint=4_096,
+        dcache_footprint=1_048_576,
+        locality=0.30,
+        ilp=2.2,
+        phases=(
+            Phase("index-build", 0.15, 0.82, ripple_amplitude=0.08, ripple_period=14.0, noise=0.05),
+            Phase("sparse-compute", 0.70, 1.12, ripple_amplitude=0.18, ripple_period=30.0, noise=0.07),
+            Phase("gather-tail", 0.15, 0.70, ripple_amplitude=0.10, ripple_period=18.0, noise=0.05),
+        ),
+    ),
+)
+
+_ALL = {w.name: w for w in WORKLOADS + LARGE_WORKLOADS}
+
+
+def workload_by_name(name: str) -> Workload:
+    """Look up any workload (evaluation or large) by name."""
+    try:
+        return _ALL[name]
+    except KeyError:
+        raise KeyError(
+            f"unknown workload {name!r}; expected one of {sorted(_ALL)}"
+        ) from None
+
+
+def all_workloads() -> tuple[Workload, ...]:
+    """All workloads: the eight riscv-tests profiles plus GEMM and SPMM."""
+    return WORKLOADS + LARGE_WORKLOADS

@@ -1,0 +1,26 @@
+"""Baseline power models the paper compares against.
+
+* :mod:`repro.baselines.mcpat` — a McPAT-like *analytical* model: generic
+  engineer-defined resource/energy functions, deliberately uncalibrated to
+  the target silicon (the paper's [5] documents such errors),
+* :mod:`repro.baselines.mcpat_calib` — McPAT-Calib [Zhai et al. 2022]:
+  XGBoost-style regression on hardware parameters, event parameters and
+  the analytical McPAT estimate, predicting total power directly,
+* :mod:`repro.baselines.mcpat_calib_component` — the paper's ablation
+  baseline "McPAT-Calib + Component": one McPAT-Calib per component,
+* :mod:`repro.baselines.autopower_minus` — AutoPower−: decouples across
+  power groups only, with a direct ML model per (component, group) and no
+  within-group structural sub-models.
+"""
+
+from repro.baselines.autopower_minus import AutoPowerMinus
+from repro.baselines.mcpat import McPatAnalytical
+from repro.baselines.mcpat_calib import McPatCalib
+from repro.baselines.mcpat_calib_component import McPatCalibComponent
+
+__all__ = [
+    "AutoPowerMinus",
+    "McPatAnalytical",
+    "McPatCalib",
+    "McPatCalibComponent",
+]

@@ -1,0 +1,119 @@
+"""AutoPower− — the within-group-decoupling ablation (paper Sec. III-B3).
+
+"It only decouples the model across different power groups and only
+directly adopts the ML model for the estimation of each power group."
+One boosted model per (component, power group), trained directly on the
+golden group power, with the same feature budget as AutoPower's activity
+models (hardware parameters, event rates, program features).  What it
+lacks is the structural decoupling: no register-count/gating-rate
+formulation for clock, no scaling-law + macro-mapping for SRAM.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.arch.components import COMPONENTS
+from repro.arch.config import BoomConfig
+from repro.arch.events import EventParams
+from repro.arch.workloads import Workload
+from repro.core.features import event_features, hardware_features, program_features
+from repro.ml.gbm import GradientBoostingRegressor
+from repro.power.report import POWER_GROUPS
+
+__all__ = ["AutoPowerMinus"]
+
+_DEFAULT_GBM = {
+    "n_estimators": 200,
+    "learning_rate": 0.08,
+    "max_depth": 3,
+    "reg_lambda": 1.0,
+}
+
+
+class AutoPowerMinus:
+    """Per-group direct ML power model (no within-group decoupling)."""
+
+    def __init__(
+        self,
+        use_program_features: bool = True,
+        gbm_params: dict | None = None,
+        random_state: int = 0,
+    ) -> None:
+        self.use_program_features = use_program_features
+        self.gbm_params = dict(_DEFAULT_GBM if gbm_params is None else gbm_params)
+        self.random_state = random_state
+        self._models: dict[tuple[str, str], GradientBoostingRegressor] = {}
+
+    # ------------------------------------------------------------------
+    def _features(
+        self, config: BoomConfig, events: EventParams, workload: Workload, component: str
+    ) -> np.ndarray:
+        parts = [
+            hardware_features(config, component),
+            event_features(events, component, config),
+        ]
+        if self.use_program_features:
+            parts.append(program_features(workload))
+        return np.concatenate(parts)
+
+    # ------------------------------------------------------------------
+    def fit(self, flow, train_configs, workloads) -> "AutoPowerMinus":
+        results = flow.run_many(list(train_configs), list(workloads))
+        return self.fit_results(results)
+
+    def fit_results(self, results: list) -> "AutoPowerMinus":
+        if not results:
+            raise ValueError("cannot fit on an empty result list")
+        for comp in COMPONENTS:
+            x = np.stack(
+                [
+                    self._features(r.config, r.events, r.workload, comp.name)
+                    for r in results
+                ]
+            )
+            for group in POWER_GROUPS:
+                y = np.array(
+                    [r.power.component(comp.name).group(group) for r in results]
+                )
+                model = GradientBoostingRegressor(
+                    random_state=self.random_state, **self.gbm_params
+                )
+                model.fit(x, y)
+                self._models[(comp.name, group)] = model
+        return self
+
+    # ------------------------------------------------------------------
+    def predict_component_group(
+        self,
+        component: str,
+        group: str,
+        config: BoomConfig,
+        events: EventParams,
+        workload: Workload,
+    ) -> float:
+        if not self._models:
+            raise RuntimeError("AutoPowerMinus used before fit")
+        x = self._features(config, events, workload, component).reshape(1, -1)
+        return max(float(self._models[(component, group)].predict(x)[0]), 0.0)
+
+    def predict_group(
+        self, config: BoomConfig, events: EventParams, workload: Workload, group: str
+    ) -> float:
+        """Predicted power of one group summed over components, in mW."""
+        if group == "logic":
+            return self.predict_group(config, events, workload, "register") + (
+                self.predict_group(config, events, workload, "comb")
+            )
+        return sum(
+            self.predict_component_group(c.name, group, config, events, workload)
+            for c in COMPONENTS
+        )
+
+    def predict_total(
+        self, config: BoomConfig, events: EventParams, workload: Workload
+    ) -> float:
+        return sum(
+            self.predict_group(config, events, workload, group)
+            for group in POWER_GROUPS
+        )

@@ -1,0 +1,90 @@
+"""McPAT-Calib baseline [Zhai et al., TCAD 2022].
+
+McPAT-Calib feeds hardware parameters, event parameters and the analytical
+McPAT estimate into an ML model (XGBoost in the original and in the
+paper's comparison) that predicts total CPU power directly.  It is the
+representative "data-hungry" ML baseline: with only 2-3 known
+configurations its tree ensemble can only reproduce power levels it has
+seen, which is precisely the failure mode the paper's Fig. 4-6 document.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.arch.config import BoomConfig
+from repro.arch.events import EVENT_NAMES, EventParams
+from repro.arch.params import HARDWARE_PARAMETERS
+from repro.baselines.mcpat import McPatAnalytical
+from repro.ml.gbm import GradientBoostingRegressor
+
+__all__ = ["McPatCalib"]
+
+_DEFAULT_GBM = {
+    "n_estimators": 200,
+    "learning_rate": 0.08,
+    "max_depth": 3,
+    "reg_lambda": 1.0,
+}
+
+
+class McPatCalib:
+    """XGBoost-style calibration of the analytical McPAT model.
+
+    Parameters
+    ----------
+    mcpat:
+        The analytical model used as a feature source.
+    gbm_params / random_state:
+        Hyper-parameters of the boosted regression model.
+    """
+
+    def __init__(
+        self,
+        mcpat: McPatAnalytical | None = None,
+        gbm_params: dict | None = None,
+        random_state: int = 0,
+    ) -> None:
+        self.mcpat = mcpat if mcpat is not None else McPatAnalytical()
+        self.gbm_params = dict(_DEFAULT_GBM if gbm_params is None else gbm_params)
+        self.random_state = random_state
+        self._model: GradientBoostingRegressor | None = None
+
+    # ------------------------------------------------------------------
+    def _features(self, config: BoomConfig, events: EventParams) -> np.ndarray:
+        h = config.vector()
+        rates = np.array(
+            [events.counts[n] / events.cycles for n in EVENT_NAMES if n != "cycles"]
+        )
+        mcpat_total = self.mcpat.predict_total(config, events)
+        return np.concatenate([h, rates, [events.ipc, mcpat_total]])
+
+    @staticmethod
+    def feature_names() -> tuple[str, ...]:
+        rates = tuple(f"rate_{n}" for n in EVENT_NAMES if n != "cycles")
+        return HARDWARE_PARAMETERS + rates + ("ipc", "mcpat_total")
+
+    # ------------------------------------------------------------------
+    def fit(self, flow, train_configs, workloads) -> "McPatCalib":
+        results = flow.run_many(list(train_configs), list(workloads))
+        return self.fit_results(results)
+
+    def fit_results(self, results: list) -> "McPatCalib":
+        if not results:
+            raise ValueError("cannot fit on an empty result list")
+        x = np.stack([self._features(r.config, r.events) for r in results])
+        y = np.array([r.power.total for r in results])
+        self._model = GradientBoostingRegressor(
+            random_state=self.random_state, **self.gbm_params
+        )
+        self._model.fit(x, y)
+        return self
+
+    def predict_total(
+        self, config: BoomConfig, events: EventParams, workload=None
+    ) -> float:
+        """Predicted total power, in mW (workload arg for API uniformity)."""
+        if self._model is None:
+            raise RuntimeError("McPatCalib used before fit")
+        x = self._features(config, events).reshape(1, -1)
+        return max(float(self._model.predict(x)[0]), 0.0)

@@ -1,0 +1,94 @@
+"""McPAT-Calib + Component — the paper's extra ablation baseline.
+
+"McPAT-Calib + Component adopts the McPAT-Calib as a building block and
+builds power models for each component respectively" (Sec. III-B1).  Each
+component gets its own boosted model over its Table III hardware
+parameters, its event rates and its analytical McPAT estimate; the total
+is the sum of the component predictions.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.arch.components import COMPONENTS
+from repro.arch.config import BoomConfig
+from repro.arch.events import EventParams
+from repro.baselines.mcpat import McPatAnalytical
+from repro.core.features import event_features, hardware_features
+from repro.ml.gbm import GradientBoostingRegressor
+
+__all__ = ["McPatCalibComponent"]
+
+_DEFAULT_GBM = {
+    "n_estimators": 200,
+    "learning_rate": 0.08,
+    "max_depth": 3,
+    "reg_lambda": 1.0,
+}
+
+
+class McPatCalibComponent:
+    """One McPAT-Calib model per component; total = sum of components."""
+
+    def __init__(
+        self,
+        mcpat: McPatAnalytical | None = None,
+        gbm_params: dict | None = None,
+        random_state: int = 0,
+    ) -> None:
+        self.mcpat = mcpat if mcpat is not None else McPatAnalytical()
+        self.gbm_params = dict(_DEFAULT_GBM if gbm_params is None else gbm_params)
+        self.random_state = random_state
+        self._models: dict[str, GradientBoostingRegressor] = {}
+
+    # ------------------------------------------------------------------
+    def _features(
+        self, config: BoomConfig, events: EventParams, component: str
+    ) -> np.ndarray:
+        # McPAT-Calib's feature recipe: hardware parameters, raw event
+        # rates and the analytical estimate (no utilization-normalized
+        # features — those are part of AutoPower's design).
+        mcpat_comp = self.mcpat.predict_component(component, config, events)
+        return np.concatenate(
+            [
+                hardware_features(config, component),
+                event_features(events, component),
+                [mcpat_comp],
+            ]
+        )
+
+    # ------------------------------------------------------------------
+    def fit(self, flow, train_configs, workloads) -> "McPatCalibComponent":
+        results = flow.run_many(list(train_configs), list(workloads))
+        return self.fit_results(results)
+
+    def fit_results(self, results: list) -> "McPatCalibComponent":
+        if not results:
+            raise ValueError("cannot fit on an empty result list")
+        for comp in COMPONENTS:
+            x = np.stack(
+                [self._features(r.config, r.events, comp.name) for r in results]
+            )
+            y = np.array([r.power.component(comp.name).total for r in results])
+            model = GradientBoostingRegressor(
+                random_state=self.random_state, **self.gbm_params
+            )
+            model.fit(x, y)
+            self._models[comp.name] = model
+        return self
+
+    def predict_component(
+        self, component: str, config: BoomConfig, events: EventParams
+    ) -> float:
+        if not self._models:
+            raise RuntimeError("McPatCalibComponent used before fit")
+        x = self._features(config, events, component).reshape(1, -1)
+        return max(float(self._models[component].predict(x)[0]), 0.0)
+
+    def predict_total(
+        self, config: BoomConfig, events: EventParams, workload=None
+    ) -> float:
+        return sum(
+            self.predict_component(c.name, config, events) for c in COMPONENTS
+        )

@@ -1,0 +1,79 @@
+"""Command-line entry point: ``python -m repro <experiment>``.
+
+Lists and runs the paper's experiments by name, so the whole evaluation
+section can be regenerated without touching Python code.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+import time
+
+from repro.experiments import (
+    ablation_program_features,
+    extension_workload_holdout,
+    fig1_breakdown,
+    fig45_accuracy,
+    fig6_sweep,
+    fig7_clock,
+    fig8_sram,
+    submodels,
+    table1_example,
+    table4_trace,
+)
+
+__all__ = ["EXPERIMENTS", "main"]
+
+EXPERIMENTS = {
+    "fig1": (fig1_breakdown.main, "Observation 1 — power-group breakdown"),
+    "fig4": (fig45_accuracy.main, "Figs. 4 & 5 — accuracy with 2 / 3 configs"),
+    "fig5": (fig45_accuracy.main, "alias of fig4 (both figures printed)"),
+    "fig6": (fig6_sweep.main, "Fig. 6 — accuracy vs training budget"),
+    "fig7": (fig7_clock.main, "Fig. 7 — clock group vs AutoPower-"),
+    "fig8": (fig8_sram.main, "Fig. 8 — SRAM group vs AutoPower-"),
+    "submodels": (submodels.main, "Sec. III-B3/B4 — sub-model accuracy"),
+    "table1": (table1_example.main, "Table I — meta scaling-law walk-through"),
+    "table4": (table4_trace.main, "Table IV — time-based power traces"),
+    "ablation": (
+        ablation_program_features.main,
+        "Ablation — program features vs simulator error",
+    ),
+    "holdout": (
+        extension_workload_holdout.main,
+        "Extension — unseen-workload generalization",
+    ),
+}
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro",
+        description="Regenerate the AutoPower paper's tables and figures.",
+    )
+    parser.add_argument(
+        "experiment",
+        nargs="?",
+        choices=sorted(EXPERIMENTS) + ["all"],
+        help="experiment to run (omit to list)",
+    )
+    args = parser.parse_args(argv)
+
+    if args.experiment is None:
+        print("available experiments:")
+        for name in sorted(EXPERIMENTS):
+            print(f"  {name:10s} {EXPERIMENTS[name][1]}")
+        return 0
+
+    names = sorted(set(EXPERIMENTS) - {"fig5"}) if args.experiment == "all" else [args.experiment]
+    for name in names:
+        runner, description = EXPERIMENTS[name]
+        print(f"=== {name}: {description} ===")
+        start = time.time()
+        runner()
+        print(f"[{name} finished in {time.time() - start:.1f}s]\n")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,31 @@
+"""AutoPower — the paper's primary contribution.
+
+Power-group decoupling:
+
+* :mod:`repro.core.clock` — clock power via register-count, gating-rate
+  and effective-active-rate sub-models (paper Sec. II-A, Eq. 1-8),
+* :mod:`repro.core.sram` — SRAM power via the four-level hierarchy:
+  scaling-pattern hardware model, activity model and macro-level mapping
+  (Sec. II-B, Eq. 9-10),
+* :mod:`repro.core.logic` — register power and combinational
+  stable/variation decoupling (Sec. II-C, Eq. 11-12),
+* :mod:`repro.core.autopower` — the assembled model with a
+  paper-equivalent ``fit`` / ``predict`` API and time-based trace support.
+"""
+
+from repro.core.autopower import AutoPower
+from repro.core.clock import ClockPowerModel
+from repro.core.logic import CombPowerModel, LogicPowerModel, RegisterPowerModel
+from repro.core.scaling import FittedLaw, ScalingPatternDetector
+from repro.core.sram import SramPowerModel
+
+__all__ = [
+    "AutoPower",
+    "ClockPowerModel",
+    "CombPowerModel",
+    "FittedLaw",
+    "LogicPowerModel",
+    "RegisterPowerModel",
+    "ScalingPatternDetector",
+    "SramPowerModel",
+]

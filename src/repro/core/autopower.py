@@ -1,0 +1,206 @@
+"""The assembled AutoPower model.
+
+``fit`` consumes the EDA-flow results of the few known configurations
+(2-3 in the paper) across the training workloads; ``predict_report``
+estimates per-component, per-group power for *any* configuration from its
+hardware parameters and performance-simulator events alone.  Time-based
+trace prediction evaluates the same model on 50-cycle event windows
+without any additional trace training, exactly as in the paper's Table IV
+experiment.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.arch.components import COMPONENTS
+from repro.arch.config import BoomConfig
+from repro.arch.events import EVENT_NAMES, EventParams
+from repro.arch.workloads import Workload
+from repro.core.clock import ClockPowerModel
+from repro.core.logic import LogicPowerModel
+from repro.core.sram import SramPowerModel
+from repro.library.stdcell import TechLibrary, default_library
+from repro.power.report import ComponentPower, PowerReport
+from repro.vlsi.macro_mapping import MacroMapper
+
+__all__ = ["AutoPower", "events_at_scale"]
+
+
+def events_at_scale(
+    events: EventParams, scale: float, window_cycles: int
+) -> EventParams:
+    """Event counts of one trace window at a given activity scale.
+
+    Window rates are the run-average rates times ``scale``; the window is
+    ``window_cycles`` long.
+    """
+    if scale <= 0:
+        raise ValueError("scale must be positive")
+    if window_cycles <= 0:
+        raise ValueError("window_cycles must be positive")
+    cycles = events.cycles
+    counts = {
+        name: events.counts[name] / cycles * scale * window_cycles
+        for name in EVENT_NAMES
+    }
+    counts["cycles"] = float(window_cycles)
+    return EventParams(counts)
+
+
+class AutoPower:
+    """Fully automated few-shot architecture-level power model.
+
+    Parameters
+    ----------
+    library:
+        Technology library for the ``p_reg`` and macro energy lookups.
+    use_program_features:
+        Feed microarchitecture-independent program features to the SRAM
+        activity model (paper default: on).
+    ridge_alpha / gbm_params / random_state:
+        Shared hyper-parameters for the linear and boosted sub-models.
+    """
+
+    def __init__(
+        self,
+        library: TechLibrary | None = None,
+        mapper: MacroMapper | None = None,
+        use_program_features: bool = True,
+        ridge_alpha: float = 1e-3,
+        gbm_params: dict | None = None,
+        random_state: int = 0,
+    ) -> None:
+        self.library = library if library is not None else default_library()
+        self.mapper = mapper if mapper is not None else MacroMapper(self.library.sram)
+        self.clock_model = ClockPowerModel(
+            self.library, ridge_alpha, gbm_params, random_state
+        )
+        self.sram_model = SramPowerModel(
+            self.library,
+            self.mapper,
+            use_program_features=use_program_features,
+            gbm_params=gbm_params,
+            random_state=random_state,
+        )
+        self.logic_model = LogicPowerModel(ridge_alpha, gbm_params, random_state)
+        self.train_config_names: tuple[str, ...] = ()
+        self._fitted = False
+
+    # ------------------------------------------------------------------
+    def fit(self, flow, train_configs, workloads) -> "AutoPower":
+        """Train all sub-models from the flow outputs of known configs.
+
+        ``flow`` is a :class:`repro.vlsi.flow.VlsiFlow`; it is only ever
+        invoked on the *training* configurations.
+        """
+        results = flow.run_many(list(train_configs), list(workloads))
+        return self.fit_results(results)
+
+    def fit_results(self, results: list) -> "AutoPower":
+        """Train from precomputed flow results (train configs only)."""
+        if not results:
+            raise ValueError("cannot fit on an empty result list")
+        self.clock_model.fit(results)
+        self.sram_model.fit(results)
+        self.logic_model.fit(results)
+        seen: list[str] = []
+        for res in results:
+            if res.config.name not in seen:
+                seen.append(res.config.name)
+        self.train_config_names = tuple(seen)
+        self._fitted = True
+        return self
+
+    def _require_fit(self) -> None:
+        if not self._fitted:
+            raise RuntimeError("AutoPower used before fit")
+
+    # ------------------------------------------------------------------
+    def predict_report(
+        self, config: BoomConfig, events: EventParams, workload: Workload
+    ) -> PowerReport:
+        """Predicted per-component, per-group power report."""
+        self._require_fit()
+        components = []
+        for comp in COMPONENTS:
+            clock = self.clock_model.predict_component(comp.name, config, events)
+            sram = self.sram_model.predict_component(
+                comp.name, config, events, workload
+            )
+            register, comb = self.logic_model.predict_component(
+                comp.name, config, events
+            )
+            components.append(
+                ComponentPower(
+                    name=comp.name,
+                    clock=clock,
+                    sram=sram,
+                    register=register,
+                    comb=comb,
+                )
+            )
+        return PowerReport(
+            config_name=config.name,
+            workload_name=workload.name,
+            components=tuple(components),
+        )
+
+    def predict_total(
+        self, config: BoomConfig, events: EventParams, workload: Workload
+    ) -> float:
+        """Predicted total power, in mW."""
+        return self.predict_report(config, events, workload).total
+
+    def predict_group(
+        self, config: BoomConfig, events: EventParams, workload: Workload, group: str
+    ) -> float:
+        """Predicted power of one group (clock / sram / register / comb /
+        logic), in mW."""
+        return self.predict_report(config, events, workload).group_total(group)
+
+    # ------------------------------------------------------------------
+    def predict_trace(
+        self,
+        config: BoomConfig,
+        events: EventParams,
+        workload: Workload,
+        scales: np.ndarray,
+        window_cycles: int = 50,
+        n_anchors: int = 65,
+    ) -> np.ndarray:
+        """Predicted per-window total power for a trace (Table IV).
+
+        The model is applied per 50-cycle window without any trace-level
+        tuning; windows are one-parameter (activity scale) families of the
+        run-average events, so the prediction is evaluated at ``n_anchors``
+        scales and linearly interpolated — exact up to the GBM's step
+        granularity.
+        """
+        self._require_fit()
+        scales = np.asarray(scales, dtype=float)
+        if scales.size == 0:
+            raise ValueError("scales must be non-empty")
+        lo, hi = float(scales.min()), float(scales.max())
+        if lo <= 0:
+            raise ValueError("scales must be positive")
+        if hi - lo < 1e-12:
+            anchors = np.array([lo])
+            powers = np.array(
+                [
+                    self.predict_total(
+                        config, events_at_scale(events, lo, window_cycles), workload
+                    )
+                ]
+            )
+            return np.full(scales.shape, powers[0])
+        anchors = np.linspace(lo, hi, n_anchors)
+        powers = np.array(
+            [
+                self.predict_total(
+                    config, events_at_scale(events, float(s), window_cycles), workload
+                )
+                for s in anchors
+            ]
+        )
+        return np.interp(scales, anchors, powers)

@@ -1,0 +1,222 @@
+"""Logic power model (paper Sec. II-C).
+
+Logic power = register power (excluding clock pins) + combinational power,
+modelled separately:
+
+* **register power** (Eq. 11): ``P_reg = F_reg(H) * F_act(H, E)`` — a
+  ridge hardware model for the register count and a GBM activity model
+  whose label is golden register power divided by the register count,
+* **combinational power** (Eq. 12): ``P_comb = F_sta(H) * F_var(H, E)`` —
+  a *stable* model trained on the workload-averaged combinational power of
+  each training configuration (hardware-only) and a *variation* model on
+  the per-workload ratio to that stable power.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.arch.components import COMPONENTS
+from repro.arch.config import BoomConfig
+from repro.arch.events import EventParams
+from repro.core.features import (
+    event_features,
+    hardware_features,
+    polynomial_hardware_features,
+)
+from repro.ml.gbm import GradientBoostingRegressor
+from repro.ml.linear import RidgeRegression
+
+__all__ = ["CombPowerModel", "LogicPowerModel", "RegisterPowerModel"]
+
+_DEFAULT_GBM = {
+    "n_estimators": 150,
+    "learning_rate": 0.08,
+    "max_depth": 3,
+    "reg_lambda": 1.0,
+}
+
+
+def _he_features(config: BoomConfig, events: EventParams, component: str) -> np.ndarray:
+    # Scale-free event features: the GBM targets here (per-register power,
+    # power variation ratio) are rates, so raw machine-scaled rates are
+    # dropped in favour of per-parameter-normalized ones.
+    return np.concatenate(
+        [
+            hardware_features(config, component),
+            event_features(events, component, config, include_raw=False),
+        ]
+    )
+
+
+class RegisterPowerModel:
+    """Per-component register (non-clock) power: F_reg(H) * F_act(H, E)."""
+
+    def __init__(
+        self,
+        ridge_alpha: float = 1e-3,
+        gbm_params: dict | None = None,
+        random_state: int = 0,
+    ) -> None:
+        self.ridge_alpha = ridge_alpha
+        self.gbm_params = dict(_DEFAULT_GBM if gbm_params is None else gbm_params)
+        self.random_state = random_state
+        self._f_reg: dict[str, RidgeRegression] = {}
+        self._f_act: dict[str, GradientBoostingRegressor] = {}
+        self._fitted = False
+
+    def fit(self, results: list) -> "RegisterPowerModel":
+        if not results:
+            raise ValueError("cannot fit on an empty result list")
+        by_config: dict[str, object] = {}
+        for res in results:
+            by_config.setdefault(res.config.name, res)
+        config_results = list(by_config.values())
+
+        for component in COMPONENTS:
+            name = component.name
+            h_rows = [
+                polynomial_hardware_features(res.config, name)
+                for res in config_results
+            ]
+            r_labels = [
+                float(res.netlist.component(name).registers) for res in config_results
+            ]
+            f_reg = RidgeRegression(alpha=self.ridge_alpha, nonnegative=True)
+            f_reg.fit(np.stack(h_rows), np.array(r_labels))
+
+            x_rows, act_labels = [], []
+            for res in results:
+                registers = res.netlist.component(name).registers
+                if registers <= 0:
+                    continue
+                p_register = res.power.component(name).register
+                x_rows.append(_he_features(res.config, res.events, name))
+                act_labels.append(p_register / registers)
+            f_act = GradientBoostingRegressor(
+                random_state=self.random_state, **self.gbm_params
+            )
+            f_act.fit(np.stack(x_rows), np.array(act_labels))
+            self._f_reg[name] = f_reg
+            self._f_act[name] = f_act
+        self._fitted = True
+        return self
+
+    def predict_component(
+        self, component: str, config: BoomConfig, events: EventParams
+    ) -> float:
+        if not self._fitted:
+            raise RuntimeError("RegisterPowerModel used before fit")
+        h = polynomial_hardware_features(config, component).reshape(1, -1)
+        registers = max(float(self._f_reg[component].predict(h)[0]), 0.0)
+        x = _he_features(config, events, component).reshape(1, -1)
+        per_register = max(float(self._f_act[component].predict(x)[0]), 0.0)
+        return registers * per_register
+
+
+class CombPowerModel:
+    """Per-component combinational power: F_sta(H) * F_var(H, E)."""
+
+    def __init__(
+        self,
+        ridge_alpha: float = 1e-3,
+        gbm_params: dict | None = None,
+        random_state: int = 0,
+    ) -> None:
+        self.ridge_alpha = ridge_alpha
+        self.gbm_params = dict(_DEFAULT_GBM if gbm_params is None else gbm_params)
+        self.random_state = random_state
+        self._f_sta: dict[str, RidgeRegression] = {}
+        self._f_var: dict[str, GradientBoostingRegressor] = {}
+        self._fitted = False
+
+    def fit(self, results: list) -> "CombPowerModel":
+        if not results:
+            raise ValueError("cannot fit on an empty result list")
+        by_config: dict[str, list] = {}
+        for res in results:
+            by_config.setdefault(res.config.name, []).append(res)
+
+        for component in COMPONENTS:
+            name = component.name
+            # Stable power: average combinational power across workloads.
+            h_rows, sta_labels = [], []
+            stable_by_config: dict[str, float] = {}
+            for config_name, config_results in by_config.items():
+                powers = [r.power.component(name).comb for r in config_results]
+                stable = float(np.mean(powers))
+                stable_by_config[config_name] = stable
+                h_rows.append(
+                    polynomial_hardware_features(config_results[0].config, name)
+                )
+                sta_labels.append(stable)
+            f_sta = RidgeRegression(alpha=self.ridge_alpha, nonnegative=True)
+            f_sta.fit(np.stack(h_rows), np.array(sta_labels))
+
+            # Variation: per-workload ratio to the stable power.
+            x_rows, var_labels = [], []
+            for config_name, config_results in by_config.items():
+                stable = stable_by_config[config_name]
+                if stable <= 0:
+                    continue
+                for res in config_results:
+                    x_rows.append(_he_features(res.config, res.events, name))
+                    var_labels.append(res.power.component(name).comb / stable)
+            f_var = GradientBoostingRegressor(
+                random_state=self.random_state, **self.gbm_params
+            )
+            f_var.fit(np.stack(x_rows), np.array(var_labels))
+            self._f_sta[name] = f_sta
+            self._f_var[name] = f_var
+        self._fitted = True
+        return self
+
+    def predict_component(
+        self, component: str, config: BoomConfig, events: EventParams
+    ) -> float:
+        if not self._fitted:
+            raise RuntimeError("CombPowerModel used before fit")
+        h = polynomial_hardware_features(config, component).reshape(1, -1)
+        stable = max(float(self._f_sta[component].predict(h)[0]), 0.0)
+        x = _he_features(config, events, component).reshape(1, -1)
+        variation = max(float(self._f_var[component].predict(x)[0]), 0.0)
+        return stable * variation
+
+
+class LogicPowerModel:
+    """Combined logic power group: register + combinational sub-models."""
+
+    def __init__(
+        self,
+        ridge_alpha: float = 1e-3,
+        gbm_params: dict | None = None,
+        random_state: int = 0,
+    ) -> None:
+        self.register_model = RegisterPowerModel(ridge_alpha, gbm_params, random_state)
+        self.comb_model = CombPowerModel(ridge_alpha, gbm_params, random_state)
+        self._fitted = False
+
+    def fit(self, results: list) -> "LogicPowerModel":
+        self.register_model.fit(results)
+        self.comb_model.fit(results)
+        self._fitted = True
+        return self
+
+    def predict_component(
+        self, component: str, config: BoomConfig, events: EventParams
+    ) -> tuple[float, float]:
+        """(register, comb) power of one component, in mW."""
+        if not self._fitted:
+            raise RuntimeError("LogicPowerModel used before fit")
+        return (
+            self.register_model.predict_component(component, config, events),
+            self.comb_model.predict_component(component, config, events),
+        )
+
+    def predict(
+        self, config: BoomConfig, events: EventParams
+    ) -> dict[str, tuple[float, float]]:
+        return {
+            comp.name: self.predict_component(comp.name, config, events)
+            for comp in COMPONENTS
+        }

@@ -1,0 +1,128 @@
+"""Scaling-pattern detection — the SRAM hardware model's core.
+
+The paper's insight: SRAM block structure follows two patterns — capacity
+scales linearly with a product of hardware parameters, and throughput
+(width x count) scales linearly with a product of hardware parameters (or
+is constant).  The detector "tries all hardware parameter combinations to
+fit a directly proportional function based on known configurations for
+training and selects the best combination with minimal error" (Sec. II-B,
+Table I walk-through).
+
+Given fitted laws for capacity, throughput and width, the block shape of
+an unseen configuration follows:
+
+    count = throughput / width,   depth = capacity / throughput.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from itertools import combinations
+
+import numpy as np
+
+__all__ = ["FittedLaw", "ScalingPatternDetector"]
+
+
+@dataclass(frozen=True)
+class FittedLaw:
+    """``value = coefficient * prod(params)``; empty params = constant."""
+
+    coefficient: float
+    params: tuple[str, ...]
+    error: float
+
+    def evaluate(self, values: dict[str, float]) -> float:
+        out = self.coefficient
+        for name in self.params:
+            out *= values[name]
+        return out
+
+    def describe(self) -> str:
+        """Human-readable form, e.g. ``240 * FetchWidth * DecodeWidth``."""
+        if not self.params:
+            return f"{self.coefficient:g}"
+        return f"{self.coefficient:g} * " + " * ".join(self.params)
+
+
+class ScalingPatternDetector:
+    """Fit a directly proportional law over all parameter combinations.
+
+    Parameters
+    ----------
+    max_combination_size:
+        Largest parameter subset tried (the paper enumerates all
+        combinations; 3 covers every Table III component).
+    tolerance:
+        Relative-error threshold under which a law counts as exact; used
+        only for reporting, not for selection.
+    """
+
+    def __init__(self, max_combination_size: int = 3, tolerance: float = 1e-6) -> None:
+        if max_combination_size < 0:
+            raise ValueError("max_combination_size must be >= 0")
+        self.max_combination_size = max_combination_size
+        self.tolerance = tolerance
+
+    # ------------------------------------------------------------------
+    def fit(
+        self,
+        targets,
+        param_values: dict[str, list[float]],
+        param_order: tuple[str, ...] | None = None,
+    ) -> FittedLaw:
+        """Select the minimal-error proportional law.
+
+        ``targets`` are the observed values over the training
+        configurations; ``param_values[p]`` lists parameter ``p``'s values
+        over the same configurations.  Ties in error are broken by smaller
+        combination size, then by ``param_order`` (Table III order), which
+        mirrors the deterministic enumeration order of the paper's method.
+        """
+        y = np.asarray(targets, dtype=float)
+        if y.ndim != 1 or y.size == 0:
+            raise ValueError("targets must be a non-empty 1-D sequence")
+        if np.any(y <= 0):
+            raise ValueError("scaling detection requires positive targets")
+        names = tuple(param_order) if param_order is not None else tuple(param_values)
+        for name in names:
+            if len(param_values[name]) != y.size:
+                raise ValueError(
+                    f"parameter {name} has {len(param_values[name])} values "
+                    f"for {y.size} targets"
+                )
+
+        best: FittedLaw | None = None
+        max_k = min(self.max_combination_size, len(names))
+        for size in range(0, max_k + 1):
+            for combo in combinations(names, size):
+                law = self._fit_combo(y, combo, param_values)
+                if law is None:
+                    continue
+                if best is None or law.error < best.error - 1e-12:
+                    best = law
+        if best is None:
+            raise RuntimeError("no proportional law could be fitted")
+        return best
+
+    # ------------------------------------------------------------------
+    @staticmethod
+    def _fit_combo(
+        y: np.ndarray, combo: tuple[str, ...], param_values: dict[str, list[float]]
+    ) -> FittedLaw | None:
+        x = np.ones_like(y)
+        for name in combo:
+            x = x * np.asarray(param_values[name], dtype=float)
+        if np.any(x <= 0):
+            return None
+        # Least-squares through the origin: k = <x, y> / <x, x>.
+        k = float(np.dot(x, y) / np.dot(x, x))
+        if k <= 0:
+            return None
+        pred = k * x
+        error = float(np.max(np.abs(pred - y) / y))
+        return FittedLaw(coefficient=k, params=combo, error=error)
+
+    def is_exact(self, law: FittedLaw) -> bool:
+        """Whether the law reproduces training data within tolerance."""
+        return law.error <= self.tolerance

@@ -1,0 +1,5 @@
+"""Dataset assembly helpers for custom modeling experiments."""
+
+from repro.data.dataset import PowerDataset, Sample, build_dataset
+
+__all__ = ["PowerDataset", "Sample", "build_dataset"]

@@ -1,0 +1,118 @@
+"""Dataset assembly: flow outputs -> feature/label matrices.
+
+AutoPower and the baselines consume flow results directly; this module is
+the tabular view for downstream users who want to train their *own*
+models on the substrate (e.g. the examples, or future extensions).  Each
+sample is one (configuration, workload) run with the full hardware
+parameter vector, event rates, program features and golden power labels.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.arch.config import BOOM_CONFIGS, BoomConfig
+from repro.arch.events import EVENT_NAMES
+from repro.arch.params import HARDWARE_PARAMETERS
+from repro.arch.workloads import WORKLOADS, Workload
+from repro.core.features import program_feature_names, program_features
+from repro.power.report import POWER_GROUPS
+from repro.vlsi.flow import VlsiFlow
+
+__all__ = ["PowerDataset", "Sample", "build_dataset"]
+
+_RATE_NAMES = tuple(f"rate_{n}" for n in EVENT_NAMES if n != "cycles")
+
+
+@dataclass(frozen=True)
+class Sample:
+    """One (configuration, workload) data point."""
+
+    config_name: str
+    workload_name: str
+    hardware: np.ndarray
+    event_rates: np.ndarray
+    program: np.ndarray
+    total_power: float
+    group_power: dict[str, float]
+
+
+@dataclass
+class PowerDataset:
+    """A tabular power-modeling dataset."""
+
+    samples: list[Sample]
+
+    def __len__(self) -> int:
+        return len(self.samples)
+
+    @property
+    def feature_names(self) -> tuple[str, ...]:
+        return HARDWARE_PARAMETERS + _RATE_NAMES + program_feature_names()
+
+    def features(self) -> np.ndarray:
+        """(n_samples, n_features) matrix: H ++ E rates ++ program."""
+        return np.stack(
+            [
+                np.concatenate([s.hardware, s.event_rates, s.program])
+                for s in self.samples
+            ]
+        )
+
+    def totals(self) -> np.ndarray:
+        return np.array([s.total_power for s in self.samples])
+
+    def group(self, name: str) -> np.ndarray:
+        return np.array([s.group_power[name] for s in self.samples])
+
+    def split_by_config(
+        self, train_names: tuple[str, ...] | list[str]
+    ) -> tuple["PowerDataset", "PowerDataset"]:
+        """Split into (train, test) by configuration membership."""
+        train_set = set(train_names)
+        train = [s for s in self.samples if s.config_name in train_set]
+        test = [s for s in self.samples if s.config_name not in train_set]
+        if not train or not test:
+            raise ValueError("split leaves an empty train or test partition")
+        return PowerDataset(train), PowerDataset(test)
+
+
+def build_dataset(
+    flow: VlsiFlow | None = None,
+    configs: tuple[BoomConfig, ...] | None = None,
+    workloads: tuple[Workload, ...] | None = None,
+) -> PowerDataset:
+    """Run the flow over (configs x workloads) and tabulate the results."""
+    if flow is None:
+        flow = VlsiFlow()
+    if configs is None:
+        configs = BOOM_CONFIGS
+    if workloads is None:
+        workloads = WORKLOADS
+    samples: list[Sample] = []
+    for config in configs:
+        for workload in workloads:
+            res = flow.run(config, workload)
+            rates = np.array(
+                [
+                    res.events.counts[n] / res.events.cycles
+                    for n in EVENT_NAMES
+                    if n != "cycles"
+                ]
+            )
+            samples.append(
+                Sample(
+                    config_name=config.name,
+                    workload_name=workload.name,
+                    hardware=config.vector(),
+                    event_rates=rates,
+                    program=program_features(workload),
+                    total_power=res.power.total,
+                    group_power={
+                        g: res.power.group_total(g) for g in POWER_GROUPS
+                    },
+                )
+            )
+    return PowerDataset(samples)

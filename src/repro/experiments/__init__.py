@@ -1,0 +1,24 @@
+"""Experiment harness: one module per table/figure of the paper.
+
+Every module exposes ``run(...) -> <Result dataclass>`` and a ``main()``
+that prints the same rows/series the paper reports.  See DESIGN.md for the
+experiment index and EXPERIMENTS.md for paper-vs-measured numbers.
+"""
+
+from repro.experiments.runner import (
+    TRAIN_SETS,
+    AccuracyResult,
+    MethodAccuracy,
+    evaluate_methods,
+    test_configs_for,
+    train_configs_for,
+)
+
+__all__ = [
+    "AccuracyResult",
+    "MethodAccuracy",
+    "TRAIN_SETS",
+    "evaluate_methods",
+    "test_configs_for",
+    "train_configs_for",
+]

@@ -1,0 +1,80 @@
+"""Fig. 1, Observation 1: clock and SRAM dominate total power.
+
+The paper's framework figure shows the power percentage of each power
+group of the BOOM CPU measured at layout stage.  This experiment computes
+the group breakdown of golden power averaged over all 15 configurations
+and 8 workloads, and per configuration.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.arch.config import BOOM_CONFIGS
+from repro.arch.workloads import WORKLOADS
+from repro.experiments.tables import format_table
+from repro.power.report import POWER_GROUPS
+from repro.vlsi.flow import VlsiFlow
+
+__all__ = ["BreakdownResult", "main", "run"]
+
+
+@dataclass
+class BreakdownResult:
+    """Average power-group shares, overall and per configuration."""
+
+    overall: dict[str, float]
+    per_config: dict[str, dict[str, float]]
+
+    @property
+    def clock_plus_sram(self) -> float:
+        return self.overall["clock"] + self.overall["sram"]
+
+    def rows(self) -> list[list]:
+        rows = [
+            ["overall"] + [self.overall[g] * 100.0 for g in POWER_GROUPS]
+        ]
+        for config_name, shares in self.per_config.items():
+            rows.append([config_name] + [shares[g] * 100.0 for g in POWER_GROUPS])
+        return rows
+
+
+def run(flow: VlsiFlow | None = None) -> BreakdownResult:
+    """Compute golden power-group shares across configs and workloads."""
+    if flow is None:
+        flow = VlsiFlow()
+    per_config: dict[str, dict[str, float]] = {}
+    for config in BOOM_CONFIGS:
+        shares = []
+        for workload in WORKLOADS:
+            report = flow.run(config, workload).power
+            breakdown = report.breakdown()
+            shares.append([breakdown[g] for g in POWER_GROUPS])
+        mean = np.mean(np.array(shares), axis=0)
+        per_config[config.name] = dict(zip(POWER_GROUPS, map(float, mean)))
+    overall = {
+        g: float(np.mean([per_config[c][g] for c in per_config]))
+        for g in POWER_GROUPS
+    }
+    return BreakdownResult(overall=overall, per_config=per_config)
+
+
+def main() -> None:
+    result = run()
+    print(
+        format_table(
+            ["config", "clock %", "sram %", "register %", "comb %"],
+            result.rows(),
+            title="Fig. 1 / Observation 1 — power-group breakdown (golden)",
+        )
+    )
+    print(
+        f"\nclock + SRAM share: {result.clock_plus_sram * 100.0:.1f}% "
+        "(paper: these two groups dominate)"
+    )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,46 @@
+"""Figs. 4 and 5: end-to-end accuracy with 2 / 3 known configurations.
+
+Paper numbers: with 2 configs AutoPower reaches MAPE 4.36 % / R² 0.96 vs
+McPAT-Calib 9.29 % / 0.87; with 3 configs 3.64 % / 0.97 vs 7.07 % / 0.91.
+The absolute values on our synthetic substrate differ; the comparison
+shape (AutoPower clearly ahead on both metrics, both improving with more
+training configs) is the reproduction target.
+"""
+
+from __future__ import annotations
+
+from repro.experiments.runner import AccuracyResult, evaluate_methods
+from repro.experiments.tables import format_table
+from repro.vlsi.flow import VlsiFlow
+
+__all__ = ["main", "run"]
+
+
+def run(
+    flow: VlsiFlow | None = None,
+    n_train: int = 2,
+    methods: tuple[str, ...] = ("AutoPower", "McPAT-Calib"),
+) -> AccuracyResult:
+    """Fig. 4 (n_train=2) or Fig. 5 (n_train=3) accuracy comparison."""
+    return evaluate_methods(flow=flow, n_train=n_train, methods=methods)
+
+
+def main() -> None:
+    flow = VlsiFlow()
+    for n_train, fig in ((2, "Fig. 4"), (3, "Fig. 5")):
+        result = run(flow, n_train=n_train)
+        print(
+            format_table(
+                ["method", "MAPE %", "R2", "R"],
+                result.rows(),
+                title=(
+                    f"{fig} — accuracy with {n_train} known configurations "
+                    f"(train: {', '.join(result.train_names)})"
+                ),
+            )
+        )
+        print()
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,71 @@
+"""Fig. 6: accuracy vs number of known configurations for training.
+
+The paper sweeps the training budget and shows AutoPower consistently
+below McPAT-Calib and McPAT-Calib + Component in MAPE (and above in R²),
+with the gap narrowing as configurations are added.  This experiment
+regenerates the same series.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.experiments.runner import AccuracyResult, evaluate_methods
+from repro.experiments.tables import format_table
+from repro.vlsi.flow import VlsiFlow
+
+__all__ = ["SweepResult", "main", "run"]
+
+_SWEEP_METHODS = ("AutoPower", "McPAT-Calib", "McPAT-Calib+Comp")
+
+
+@dataclass
+class SweepResult:
+    """Per-budget accuracy of each method (the Fig. 6 series)."""
+
+    budgets: tuple[int, ...]
+    results: dict[int, AccuracyResult]
+
+    def series(self, method: str, metric: str = "mape") -> list[float]:
+        """One curve of the figure: metric vs training budget."""
+        out = []
+        for n in self.budgets:
+            acc = self.results[n].methods[method]
+            out.append(getattr(acc, metric))
+        return out
+
+    def rows(self) -> list[list]:
+        rows = []
+        for n in self.budgets:
+            for method, acc in self.results[n].methods.items():
+                rows.append([n, method, acc.mape, acc.r2])
+        return rows
+
+
+def run(
+    flow: VlsiFlow | None = None,
+    budgets: tuple[int, ...] = (2, 3, 4, 5, 6),
+    methods: tuple[str, ...] = _SWEEP_METHODS,
+) -> SweepResult:
+    """Sweep the number of training configurations."""
+    if flow is None:
+        flow = VlsiFlow()
+    results = {
+        n: evaluate_methods(flow=flow, n_train=n, methods=methods) for n in budgets
+    }
+    return SweepResult(budgets=tuple(budgets), results=results)
+
+
+def main() -> None:
+    result = run()
+    print(
+        format_table(
+            ["#configs", "method", "MAPE %", "R2"],
+            result.rows(),
+            title="Fig. 6 — accuracy vs number of known configurations",
+        )
+    )
+
+
+if __name__ == "__main__":
+    main()

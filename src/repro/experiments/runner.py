@@ -1,0 +1,176 @@
+"""Shared experiment infrastructure: splits, method registry, evaluation.
+
+The paper trains on a handful of *known* configurations and evaluates on
+the remaining ones across all eight riscv-tests workloads.  ``TRAIN_SETS``
+fixes the training configurations per budget (spread across the scale
+range, smallest and largest always included, as a practicing architect
+would pick known designs).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.arch.config import BOOM_CONFIGS, BoomConfig, config_by_name
+from repro.arch.workloads import WORKLOADS, Workload
+from repro.baselines.autopower_minus import AutoPowerMinus
+from repro.baselines.mcpat_calib import McPatCalib
+from repro.baselines.mcpat_calib_component import McPatCalibComponent
+from repro.core.autopower import AutoPower
+from repro.ml.metrics import mape, pearson_r, r2_score
+from repro.vlsi.flow import VlsiFlow
+
+__all__ = [
+    "AccuracyResult",
+    "METHOD_NAMES",
+    "MethodAccuracy",
+    "TRAIN_SETS",
+    "evaluate_methods",
+    "fit_method",
+    "test_configs_for",
+    "train_configs_for",
+]
+
+# Training configurations per budget (paper: 2 and 3 known configs for the
+# headline results; Fig. 6 sweeps the count).
+TRAIN_SETS: dict[int, tuple[str, ...]] = {
+    2: ("C1", "C15"),
+    3: ("C1", "C8", "C15"),
+    4: ("C1", "C5", "C10", "C15"),
+    5: ("C1", "C4", "C8", "C12", "C15"),
+    6: ("C1", "C4", "C7", "C10", "C13", "C15"),
+}
+
+METHOD_NAMES: tuple[str, ...] = (
+    "AutoPower",
+    "McPAT-Calib",
+    "McPAT-Calib+Comp",
+    "AutoPower-",
+)
+
+
+def train_configs_for(n_train: int) -> list[BoomConfig]:
+    """The training configurations for a given budget."""
+    try:
+        names = TRAIN_SETS[n_train]
+    except KeyError:
+        raise KeyError(
+            f"no training set for {n_train} configs; available: {sorted(TRAIN_SETS)}"
+        ) from None
+    return [config_by_name(name) for name in names]
+
+
+def test_configs_for(n_train: int) -> list[BoomConfig]:
+    """All configurations not used for training at this budget."""
+    train_names = set(TRAIN_SETS[n_train])
+    return [c for c in BOOM_CONFIGS if c.name not in train_names]
+
+
+@dataclass
+class MethodAccuracy:
+    """Accuracy of one method on the test set."""
+
+    method: str
+    y_true: np.ndarray
+    y_pred: np.ndarray
+    labels: list[tuple[str, str]] = field(default_factory=list)
+
+    @property
+    def mape(self) -> float:
+        return mape(self.y_true, self.y_pred)
+
+    @property
+    def r2(self) -> float:
+        return r2_score(self.y_true, self.y_pred)
+
+    @property
+    def pearson(self) -> float:
+        return pearson_r(self.y_true, self.y_pred)
+
+    def scatter_points(self) -> list[tuple[str, str, float, float]]:
+        """(config, workload, golden, predicted) — the paper's Fig. 4/5
+        scatter, with points of the same configuration sharing a color."""
+        return [
+            (cfg, wl, float(t), float(p))
+            for (cfg, wl), t, p in zip(self.labels, self.y_true, self.y_pred)
+        ]
+
+
+@dataclass
+class AccuracyResult:
+    """Accuracy of several methods under one training budget."""
+
+    n_train: int
+    train_names: tuple[str, ...]
+    methods: dict[str, MethodAccuracy]
+
+    def rows(self) -> list[list]:
+        return [
+            [name, acc.mape, acc.r2, acc.pearson]
+            for name, acc in self.methods.items()
+        ]
+
+
+def fit_method(name: str, flow: VlsiFlow, train_configs, workloads):
+    """Construct and fit one method by registry name."""
+    if name == "AutoPower":
+        return AutoPower(library=flow.library).fit(flow, train_configs, workloads)
+    if name == "McPAT-Calib":
+        return McPatCalib().fit(flow, train_configs, workloads)
+    if name == "McPAT-Calib+Comp":
+        return McPatCalibComponent().fit(flow, train_configs, workloads)
+    if name == "AutoPower-":
+        return AutoPowerMinus().fit(flow, train_configs, workloads)
+    raise KeyError(f"unknown method {name!r}; expected one of {METHOD_NAMES}")
+
+
+def _predict_total(model, config: BoomConfig, events, workload: Workload) -> float:
+    # All methods expose predict_total; AutoPower and AutoPower- also need
+    # the workload for program-level features.
+    if isinstance(model, (AutoPower, AutoPowerMinus)):
+        return model.predict_total(config, events, workload)
+    return model.predict_total(config, events)
+
+
+def evaluate_methods(
+    flow: VlsiFlow | None = None,
+    n_train: int = 2,
+    methods: tuple[str, ...] = METHOD_NAMES,
+    workloads: tuple[Workload, ...] | None = None,
+) -> AccuracyResult:
+    """Fit the requested methods and evaluate total-power accuracy.
+
+    Returns per-method MAPE / R² / Pearson R over (test configs x
+    workloads), plus the raw scatter points for figure regeneration.
+    """
+    if flow is None:
+        flow = VlsiFlow()
+    if workloads is None:
+        workloads = WORKLOADS
+    train = train_configs_for(n_train)
+    test = test_configs_for(n_train)
+    fitted = {name: fit_method(name, flow, train, list(workloads)) for name in methods}
+
+    results: dict[str, MethodAccuracy] = {}
+    labels = [(c.name, w.name) for c in test for w in workloads]
+    y_true = np.array(
+        [flow.run(c, w).power.total for c in test for w in workloads]
+    )
+    for name, model in fitted.items():
+        y_pred = np.array(
+            [
+                _predict_total(model, c, flow.run(c, w).events, w)
+                for c in test
+                for w in workloads
+            ]
+        )
+        results[name] = MethodAccuracy(
+            method=name, y_true=y_true, y_pred=y_pred, labels=list(labels)
+        )
+    return AccuracyResult(
+        n_train=n_train,
+        train_names=TRAIN_SETS[n_train],
+        methods=results,
+    )

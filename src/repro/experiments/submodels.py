@@ -1,0 +1,146 @@
+"""Sub-model accuracy (paper Sec. III-B3 / III-B4 claims).
+
+* register count R and gating rate g: "a low MAPE on average with 6.93 %
+  with 2 known configurations",
+* SRAM block hardware model: "nearly 0 MAPE" on block information.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.arch.components import COMPONENTS
+from repro.arch.workloads import WORKLOADS
+from repro.core.autopower import AutoPower
+from repro.experiments.runner import test_configs_for, train_configs_for
+from repro.experiments.tables import format_table
+from repro.ml.metrics import mape
+from repro.vlsi.flow import VlsiFlow
+
+__all__ = ["SubmodelResult", "main", "run"]
+
+
+@dataclass
+class SubmodelResult:
+    """MAPE of the structural sub-models on unseen configurations."""
+
+    n_train: int
+    register_count_mape: dict[str, float]
+    gating_rate_mape: dict[str, float]
+    block_width_mape: dict[str, float]
+    block_depth_mape: dict[str, float]
+    block_count_mape: dict[str, float]
+
+    @property
+    def mean_register_count_mape(self) -> float:
+        return float(np.mean(list(self.register_count_mape.values())))
+
+    @property
+    def mean_gating_rate_mape(self) -> float:
+        return float(np.mean(list(self.gating_rate_mape.values())))
+
+    @property
+    def mean_reg_and_gate_mape(self) -> float:
+        """The paper's combined R & g number (6.93 % at 2 configs)."""
+        return 0.5 * (self.mean_register_count_mape + self.mean_gating_rate_mape)
+
+    @property
+    def mean_block_mape(self) -> float:
+        values = (
+            list(self.block_width_mape.values())
+            + list(self.block_depth_mape.values())
+            + list(self.block_count_mape.values())
+        )
+        return float(np.mean(values))
+
+    def rows(self) -> list[list]:
+        rows = []
+        for name in self.register_count_mape:
+            rows.append(
+                ["R/g", name, self.register_count_mape[name], self.gating_rate_mape[name]]
+            )
+        for name in self.block_width_mape:
+            rows.append(
+                [
+                    "block",
+                    name,
+                    self.block_width_mape[name],
+                    self.block_depth_mape[name],
+                ]
+            )
+        return rows
+
+
+def run(flow: VlsiFlow | None = None, n_train: int = 2) -> SubmodelResult:
+    """Evaluate R, g and SRAM-block predictions on unseen configurations."""
+    if flow is None:
+        flow = VlsiFlow()
+    train = train_configs_for(n_train)
+    test = test_configs_for(n_train)
+    model = AutoPower(library=flow.library).fit(flow, train, list(WORKLOADS))
+
+    reg_mape: dict[str, float] = {}
+    gate_mape: dict[str, float] = {}
+    for comp in COMPONENTS:
+        r_true, r_pred, g_true, g_pred = [], [], [], []
+        for config in test:
+            net = flow.netlist(config).component(comp.name)
+            r_true.append(net.registers)
+            r_pred.append(model.clock_model.predict_register_count(comp.name, config))
+            g_true.append(net.gating_rate)
+            g_pred.append(model.clock_model.predict_gating_rate(comp.name, config))
+        reg_mape[comp.name] = mape(r_true, r_pred)
+        gate_mape[comp.name] = mape(g_true, g_pred)
+
+    width_mape: dict[str, float] = {}
+    depth_mape: dict[str, float] = {}
+    count_mape: dict[str, float] = {}
+    for position in model.sram_model.position_names:
+        w_true, w_pred, d_true, d_pred, c_true, c_pred = [], [], [], [], [], []
+        component = model.sram_model._positions[position].component
+        for config in test:
+            block_true = flow.design(config).component(component).position(position).block
+            block_pred = model.sram_model.predict_block(position, config)
+            w_true.append(block_true.width)
+            w_pred.append(block_pred.width)
+            d_true.append(block_true.depth)
+            d_pred.append(block_pred.depth)
+            c_true.append(block_true.count)
+            c_pred.append(block_pred.count)
+        width_mape[position] = mape(w_true, w_pred)
+        depth_mape[position] = mape(d_true, d_pred)
+        count_mape[position] = mape(c_true, c_pred)
+
+    return SubmodelResult(
+        n_train=n_train,
+        register_count_mape=reg_mape,
+        gating_rate_mape=gate_mape,
+        block_width_mape=width_mape,
+        block_depth_mape=depth_mape,
+        block_count_mape=count_mape,
+    )
+
+
+def main() -> None:
+    result = run()
+    print(
+        format_table(
+            ["kind", "name", "MAPE-1 %", "MAPE-2 %"],
+            result.rows(),
+            title=(
+                "Sub-model accuracy (R/g rows: register count / gating rate; "
+                "block rows: width / depth)"
+            ),
+        )
+    )
+    print(
+        f"\nmean R&g MAPE: {result.mean_reg_and_gate_mape:.2f}% "
+        f"(paper: 6.93% @ 2 configs); "
+        f"mean SRAM block MAPE: {result.mean_block_mape:.3f}% (paper: ~0)"
+    )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,86 @@
+"""Table I walk-through: the IFU metadata table's scaling laws.
+
+The paper's worked example: training on C1 and C15, the hardware model
+finds Capacity = 240 * FetchWidth * DecodeWidth, Throughput/Width =
+30 * FetchWidth, hence Count = 1 and Depth = 8 * DecodeWidth.  This
+experiment runs the detector on the ``meta`` position and reports the
+fitted formulations plus the resulting shape predictions for all 15
+configurations.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.arch.config import BOOM_CONFIGS, config_by_name
+from repro.arch.workloads import WORKLOADS
+from repro.core.autopower import AutoPower
+from repro.experiments.tables import format_table
+from repro.vlsi.flow import VlsiFlow
+
+__all__ = ["Table1Result", "main", "run"]
+
+
+@dataclass
+class Table1Result:
+    """Fitted laws and per-config shape predictions for the meta table."""
+
+    capacity_law: str
+    throughput_law: str
+    width_law: str
+    shapes: dict[str, tuple[tuple[int, int, int], tuple[int, int, int]]]
+    # config -> (true (w, d, count), predicted (w, d, count))
+
+    @property
+    def all_exact(self) -> bool:
+        return all(true == pred for true, pred in self.shapes.values())
+
+    def rows(self) -> list[list]:
+        return [
+            [name, f"{t[0]}x{t[1]}x{t[2]}", f"{p[0]}x{p[1]}x{p[2]}", t == p]
+            for name, (t, p) in self.shapes.items()
+        ]
+
+
+def run(flow: VlsiFlow | None = None) -> Table1Result:
+    """Fit the hardware model on C1/C15 and predict meta for all configs."""
+    if flow is None:
+        flow = VlsiFlow()
+    train = [config_by_name("C1"), config_by_name("C15")]
+    model = AutoPower(library=flow.library).fit(flow, train, list(WORKLOADS))
+    laws = model.sram_model.laws("meta")
+
+    shapes = {}
+    for config in BOOM_CONFIGS:
+        block = flow.design(config).component("IFU").position("meta").block
+        pred = model.sram_model.predict_block("meta", config)
+        shapes[config.name] = (
+            (block.width, block.depth, block.count),
+            (pred.width, pred.depth, pred.count),
+        )
+    return Table1Result(
+        capacity_law=laws["capacity"].describe(),
+        throughput_law=laws["throughput"].describe(),
+        width_law=laws["width"].describe(),
+        shapes=shapes,
+    )
+
+
+def main() -> None:
+    result = run()
+    print("Table I — IFU metadata table, hardware model fitted on {C1, C15}")
+    print(f"  Capacity   = {result.capacity_law}   (paper: 240 * FetchWidth * DecodeWidth)")
+    print(f"  Throughput = {result.throughput_law}   (paper: 30 * FetchWidth)")
+    print(f"  Width      = {result.width_law}   (paper: 30 * FetchWidth)")
+    print()
+    print(
+        format_table(
+            ["config", "true WxDxC", "predicted WxDxC", "exact"],
+            result.rows(),
+        )
+    )
+    print(f"\nall shapes exact: {result.all_exact}")
+
+
+if __name__ == "__main__":
+    main()

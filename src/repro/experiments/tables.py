@@ -1,0 +1,40 @@
+"""Minimal fixed-width text-table rendering for experiment output."""
+
+from __future__ import annotations
+
+__all__ = ["format_table"]
+
+
+def format_table(
+    headers: list[str], rows: list[list], title: str | None = None
+) -> str:
+    """Render a list-of-rows as a fixed-width text table.
+
+    Floats are formatted with 3 significant decimals; everything else via
+    ``str``.
+    """
+    def fmt(cell) -> str:
+        if isinstance(cell, float):
+            return f"{cell:.3f}"
+        return str(cell)
+
+    str_rows = [[fmt(c) for c in row] for row in rows]
+    widths = [len(h) for h in headers]
+    for row in str_rows:
+        if len(row) != len(headers):
+            raise ValueError(
+                f"row has {len(row)} cells but table has {len(headers)} columns"
+            )
+        for i, cell in enumerate(row):
+            widths[i] = max(widths[i], len(cell))
+
+    def line(cells: list[str]) -> str:
+        return "  ".join(cell.rjust(widths[i]) for i, cell in enumerate(cells))
+
+    out = []
+    if title:
+        out.append(title)
+    out.append(line(headers))
+    out.append("  ".join("-" * w for w in widths))
+    out.extend(line(row) for row in str_rows)
+    return "\n".join(out)

@@ -1,0 +1,20 @@
+"""Synthetic technology-node library (40 nm-class) and SRAM compiler.
+
+Stands in for the TSMC 40 nm standard-cell library and its associated
+Memory Compiler used in the paper's VLSI flow.  The library provides the
+lookups AutoPower performs (register clock-pin energy ``p_reg``, gating
+cell latch energy ``p_latch``, SRAM macro read/write energies ``P_R`` /
+``P_W``) plus everything the golden power analyzer needs (data-toggle
+energies, leakage, combinational cell classes, macro pin-toggle power).
+"""
+
+from repro.library.sram_compiler import MacroSpec, SramCompiler
+from repro.library.stdcell import CombCellSpec, TechLibrary, default_library
+
+__all__ = [
+    "CombCellSpec",
+    "MacroSpec",
+    "SramCompiler",
+    "TechLibrary",
+    "default_library",
+]

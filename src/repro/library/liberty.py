@@ -1,0 +1,83 @@
+"""Minimal Liberty-style (.lib) export of the technology library.
+
+Real flows exchange library data as Liberty files; AutoPower's library
+lookups (``p_reg``, ``p_latch``, macro read/write energies) correspond to
+attributes in those files.  This writer produces a compact, human-readable
+subset — enough to inspect the substrate's energy model with standard
+tooling habits, and used by tests as a stable textual fingerprint of the
+library.
+"""
+
+from __future__ import annotations
+
+from pathlib import Path
+
+from repro.library.stdcell import TechLibrary
+
+__all__ = ["export_liberty", "liberty_text"]
+
+
+def _cell_block(name: str, attributes: dict[str, float], indent: str = "  ") -> str:
+    lines = [f"{indent}cell ({name}) {{"]
+    for key, value in attributes.items():
+        lines.append(f"{indent}  {key} : {value:.6g};")
+    lines.append(f"{indent}}}")
+    return "\n".join(lines)
+
+
+def liberty_text(library: TechLibrary) -> str:
+    """Render the library as Liberty-style text."""
+    blocks = [
+        f"library ({library.name}) {{",
+        f"  /* synthetic 40nm-class library, {library.frequency_ghz:g} GHz */",
+        '  time_unit : "1ns";',
+        '  leakage_power_unit : "1mW";',
+        '  energy_unit : "1pJ";',
+        "",
+        _cell_block(
+            "dff",
+            {
+                "clock_pin_energy": library.register_clock_pin_energy_pj,
+                "data_toggle_energy": library.register_data_energy_pj,
+                "cell_leakage_power": library.register_leakage_mw,
+            },
+        ),
+        _cell_block(
+            "icg",
+            {
+                "latch_pin_energy": library.icg_latch_energy_pj,
+                "cell_leakage_power": library.icg_leakage_mw,
+            },
+        ),
+    ]
+    for cell in library.comb_cells:
+        blocks.append(
+            _cell_block(
+                cell.name,
+                {
+                    "switch_energy": cell.switch_energy_pj,
+                    "cell_leakage_power": cell.leakage_mw,
+                },
+            )
+        )
+    for macro in library.sram.all_macros():
+        blocks.append(
+            _cell_block(
+                macro.name,
+                {
+                    "read_energy": macro.read_energy_pj,
+                    "write_energy": macro.write_energy_pj,
+                    "cell_leakage_power": macro.leakage_mw,
+                    "pin_toggle_power": macro.pin_toggle_mw,
+                },
+            )
+        )
+    blocks.append("}")
+    return "\n".join(blocks) + "\n"
+
+
+def export_liberty(library: TechLibrary, path: str | Path) -> Path:
+    """Write the library to a .lib file; returns the path."""
+    out = Path(path)
+    out.write_text(liberty_text(library))
+    return out

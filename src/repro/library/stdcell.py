@@ -1,0 +1,119 @@
+"""Standard-cell library model.
+
+Units convention (used across the whole repository):
+
+* energies are in **pJ per event**,
+* the clock is fixed by ``frequency_ghz``; at 1 GHz an energy of 1 pJ per
+  cycle equals exactly 1 mW of power, so golden power reports are in mW,
+* leakage is in **mW per cell instance**.
+
+Values are 40 nm-plausible but synthetic — the reproduction only needs the
+lookups to be *consistent* between label generation (power analyzer) and
+AutoPower's library lookups, which is exactly the situation in the paper
+(both PrimePower and AutoPower read the same .lib).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.library.sram_compiler import SramCompiler
+
+__all__ = ["CombCellSpec", "TechLibrary", "default_library"]
+
+
+@dataclass(frozen=True)
+class CombCellSpec:
+    """One combinational cell class (an aggregate of similar cells).
+
+    ``switch_energy_pj`` is the average internal + load energy per output
+    toggle; ``leakage_mw`` is per instance.
+    """
+
+    name: str
+    switch_energy_pj: float
+    leakage_mw: float
+
+    def __post_init__(self) -> None:
+        if self.switch_energy_pj <= 0 or self.leakage_mw < 0:
+            raise ValueError(f"invalid cell spec for {self.name}")
+
+
+@dataclass(frozen=True)
+class TechLibrary:
+    """Technology library: sequential cells, ICG cells, comb cells, SRAM.
+
+    Attributes
+    ----------
+    register_clock_pin_energy_pj:
+        ``p_reg`` in the paper — clock-pin internal energy of one register
+        per active clock cycle.
+    register_data_energy_pj:
+        Energy per register *data* output toggle (logic group, not clock).
+    icg_latch_energy_pj:
+        ``p_latch`` — clock-pin energy of the latch inside a clock-gating
+        cell, per cycle the upstream clock toggles.
+    clock_tree_energy_per_reg_pj:
+        Clock distribution buffers, amortized per register.  A fraction
+        ``clock_tree_gated_share`` of it is downstream of gating cells and
+        follows the gated activity.  This term is *not* part of AutoPower's
+        Eq. 7, which is one of the realistic modeling errors the paper's
+        clock-group MAPE reflects.
+    """
+
+    name: str = "synth40"
+    frequency_ghz: float = 1.0
+    register_clock_pin_energy_pj: float = 1.6e-3
+    register_data_energy_pj: float = 2.4e-3
+    register_leakage_mw: float = 1.1e-5
+    icg_latch_energy_pj: float = 2.2e-3
+    icg_leakage_mw: float = 1.6e-5
+    clock_tree_energy_per_reg_pj: float = 1.5e-4
+    clock_tree_gated_share: float = 0.45
+    comb_cells: tuple[CombCellSpec, ...] = (
+        CombCellSpec("nand2", 0.9e-3, 2.4e-6),
+        CombCellSpec("aoi22", 1.5e-3, 3.6e-6),
+        CombCellSpec("xor2", 2.1e-3, 4.2e-6),
+        CombCellSpec("mux2", 1.7e-3, 3.8e-6),
+        CombCellSpec("buf4", 1.2e-3, 3.0e-6),
+    )
+    sram: SramCompiler = field(default_factory=SramCompiler)
+
+    def __post_init__(self) -> None:
+        if self.frequency_ghz <= 0:
+            raise ValueError("frequency_ghz must be positive")
+        if not 0.0 <= self.clock_tree_gated_share <= 1.0:
+            raise ValueError("clock_tree_gated_share must be in [0, 1]")
+        for attr in (
+            "register_clock_pin_energy_pj",
+            "register_data_energy_pj",
+            "icg_latch_energy_pj",
+        ):
+            if getattr(self, attr) <= 0:
+                raise ValueError(f"{attr} must be positive")
+
+    # -- convenience lookups (the paper's library lookups) ---------------
+    @property
+    def p_reg_mw(self) -> float:
+        """Clock-pin power of one register with an always-active clock."""
+        return self.register_clock_pin_energy_pj * self.frequency_ghz
+
+    @property
+    def p_latch_mw(self) -> float:
+        """Clock-pin power of one gating-cell latch with active clock."""
+        return self.icg_latch_energy_pj * self.frequency_ghz
+
+    def comb_cell(self, name: str) -> CombCellSpec:
+        for cell in self.comb_cells:
+            if cell.name == name:
+                return cell
+        raise KeyError(f"no combinational cell {name!r} in library {self.name}")
+
+    def power_mw(self, energy_pj_per_cycle: float) -> float:
+        """Convert an energy per cycle into power at the library clock."""
+        return energy_pj_per_cycle * self.frequency_ghz
+
+
+def default_library() -> TechLibrary:
+    """The library used by every experiment (the flow's single .lib)."""
+    return TechLibrary()

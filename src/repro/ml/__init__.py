@@ -1,0 +1,42 @@
+"""Machine-learning stack used by AutoPower and the baselines.
+
+The paper uses two model families:
+
+* a linear model with L2 regularization (ridge regression) for the
+  register-count and gating-rate sub-models, where the correlation with
+  hardware parameters is simple and training samples are scarce, and
+* XGBoost for the activity-style sub-models, where the correlation with
+  hardware *and* event parameters is complex and one sample per workload
+  is available.
+
+This environment has no network access, so :mod:`repro.ml.gbm` provides a
+from-scratch gradient-boosted regression-tree implementation with the
+XGBoost-style regularized objective (squared loss, shrinkage, ``reg_lambda``,
+``min_child_weight``, depth limit, feature/row subsampling).
+"""
+
+from repro.ml.gbm import GradientBoostingRegressor
+from repro.ml.linear import RidgeRegression
+from repro.ml.metrics import (
+    mape,
+    max_error,
+    mean_absolute_error,
+    pearson_r,
+    r2_score,
+    rmse,
+)
+from repro.ml.scaling import StandardScaler
+from repro.ml.tree import RegressionTree
+
+__all__ = [
+    "GradientBoostingRegressor",
+    "RegressionTree",
+    "RidgeRegression",
+    "StandardScaler",
+    "mape",
+    "max_error",
+    "mean_absolute_error",
+    "pearson_r",
+    "r2_score",
+    "rmse",
+]

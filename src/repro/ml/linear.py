@@ -1,0 +1,120 @@
+"""Ridge regression — the paper's "linear model with L2 normalization".
+
+AutoPower uses it for the register-count and gating-rate sub-models, which
+must be fit from as few as *two* samples (one per known configuration).
+With fewer samples than features the closed-form ridge solution degrades
+gracefully to the minimum-norm interpolant, which is exactly the behaviour
+the few-shot setting needs.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+__all__ = ["RidgeRegression"]
+
+
+class RidgeRegression:
+    """Linear least squares with L2 penalty on the coefficients.
+
+    Minimizes ``||y - Xw - b||² + alpha * ||w||²``.  The intercept is not
+    penalized.  Supports optional per-feature standardization, which keeps
+    the penalty meaningful when hardware parameters live on very different
+    scales (e.g. ``DecodeWidth`` in 1..5 vs ``RobEntry`` in 16..140).
+
+    Parameters
+    ----------
+    alpha:
+        L2 regularization strength (``lambda``). Must be >= 0.
+    fit_intercept:
+        When ``True`` (default) an unpenalized bias term is fitted.
+    normalize:
+        When ``True`` features are standardized to zero mean / unit variance
+        before fitting; coefficients are reported in the original space.
+    nonnegative:
+        When ``True``, predictions are clamped at zero.  Physical targets
+        such as register counts and rates can never be negative.
+    """
+
+    def __init__(
+        self,
+        alpha: float = 1e-2,
+        fit_intercept: bool = True,
+        normalize: bool = True,
+        nonnegative: bool = False,
+    ) -> None:
+        if alpha < 0:
+            raise ValueError(f"alpha must be non-negative, got {alpha}")
+        self.alpha = float(alpha)
+        self.fit_intercept = bool(fit_intercept)
+        self.normalize = bool(normalize)
+        self.nonnegative = bool(nonnegative)
+        self.coef_: np.ndarray | None = None
+        self.intercept_: float = 0.0
+
+    # ------------------------------------------------------------------
+    def fit(self, X, y) -> "RidgeRegression":
+        """Fit coefficients from a (n_samples, n_features) design matrix."""
+        X = np.atleast_2d(np.asarray(X, dtype=float))
+        y = np.asarray(y, dtype=float).ravel()
+        if X.ndim != 2:
+            raise ValueError("X must be 2-D")
+        if X.shape[0] != y.shape[0]:
+            raise ValueError(
+                f"X has {X.shape[0]} rows but y has {y.shape[0]} entries"
+            )
+        if X.shape[0] == 0:
+            raise ValueError("cannot fit on an empty dataset")
+
+        n_features = X.shape[1]
+        if self.normalize:
+            self._mu = X.mean(axis=0)
+            sd = X.std(axis=0)
+            # Constant columns carry no information; leave them unscaled so
+            # they zero out after centering instead of dividing by zero.
+            sd[sd == 0.0] = 1.0
+            self._sd = sd
+        else:
+            self._mu = np.zeros(n_features)
+            self._sd = np.ones(n_features)
+        Xs = (X - self._mu) / self._sd
+
+        if self.fit_intercept:
+            y_mean = float(y.mean())
+            x_mean = Xs.mean(axis=0)
+        else:
+            y_mean = 0.0
+            x_mean = np.zeros(n_features)
+        Xc = Xs - x_mean
+        yc = y - y_mean
+
+        gram = Xc.T @ Xc + self.alpha * np.eye(n_features)
+        # lstsq instead of solve: the Gram matrix can be singular when
+        # alpha == 0 and n_samples < n_features.
+        w, *_ = np.linalg.lstsq(gram, Xc.T @ yc, rcond=None)
+
+        # Report coefficients in the original (unscaled) feature space.
+        self.coef_ = w / self._sd
+        self.intercept_ = y_mean - float(
+            np.dot(self.coef_, self._mu + x_mean * self._sd)
+        )
+        return self
+
+    # ------------------------------------------------------------------
+    def predict(self, X) -> np.ndarray:
+        """Predict targets for a (n_samples, n_features) matrix."""
+        if self.coef_ is None:
+            raise RuntimeError("RidgeRegression.predict called before fit")
+        X = np.atleast_2d(np.asarray(X, dtype=float))
+        if X.shape[1] != self.coef_.shape[0]:
+            raise ValueError(
+                f"X has {X.shape[1]} features, model expects {self.coef_.shape[0]}"
+            )
+        out = X @ self.coef_ + self.intercept_
+        if self.nonnegative:
+            out = np.maximum(out, 0.0)
+        return out
+
+    def fit_predict(self, X, y) -> np.ndarray:
+        """Convenience: fit on (X, y) and return in-sample predictions."""
+        return self.fit(X, y).predict(X)

@@ -1,0 +1,90 @@
+"""Accuracy metrics used throughout the paper's evaluation.
+
+The paper reports MAPE (mean absolute percentage error), the coefficient of
+determination R², and the Pearson correlation coefficient R.  All metrics
+accept array-likes and validate shapes; they are deliberately strict about
+degenerate inputs so that experiment code fails loudly instead of reporting
+meaningless accuracy.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+__all__ = [
+    "mape",
+    "max_error",
+    "mean_absolute_error",
+    "pearson_r",
+    "r2_score",
+    "rmse",
+]
+
+
+def _as_pair(y_true, y_pred) -> tuple[np.ndarray, np.ndarray]:
+    """Coerce both inputs to float arrays and check they line up."""
+    t = np.asarray(y_true, dtype=float).ravel()
+    p = np.asarray(y_pred, dtype=float).ravel()
+    if t.shape != p.shape:
+        raise ValueError(f"shape mismatch: y_true {t.shape} vs y_pred {p.shape}")
+    if t.size == 0:
+        raise ValueError("metrics require at least one sample")
+    if not (np.isfinite(t).all() and np.isfinite(p).all()):
+        raise ValueError("metrics require finite inputs")
+    return t, p
+
+
+def mape(y_true, y_pred) -> float:
+    """Mean absolute percentage error, in percent (paper's headline metric).
+
+    ``mape([100], [104.36]) == 4.36``.  Zero entries in ``y_true`` are
+    rejected because the percentage error is undefined there.
+    """
+    t, p = _as_pair(y_true, y_pred)
+    if np.any(t == 0.0):
+        raise ValueError("MAPE is undefined for zero ground-truth values")
+    return float(np.mean(np.abs((p - t) / t)) * 100.0)
+
+
+def mean_absolute_error(y_true, y_pred) -> float:
+    """Plain mean absolute error in the units of the inputs."""
+    t, p = _as_pair(y_true, y_pred)
+    return float(np.mean(np.abs(p - t)))
+
+
+def rmse(y_true, y_pred) -> float:
+    """Root-mean-square error in the units of the inputs."""
+    t, p = _as_pair(y_true, y_pred)
+    return float(np.sqrt(np.mean((p - t) ** 2)))
+
+
+def max_error(y_true, y_pred) -> float:
+    """Largest absolute error — used for power-trace peak analysis."""
+    t, p = _as_pair(y_true, y_pred)
+    return float(np.max(np.abs(p - t)))
+
+
+def r2_score(y_true, y_pred) -> float:
+    """Coefficient of determination R² (1 is perfect, can be negative).
+
+    Matches the scikit-learn definition: ``1 - SS_res / SS_tot``.
+    """
+    t, p = _as_pair(y_true, y_pred)
+    ss_tot = float(np.sum((t - t.mean()) ** 2))
+    ss_res = float(np.sum((t - p) ** 2))
+    if ss_tot == 0.0:
+        # Constant ground truth: perfect iff predictions are also exact.
+        return 1.0 if ss_res == 0.0 else 0.0
+    return 1.0 - ss_res / ss_tot
+
+
+def pearson_r(y_true, y_pred) -> float:
+    """Pearson correlation coefficient R (paper's per-group metric)."""
+    t, p = _as_pair(y_true, y_pred)
+    if t.size < 2:
+        raise ValueError("pearson_r requires at least two samples")
+    st = float(np.std(t))
+    sp = float(np.std(p))
+    if st == 0.0 or sp == 0.0:
+        return 0.0
+    return float(np.mean((t - t.mean()) * (p - p.mean())) / (st * sp))

@@ -1,0 +1,46 @@
+"""Feature standardization helper shared by the ML models."""
+
+from __future__ import annotations
+
+import numpy as np
+
+__all__ = ["StandardScaler"]
+
+
+class StandardScaler:
+    """Zero-mean / unit-variance feature scaling.
+
+    Constant features are centered but not scaled (their std is treated as
+    one) so transforming never divides by zero.
+    """
+
+    def __init__(self) -> None:
+        self.mean_: np.ndarray | None = None
+        self.scale_: np.ndarray | None = None
+
+    def fit(self, X) -> "StandardScaler":
+        X = np.atleast_2d(np.asarray(X, dtype=float))
+        self.mean_ = X.mean(axis=0)
+        scale = X.std(axis=0)
+        scale[scale == 0.0] = 1.0
+        self.scale_ = scale
+        return self
+
+    def transform(self, X) -> np.ndarray:
+        if self.mean_ is None or self.scale_ is None:
+            raise RuntimeError("StandardScaler.transform called before fit")
+        X = np.atleast_2d(np.asarray(X, dtype=float))
+        if X.shape[1] != self.mean_.shape[0]:
+            raise ValueError(
+                f"X has {X.shape[1]} features, scaler expects {self.mean_.shape[0]}"
+            )
+        return (X - self.mean_) / self.scale_
+
+    def fit_transform(self, X) -> np.ndarray:
+        return self.fit(X).transform(X)
+
+    def inverse_transform(self, X) -> np.ndarray:
+        if self.mean_ is None or self.scale_ is None:
+            raise RuntimeError("StandardScaler.inverse_transform called before fit")
+        X = np.atleast_2d(np.asarray(X, dtype=float))
+        return X * self.scale_ + self.mean_

@@ -1,0 +1,149 @@
+"""JSON-serializable state for the ML models.
+
+A fitted AutoPower instance embeds dozens of small models; persisting it
+lets a team train once against the (slow, licensed) EDA flow and ship the
+fitted model to architects who only have the performance simulator.  All
+formats are plain dicts of JSON types — no pickle.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.ml.gbm import GradientBoostingRegressor
+from repro.ml.linear import RidgeRegression
+from repro.ml.tree import RegressionTree, TreeNode
+
+__all__ = [
+    "gbm_from_dict",
+    "gbm_to_dict",
+    "ridge_from_dict",
+    "ridge_to_dict",
+    "tree_from_dict",
+    "tree_to_dict",
+]
+
+
+# -- ridge ------------------------------------------------------------------
+def ridge_to_dict(model: RidgeRegression) -> dict:
+    if model.coef_ is None:
+        raise ValueError("cannot serialize an unfitted RidgeRegression")
+    return {
+        "kind": "ridge",
+        "alpha": model.alpha,
+        "fit_intercept": model.fit_intercept,
+        "normalize": model.normalize,
+        "nonnegative": model.nonnegative,
+        "coef": model.coef_.tolist(),
+        "intercept": model.intercept_,
+    }
+
+
+def ridge_from_dict(state: dict) -> RidgeRegression:
+    if state.get("kind") != "ridge":
+        raise ValueError(f"not a ridge state: {state.get('kind')!r}")
+    model = RidgeRegression(
+        alpha=state["alpha"],
+        fit_intercept=state["fit_intercept"],
+        normalize=state["normalize"],
+        nonnegative=state["nonnegative"],
+    )
+    model.coef_ = np.asarray(state["coef"], dtype=float)
+    model.intercept_ = float(state["intercept"])
+    return model
+
+
+# -- tree -------------------------------------------------------------------
+def _node_to_dict(node: TreeNode) -> dict:
+    out = {"value": node.value, "n_samples": node.n_samples}
+    if not node.is_leaf:
+        out["feature"] = node.feature
+        out["threshold"] = node.threshold
+        out["left"] = _node_to_dict(node.left)
+        out["right"] = _node_to_dict(node.right)
+    return out
+
+
+def _node_from_dict(state: dict, depth: int = 0) -> TreeNode:
+    node = TreeNode(
+        value=float(state["value"]),
+        n_samples=int(state.get("n_samples", 0)),
+        depth=depth,
+    )
+    if "left" in state:
+        node.feature = int(state["feature"])
+        node.threshold = float(state["threshold"])
+        node.left = _node_from_dict(state["left"], depth + 1)
+        node.right = _node_from_dict(state["right"], depth + 1)
+    return node
+
+
+def tree_to_dict(tree: RegressionTree) -> dict:
+    if tree.root_ is None:
+        raise ValueError("cannot serialize an unfitted RegressionTree")
+    return {
+        "kind": "tree",
+        "n_features": tree.n_features_,
+        "max_depth": tree.max_depth,
+        "reg_lambda": tree.reg_lambda,
+        "root": _node_to_dict(tree.root_),
+    }
+
+
+def tree_from_dict(state: dict) -> RegressionTree:
+    if state.get("kind") != "tree":
+        raise ValueError(f"not a tree state: {state.get('kind')!r}")
+    tree = RegressionTree(
+        max_depth=int(state["max_depth"]), reg_lambda=float(state["reg_lambda"])
+    )
+    tree.n_features_ = int(state["n_features"])
+    tree.root_ = _node_from_dict(state["root"])
+    return tree
+
+
+# -- gradient boosting --------------------------------------------------------
+def gbm_to_dict(model: GradientBoostingRegressor) -> dict:
+    return {
+        "kind": "gbm",
+        "learning_rate": model.learning_rate,
+        "base_score": model.base_score_,
+        "n_features": model.n_features_,
+        "params": {
+            "n_estimators": model.n_estimators,
+            "max_depth": model.max_depth,
+            "reg_lambda": model.reg_lambda,
+            "min_child_weight": model.min_child_weight,
+            "gamma": model.gamma,
+            "subsample": model.subsample,
+            "colsample_bytree": model.colsample_bytree,
+            "random_state": model.random_state,
+        },
+        "trees": [
+            {"tree": tree_to_dict(tree), "columns": cols.tolist()}
+            for tree, cols in model.trees_
+        ],
+    }
+
+
+def gbm_from_dict(state: dict) -> GradientBoostingRegressor:
+    if state.get("kind") != "gbm":
+        raise ValueError(f"not a gbm state: {state.get('kind')!r}")
+    params = state["params"]
+    model = GradientBoostingRegressor(
+        n_estimators=params["n_estimators"],
+        learning_rate=state["learning_rate"],
+        max_depth=params["max_depth"],
+        reg_lambda=params["reg_lambda"],
+        min_child_weight=params["min_child_weight"],
+        gamma=params["gamma"],
+        subsample=params["subsample"],
+        colsample_bytree=params["colsample_bytree"],
+        random_state=params["random_state"],
+    )
+    model.base_score_ = float(state["base_score"])
+    model.n_features_ = int(state["n_features"])
+    model.trees_ = [
+        (tree_from_dict(entry["tree"]), np.asarray(entry["columns"], dtype=int))
+        for entry in state["trees"]
+    ]
+    return model

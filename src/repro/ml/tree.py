@@ -1,0 +1,248 @@
+"""CART-style regression tree with an XGBoost-flavoured split objective.
+
+The tree minimizes the regularized squared-loss objective used by XGBoost:
+for a leaf with gradient sum ``G`` and hessian sum ``H`` (hessian is the
+sample count for squared loss), the optimal weight is ``-G / (H + lambda)``
+and the split gain is the standard
+
+    gain = 0.5 * (GL²/(HL+λ) + GR²/(HR+λ) - G²/(H+λ)) - γ
+
+A standalone tree (``RegressionTree.fit(X, y)``) simply boosts a single
+round from a zero prediction, which reduces to ordinary variance-minimizing
+CART with L2 leaf shrinkage.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+__all__ = ["RegressionTree", "TreeNode"]
+
+
+@dataclass
+class TreeNode:
+    """A node in the fitted tree.
+
+    Internal nodes carry ``feature``/``threshold`` and two children; leaves
+    carry only ``value``.  The structure is deliberately simple so tests can
+    introspect fitted trees.
+    """
+
+    value: float = 0.0
+    feature: int = -1
+    threshold: float = 0.0
+    left: "TreeNode | None" = None
+    right: "TreeNode | None" = None
+    n_samples: int = 0
+    depth: int = 0
+    gain: float = 0.0
+
+    @property
+    def is_leaf(self) -> bool:
+        return self.left is None
+
+    def count_leaves(self) -> int:
+        if self.is_leaf:
+            return 1
+        assert self.left is not None and self.right is not None
+        return self.left.count_leaves() + self.right.count_leaves()
+
+
+@dataclass
+class _SplitSearchConfig:
+    max_depth: int
+    min_samples_split: int
+    min_child_weight: float
+    reg_lambda: float
+    gamma: float
+
+
+class RegressionTree:
+    """Single regression tree on (gradient, hessian) statistics.
+
+    Parameters mirror the XGBoost naming so :class:`~repro.ml.gbm.
+    GradientBoostingRegressor` can forward its hyper-parameters directly.
+
+    Parameters
+    ----------
+    max_depth:
+        Maximum tree depth; depth 0 is a single leaf.
+    min_samples_split:
+        Do not split nodes with fewer samples than this.
+    min_child_weight:
+        Minimum hessian sum (= sample count for squared loss) per child.
+    reg_lambda:
+        L2 penalty on leaf weights.
+    gamma:
+        Minimum gain required to make a split.
+    """
+
+    def __init__(
+        self,
+        max_depth: int = 3,
+        min_samples_split: int = 2,
+        min_child_weight: float = 1.0,
+        reg_lambda: float = 1.0,
+        gamma: float = 0.0,
+    ) -> None:
+        if max_depth < 0:
+            raise ValueError("max_depth must be >= 0")
+        if min_samples_split < 2:
+            raise ValueError("min_samples_split must be >= 2")
+        self.max_depth = int(max_depth)
+        self.min_samples_split = int(min_samples_split)
+        self.min_child_weight = float(min_child_weight)
+        self.reg_lambda = float(reg_lambda)
+        self.gamma = float(gamma)
+        self.root_: TreeNode | None = None
+        self.n_features_: int = 0
+
+    # ------------------------------------------------------------------
+    def fit(self, X, y) -> "RegressionTree":
+        """Fit as a plain regression tree (single boosting round from 0)."""
+        X = np.atleast_2d(np.asarray(X, dtype=float))
+        y = np.asarray(y, dtype=float).ravel()
+        if X.shape[0] != y.shape[0]:
+            raise ValueError("X and y disagree on the number of samples")
+        grad = -y  # residual of a zero prediction under squared loss
+        hess = np.ones_like(y)
+        return self.fit_gradients(X, grad, hess)
+
+    def fit_gradients(self, X, grad, hess) -> "RegressionTree":
+        """Fit on explicit first/second-order statistics (boosting path)."""
+        X = np.atleast_2d(np.asarray(X, dtype=float))
+        grad = np.asarray(grad, dtype=float).ravel()
+        hess = np.asarray(hess, dtype=float).ravel()
+        if not (X.shape[0] == grad.shape[0] == hess.shape[0]):
+            raise ValueError("X, grad, hess disagree on the number of samples")
+        if X.shape[0] == 0:
+            raise ValueError("cannot fit a tree on zero samples")
+        self.n_features_ = X.shape[1]
+        cfg = _SplitSearchConfig(
+            max_depth=self.max_depth,
+            min_samples_split=self.min_samples_split,
+            min_child_weight=self.min_child_weight,
+            reg_lambda=self.reg_lambda,
+            gamma=self.gamma,
+        )
+        idx = np.arange(X.shape[0])
+        self.root_ = _build_node(X, grad, hess, idx, depth=0, cfg=cfg)
+        return self
+
+    # ------------------------------------------------------------------
+    def predict(self, X) -> np.ndarray:
+        if self.root_ is None:
+            raise RuntimeError("RegressionTree.predict called before fit")
+        X = np.atleast_2d(np.asarray(X, dtype=float))
+        if X.shape[1] != self.n_features_:
+            raise ValueError(
+                f"X has {X.shape[1]} features, tree expects {self.n_features_}"
+            )
+        out = np.empty(X.shape[0], dtype=float)
+        for i, row in enumerate(X):
+            node = self.root_
+            while not node.is_leaf:
+                assert node.left is not None and node.right is not None
+                node = node.left if row[node.feature] <= node.threshold else node.right
+            out[i] = node.value
+        return out
+
+    @property
+    def depth_(self) -> int:
+        """Depth of the fitted tree (0 for a stump leaf)."""
+        if self.root_ is None:
+            raise RuntimeError("tree is not fitted")
+        return _max_depth(self.root_)
+
+
+def _max_depth(node: TreeNode) -> int:
+    if node.is_leaf:
+        return 0
+    assert node.left is not None and node.right is not None
+    return 1 + max(_max_depth(node.left), _max_depth(node.right))
+
+
+def _leaf_value(gsum: float, hsum: float, reg_lambda: float) -> float:
+    return -gsum / (hsum + reg_lambda)
+
+
+def _build_node(
+    X: np.ndarray,
+    grad: np.ndarray,
+    hess: np.ndarray,
+    idx: np.ndarray,
+    depth: int,
+    cfg: _SplitSearchConfig,
+) -> TreeNode:
+    gsum = float(grad[idx].sum())
+    hsum = float(hess[idx].sum())
+    node = TreeNode(
+        value=_leaf_value(gsum, hsum, cfg.reg_lambda),
+        n_samples=int(idx.size),
+        depth=depth,
+    )
+    if depth >= cfg.max_depth or idx.size < cfg.min_samples_split:
+        return node
+
+    best = _find_best_split(X, grad, hess, idx, gsum, hsum, cfg)
+    if best is None:
+        return node
+
+    feature, threshold, gain, left_idx, right_idx = best
+    node.feature = feature
+    node.threshold = threshold
+    node.gain = gain
+    node.left = _build_node(X, grad, hess, left_idx, depth + 1, cfg)
+    node.right = _build_node(X, grad, hess, right_idx, depth + 1, cfg)
+    return node
+
+
+def _find_best_split(
+    X: np.ndarray,
+    grad: np.ndarray,
+    hess: np.ndarray,
+    idx: np.ndarray,
+    gsum: float,
+    hsum: float,
+    cfg: _SplitSearchConfig,
+):
+    """Exact greedy split search over every feature and threshold."""
+    parent_score = gsum * gsum / (hsum + cfg.reg_lambda)
+    best_gain = 0.0
+    best = None
+    for feature in range(X.shape[1]):
+        values = X[idx, feature]
+        order = np.argsort(values, kind="stable")
+        sv = values[order]
+        sg = grad[idx][order]
+        sh = hess[idx][order]
+        gl = np.cumsum(sg)
+        hl = np.cumsum(sh)
+        # Candidate split after position i (0-based); skip ties where the
+        # next value equals the current one (no threshold separates them).
+        for i in range(idx.size - 1):
+            if sv[i + 1] == sv[i]:
+                continue
+            hl_i = float(hl[i])
+            hr_i = hsum - hl_i
+            if hl_i < cfg.min_child_weight or hr_i < cfg.min_child_weight:
+                continue
+            gl_i = float(gl[i])
+            gr_i = gsum - gl_i
+            score = (
+                gl_i * gl_i / (hl_i + cfg.reg_lambda)
+                + gr_i * gr_i / (hr_i + cfg.reg_lambda)
+            )
+            gain = 0.5 * (score - parent_score) - cfg.gamma
+            if gain > best_gain + 1e-12:
+                best_gain = gain
+                threshold = 0.5 * (sv[i] + sv[i + 1])
+                best = (feature, float(threshold), float(gain), i, order)
+    if best is None:
+        return None
+    feature, threshold, gain, pos, order = best
+    left_idx = idx[order[: pos + 1]]
+    right_idx = idx[order[pos + 1 :]]
+    return feature, threshold, gain, left_idx, right_idx

@@ -1,0 +1,24 @@
+"""Golden power analysis (stands in for Synopsys PrimePower).
+
+Computes per-component, per-power-group golden power from the synthesized
+netlist, the golden activity and the technology library.  Power groups
+follow the paper's decomposition:
+
+* ``clock`` — register clock pins (gated + ungated), ICG cells, clock tree,
+* ``sram`` — macro read/write energy, pin toggling, macro leakage,
+* ``register`` — register power excluding clock pins (data toggling),
+* ``comb`` — combinational switching + leakage.
+
+``logic`` in the paper is ``register + comb``; reports expose both views.
+"""
+
+from repro.power.analysis import PowerAnalyzer
+from repro.power.report import ComponentPower, PowerReport
+from repro.power.trace import golden_trace_power
+
+__all__ = [
+    "ComponentPower",
+    "PowerAnalyzer",
+    "PowerReport",
+    "golden_trace_power",
+]

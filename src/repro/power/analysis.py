@@ -1,0 +1,119 @@
+"""Golden power computation (the PrimePower stage of the flow).
+
+Power model per group (all energies from the technology library; at the
+library's 1 GHz clock, pJ-per-cycle values are numerically mW):
+
+* clock: ungated register clock pins toggle every cycle; gated pins follow
+  the component's true active rate; ICG latch pins toggle every cycle;
+  the clock-tree buffer term is partially gated.  ICG leakage is billed to
+  the clock group.
+* sram: per block, an access activates one row of macros; write energy is
+  already mask-weighted in the activity labels.  Macro leakage and the
+  address/data pin-toggle constant are static adders.
+* register (logic group): data-output toggling plus register leakage.
+* comb (logic group): per cell-class switching plus leakage.
+"""
+
+from __future__ import annotations
+
+from repro.library.stdcell import TechLibrary
+from repro.power.report import ComponentPower, PowerReport
+from repro.sim.activity import ComponentActivity, DesignActivity
+from repro.synthesis.netlist import ComponentNetlist, Netlist
+from repro.vlsi.macro_mapping import MacroMapper
+
+__all__ = ["PowerAnalyzer"]
+
+
+class PowerAnalyzer:
+    """Netlist + golden activity + library -> golden power report."""
+
+    def __init__(self, library: TechLibrary, mapper: MacroMapper | None = None) -> None:
+        self.library = library
+        self.mapper = mapper if mapper is not None else MacroMapper(library.sram)
+
+    # ------------------------------------------------------------------
+    def analyze(self, netlist: Netlist, activity: DesignActivity) -> PowerReport:
+        """Compute the golden power report for one (config, workload) run."""
+        components = []
+        for comp in netlist.components:
+            act = activity.component(comp.name)
+            components.append(
+                ComponentPower(
+                    name=comp.name,
+                    clock=self._clock_power(comp, act),
+                    sram=self._sram_power(comp, act),
+                    register=self._register_power(comp, act),
+                    comb=self._comb_power(comp, act),
+                )
+            )
+        return PowerReport(
+            config_name=netlist.config_name,
+            workload_name=activity.workload_name,
+            components=tuple(components),
+        )
+
+    # ------------------------------------------------------------------
+    def _clock_power(self, comp: ComponentNetlist, act: ComponentActivity) -> float:
+        lib = self.library
+        ungated = comp.registers - comp.gated_registers
+        alpha = act.gated_active_rate
+        pin = (ungated + alpha * comp.gated_registers) * lib.p_reg_mw
+        icg = comp.gating_cells * lib.p_latch_mw
+        # Clock tree: the always-on trunk plus the gated leaf share that
+        # follows the average clock-pin activity of the registers below it.
+        if comp.registers > 0:
+            active_share = (ungated + alpha * comp.gated_registers) / comp.registers
+        else:
+            active_share = 0.0
+        tree_pj = comp.registers * lib.clock_tree_energy_per_reg_pj
+        tree = lib.power_mw(tree_pj) * (
+            (1.0 - lib.clock_tree_gated_share)
+            + lib.clock_tree_gated_share * active_share
+        )
+        leakage = comp.gating_cells * lib.icg_leakage_mw
+        return pin + icg + tree + leakage
+
+    def _sram_power(self, comp: ComponentNetlist, act: ComponentActivity) -> float:
+        return sum(
+            self.position_power(comp, act, pos.name) for pos in comp.sram_positions
+        )
+
+    def position_power(
+        self, comp: ComponentNetlist, act: ComponentActivity, position: str
+    ) -> float:
+        """Golden power of one SRAM position (all its blocks), in mW.
+
+        Exposed because AutoPower calibrates its pin-toggle constant ``C``
+        "based on the golden power of an SRAM Block collected from power
+        simulation" (paper Eq. 10).
+        """
+        lib = self.library
+        pos = next(p for p in comp.sram_positions if p.name == position)
+        pos_act = act.positions[pos.name]
+        mapping = self.mapper.map(pos.block.width, pos.block.depth)
+        macro = mapping.macro
+        dyn_pj_per_cycle = mapping.n_row * (
+            pos_act.read_per_block_cycle * macro.read_energy_pj
+            + pos_act.write_per_block_cycle * macro.write_energy_pj
+        )
+        dyn = lib.power_mw(dyn_pj_per_cycle)
+        static = mapping.n_macros * (macro.leakage_mw + macro.pin_toggle_mw)
+        return pos.block.count * (dyn + static)
+
+    def _register_power(self, comp: ComponentNetlist, act: ComponentActivity) -> float:
+        lib = self.library
+        toggling = lib.power_mw(
+            comp.registers * act.data_toggle_rate * lib.register_data_energy_pj
+        )
+        leakage = comp.registers * lib.register_leakage_mw
+        return toggling + leakage
+
+    def _comb_power(self, comp: ComponentNetlist, act: ComponentActivity) -> float:
+        lib = self.library
+        total = 0.0
+        for cell_name, count in comp.comb_cells.items():
+            spec = lib.comb_cell(cell_name)
+            total += lib.power_mw(count * act.comb_switch_rate * spec.switch_energy_pj)
+            total += count * spec.leakage_mw
+        return total

@@ -1,0 +1,80 @@
+"""Power report data structures."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+__all__ = ["ComponentPower", "PowerReport", "POWER_GROUPS"]
+
+# Canonical power-group names used across the repository.
+POWER_GROUPS: tuple[str, ...] = ("clock", "sram", "register", "comb")
+
+
+@dataclass(frozen=True)
+class ComponentPower:
+    """Per-group power of one component, in mW."""
+
+    name: str
+    clock: float
+    sram: float
+    register: float
+    comb: float
+
+    def __post_init__(self) -> None:
+        for group in POWER_GROUPS:
+            if getattr(self, group) < 0:
+                raise ValueError(f"{self.name}: negative {group} power")
+
+    @property
+    def logic(self) -> float:
+        """The paper's logic group: register (non-clock) + combinational."""
+        return self.register + self.comb
+
+    @property
+    def total(self) -> float:
+        return self.clock + self.sram + self.register + self.comb
+
+    def group(self, name: str) -> float:
+        if name == "logic":
+            return self.logic
+        if name == "total":
+            return self.total
+        if name not in POWER_GROUPS:
+            raise KeyError(f"unknown power group {name!r}")
+        return float(getattr(self, name))
+
+
+@dataclass(frozen=True)
+class PowerReport:
+    """Golden (or predicted) power of a full design under one workload."""
+
+    config_name: str
+    workload_name: str
+    components: tuple[ComponentPower, ...]
+
+    def component(self, name: str) -> ComponentPower:
+        for comp in self.components:
+            if comp.name == name:
+                return comp
+        raise KeyError(f"report has no component {name!r}")
+
+    def group_total(self, group: str) -> float:
+        return sum(c.group(group) for c in self.components)
+
+    @property
+    def total(self) -> float:
+        return sum(c.total for c in self.components)
+
+    def breakdown(self) -> dict[str, float]:
+        """Fraction of total power per group (the paper's Observation 1)."""
+        total = self.total
+        if total <= 0:
+            raise ValueError("cannot compute a breakdown of zero total power")
+        return {group: self.group_total(group) / total for group in POWER_GROUPS}
+
+    def as_rows(self) -> list[tuple[str, float, float, float, float, float]]:
+        """(component, clock, sram, register, comb, total) rows in mW."""
+        return [
+            (c.name, c.clock, c.sram, c.register, c.comb, c.total)
+            for c in self.components
+        ]

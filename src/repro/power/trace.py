@@ -1,0 +1,74 @@
+"""Golden time-based power traces.
+
+Window-level golden power is the full pipeline evaluated at the window's
+activity scale.  Because every stage is piecewise-linear in the scale
+(rates scale linearly, clipping is piecewise-linear, power is linear in
+rates), the trace is computed exactly via dense anchor evaluation + linear
+interpolation instead of running the pipeline tens of thousands of times.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.arch.config import BoomConfig
+from repro.arch.workloads import Workload
+
+__all__ = ["golden_trace_power", "power_scale_function"]
+
+
+def power_scale_function(
+    flow,
+    config: BoomConfig,
+    workload: Workload,
+    scale_lo: float,
+    scale_hi: float,
+    n_anchors: int = 129,
+    group: str = "total",
+):
+    """Return ``f(scales) -> power`` built from dense anchor evaluation.
+
+    ``flow`` is a :class:`repro.vlsi.flow.VlsiFlow`.  ``group`` selects a
+    power group (``"total"`` or any report group).
+    """
+    if n_anchors < 2:
+        raise ValueError("need at least two anchors")
+    if scale_hi <= scale_lo:
+        raise ValueError("scale_hi must exceed scale_lo")
+    anchors = np.linspace(scale_lo, scale_hi, n_anchors)
+    powers = np.empty(n_anchors)
+    for i, s in enumerate(anchors):
+        report = flow.power_at_scale(config, workload, float(s))
+        powers[i] = report.total if group == "total" else report.group_total(group)
+
+    def evaluate(scales: np.ndarray) -> np.ndarray:
+        scales = np.asarray(scales, dtype=float)
+        if scales.min() < scale_lo - 1e-9 or scales.max() > scale_hi + 1e-9:
+            raise ValueError("scales outside the anchored range")
+        return np.interp(scales, anchors, powers)
+
+    return evaluate
+
+
+def golden_trace_power(
+    flow,
+    config: BoomConfig,
+    workload: Workload,
+    scales: np.ndarray,
+    n_anchors: int = 129,
+    group: str = "total",
+) -> np.ndarray:
+    """Golden per-window power (mW) for a window-scale sequence."""
+    scales = np.asarray(scales, dtype=float)
+    if scales.size == 0:
+        raise ValueError("scales must be non-empty")
+    fn = power_scale_function(
+        flow,
+        config,
+        workload,
+        scale_lo=float(scales.min()),
+        scale_hi=float(scales.max()),
+        n_anchors=n_anchors,
+        group=group,
+    )
+    return fn(scales)

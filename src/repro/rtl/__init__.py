@@ -1,0 +1,30 @@
+"""RTL design substrate (stands in for Chipyard-generated BOOM RTL).
+
+Given a :class:`~repro.arch.config.BoomConfig`, the generator produces an
+:class:`~repro.rtl.design.RtlDesign` — the per-component structural ground
+truth: register counts, combinational complexity and SRAM positions broken
+into SRAM blocks.  The scaling laws encoded here (linear capacity /
+throughput scaling of SRAM, affine register scaling) are the hidden truth
+AutoPower's sub-models must rediscover from 2-3 known configurations; no
+model in :mod:`repro.core` ever imports the coefficient tables.
+"""
+
+from repro.rtl.design import (
+    ComponentRtl,
+    RtlDesign,
+    SramBlockSpec,
+    SramPositionRtl,
+)
+from repro.rtl.generator import RtlGenerator
+from repro.rtl.sram_plan import SRAM_POSITION_PLANS, ScalingLaw, SramPositionPlan
+
+__all__ = [
+    "ComponentRtl",
+    "RtlDesign",
+    "RtlGenerator",
+    "SRAM_POSITION_PLANS",
+    "ScalingLaw",
+    "SramBlockSpec",
+    "SramPositionPlan",
+    "SramPositionRtl",
+]

@@ -1,0 +1,118 @@
+"""Intermediate representation of a generated RTL design."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+__all__ = ["ComponentRtl", "RtlDesign", "SramBlockSpec", "SramPositionRtl"]
+
+
+@dataclass(frozen=True)
+class SramBlockSpec:
+    """Shape of the identical SRAM blocks implementing one SRAM position.
+
+    ``count`` is the number of identical blocks (banks); ``mask_sectors``
+    is the write-mask granularity of one block (1 = no partial writes).
+    """
+
+    width: int
+    depth: int
+    count: int
+    mask_sectors: int = 1
+
+    def __post_init__(self) -> None:
+        for attr in ("width", "depth", "count", "mask_sectors"):
+            value = getattr(self, attr)
+            if value < 1:
+                raise ValueError(f"SramBlockSpec.{attr} must be >= 1, got {value}")
+        if self.width % self.mask_sectors != 0:
+            raise ValueError(
+                f"width {self.width} not divisible by mask_sectors {self.mask_sectors}"
+            )
+
+    @property
+    def bits_per_block(self) -> int:
+        return self.width * self.depth
+
+    @property
+    def capacity_bits(self) -> int:
+        """Total bits across all blocks of the position."""
+        return self.width * self.depth * self.count
+
+    @property
+    def throughput_bits(self) -> int:
+        """Bits accessible per cycle: width times the number of banks."""
+        return self.width * self.count
+
+
+@dataclass(frozen=True)
+class SramPositionRtl:
+    """One SRAM position of a component, as realized in RTL."""
+
+    name: str
+    component: str
+    block: SramBlockSpec
+
+
+@dataclass(frozen=True)
+class ComponentRtl:
+    """Structural summary of one component's RTL.
+
+    ``registers`` is the flip-flop count before synthesis-level gating
+    decisions; ``comb_units`` is an abstract combinational complexity in
+    gate-equivalents that the synthesizer maps onto library cells.
+    """
+
+    name: str
+    registers: int
+    comb_units: float
+    sram_positions: tuple[SramPositionRtl, ...] = field(default=())
+
+    def __post_init__(self) -> None:
+        if self.registers < 0:
+            raise ValueError(f"{self.name}: negative register count")
+        if self.comb_units < 0:
+            raise ValueError(f"{self.name}: negative comb_units")
+        for pos in self.sram_positions:
+            if pos.component != self.name:
+                raise ValueError(
+                    f"SRAM position {pos.name} belongs to {pos.component}, "
+                    f"not {self.name}"
+                )
+
+    def position(self, name: str) -> SramPositionRtl:
+        for pos in self.sram_positions:
+            if pos.name == name:
+                return pos
+        raise KeyError(f"{self.name} has no SRAM position {name!r}")
+
+
+@dataclass(frozen=True)
+class RtlDesign:
+    """A full generated design: one entry per Table III component."""
+
+    config_name: str
+    components: tuple[ComponentRtl, ...]
+
+    def component(self, name: str) -> ComponentRtl:
+        for comp in self.components:
+            if comp.name == name:
+                return comp
+        raise KeyError(f"design {self.config_name} has no component {name!r}")
+
+    @property
+    def total_registers(self) -> int:
+        return sum(c.registers for c in self.components)
+
+    @property
+    def total_comb_units(self) -> float:
+        return sum(c.comb_units for c in self.components)
+
+    def all_sram_positions(self) -> tuple[SramPositionRtl, ...]:
+        return tuple(
+            pos for comp in self.components for pos in comp.sram_positions
+        )
+
+    @property
+    def total_sram_bits(self) -> int:
+        return sum(p.block.capacity_bits for p in self.all_sram_positions())

@@ -1,0 +1,338 @@
+"""RTL generator: BoomConfig -> RtlDesign (per-component structure).
+
+Register counts and combinational complexity are affine functions of each
+component's Table III hardware parameters, with interaction terms where a
+real design has them (issue-select matrices, register-file port crossbars,
+rename maps).  These coefficient tables are label-generation ground truth;
+AutoPower's register-count model has to *learn* them from the netlists of
+the training configurations.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.arch.components import COMPONENTS
+from repro.arch.config import BoomConfig
+from repro.rtl.design import ComponentRtl, RtlDesign, SramPositionRtl
+from repro.rtl.sram_plan import positions_for
+
+__all__ = ["RtlGenerator", "StructureSpec"]
+
+
+@dataclass(frozen=True)
+class _Term:
+    """``coefficient * prod(config[p] for p in params)``; empty = constant."""
+
+    coefficient: float
+    params: tuple[str, ...] = ()
+
+    def evaluate(self, config: BoomConfig) -> float:
+        value = self.coefficient
+        for name in self.params:
+            value *= config[name]
+        return value
+
+
+@dataclass(frozen=True)
+class StructureSpec:
+    """Ground-truth structural model of one component."""
+
+    register_terms: tuple[_Term, ...]
+    comb_terms: tuple[_Term, ...]
+
+    def registers(self, config: BoomConfig) -> int:
+        return int(round(sum(t.evaluate(config) for t in self.register_terms)))
+
+    def comb_units(self, config: BoomConfig) -> float:
+        return float(sum(t.evaluate(config) for t in self.comb_terms))
+
+
+def _t(coefficient: float, *params: str) -> _Term:
+    return _Term(coefficient, params)
+
+
+# ---------------------------------------------------------------------------
+# Ground-truth structure per component.  Register terms only use that
+# component's Table III parameters (the information boundary the paper
+# assumes); comb terms add realistic super-linear interactions.
+# ---------------------------------------------------------------------------
+_STRUCTURE: dict[str, StructureSpec] = {
+    "BPTAGE": StructureSpec(
+        register_terms=(_t(220.0), _t(18.0, "BranchCount"), _t(9.0, "FetchWidth")),
+        comb_terms=(_t(900.0), _t(55.0, "BranchCount"), _t(40.0, "FetchWidth")),
+    ),
+    "BPBTB": StructureSpec(
+        register_terms=(_t(170.0), _t(12.0, "BranchCount"), _t(11.0, "FetchWidth")),
+        comb_terms=(_t(650.0), _t(38.0, "BranchCount"), _t(30.0, "FetchWidth")),
+    ),
+    "BPOthers": StructureSpec(
+        register_terms=(_t(360.0), _t(10.0, "BranchCount"), _t(26.0, "FetchWidth")),
+        comb_terms=(_t(1400.0), _t(45.0, "BranchCount"), _t(80.0, "FetchWidth")),
+    ),
+    "ICacheTagArray": StructureSpec(
+        register_terms=(_t(85.0), _t(15.0, "ICacheWay"), _t(18.0, "ICacheFetchBytes")),
+        comb_terms=(_t(380.0), _t(60.0, "ICacheWay"), _t(35.0, "ICacheFetchBytes")),
+    ),
+    "ICacheDataArray": StructureSpec(
+        register_terms=(_t(60.0), _t(9.0, "ICacheWay"), _t(28.0, "ICacheFetchBytes")),
+        comb_terms=(
+            _t(300.0),
+            _t(30.0, "ICacheWay"),
+            _t(55.0, "ICacheFetchBytes"),
+            _t(6.0, "ICacheWay", "ICacheFetchBytes"),
+        ),
+    ),
+    "ICacheOthers": StructureSpec(
+        register_terms=(_t(410.0), _t(28.0, "ICacheWay"), _t(44.0, "ICacheFetchBytes")),
+        comb_terms=(_t(1600.0), _t(95.0, "ICacheWay"), _t(110.0, "ICacheFetchBytes")),
+    ),
+    "RNU": StructureSpec(
+        register_terms=(
+            _t(160.0),
+            _t(310.0, "DecodeWidth"),
+            _t(22.0, "DecodeWidth", "DecodeWidth"),
+        ),
+        comb_terms=(
+            _t(800.0),
+            _t(650.0, "DecodeWidth"),
+            _t(120.0, "DecodeWidth", "DecodeWidth"),
+        ),
+    ),
+    "ROB": StructureSpec(
+        register_terms=(
+            _t(190.0),
+            _t(6.0, "RobEntry"),
+            _t(85.0, "DecodeWidth"),
+            _t(0.6, "RobEntry", "DecodeWidth"),
+        ),
+        comb_terms=(
+            _t(900.0),
+            _t(14.0, "RobEntry"),
+            _t(260.0, "DecodeWidth"),
+            _t(2.2, "RobEntry", "DecodeWidth"),
+        ),
+    ),
+    "Regfile": StructureSpec(
+        # Flop-based physical register files: 64-bit payload + status bit.
+        register_terms=(
+            _t(120.0),
+            _t(65.0, "IntPhyRegister"),
+            _t(65.0, "FpPhyRegister"),
+        ),
+        comb_terms=(
+            # Read-port crossbars grow with ports (DecodeWidth) x entries.
+            _t(500.0),
+            _t(7.5, "DecodeWidth", "IntPhyRegister"),
+            _t(6.0, "DecodeWidth", "FpPhyRegister"),
+        ),
+    ),
+    "DCacheTagArray": StructureSpec(
+        register_terms=(
+            _t(80.0),
+            _t(17.0, "DCacheWay"),
+            _t(4.0, "DTLBEntry"),
+            _t(34.0, "MemIssueWidth"),
+        ),
+        comb_terms=(
+            _t(420.0),
+            _t(65.0, "DCacheWay"),
+            _t(9.0, "DTLBEntry"),
+            _t(120.0, "MemIssueWidth"),
+        ),
+    ),
+    "DCacheDataArray": StructureSpec(
+        register_terms=(_t(70.0), _t(11.0, "DCacheWay"), _t(48.0, "MemIssueWidth")),
+        comb_terms=(
+            _t(340.0),
+            _t(38.0, "DCacheWay"),
+            _t(150.0, "MemIssueWidth"),
+            _t(14.0, "DCacheWay", "MemIssueWidth"),
+        ),
+    ),
+    "DCacheOthers": StructureSpec(
+        register_terms=(
+            _t(520.0),
+            _t(36.0, "DCacheWay"),
+            _t(10.0, "DTLBEntry"),
+            _t(130.0, "MemIssueWidth"),
+        ),
+        comb_terms=(
+            _t(2100.0),
+            _t(120.0, "DCacheWay"),
+            _t(25.0, "DTLBEntry"),
+            _t(420.0, "MemIssueWidth"),
+        ),
+    ),
+    "FP-ISU": StructureSpec(
+        register_terms=(
+            _t(130.0),
+            _t(55.0, "DecodeWidth"),
+            _t(330.0, "FpIssueWidth"),
+            _t(20.0, "DecodeWidth", "FpIssueWidth"),
+        ),
+        comb_terms=(
+            _t(700.0),
+            _t(140.0, "DecodeWidth"),
+            _t(800.0, "FpIssueWidth"),
+            _t(95.0, "DecodeWidth", "FpIssueWidth"),
+        ),
+    ),
+    "Int-ISU": StructureSpec(
+        register_terms=(
+            _t(130.0),
+            _t(55.0, "DecodeWidth"),
+            _t(330.0, "IntIssueWidth"),
+            _t(20.0, "DecodeWidth", "IntIssueWidth"),
+        ),
+        comb_terms=(
+            _t(700.0),
+            _t(140.0, "DecodeWidth"),
+            _t(800.0, "IntIssueWidth"),
+            _t(95.0, "DecodeWidth", "IntIssueWidth"),
+        ),
+    ),
+    "Mem-ISU": StructureSpec(
+        register_terms=(
+            _t(130.0),
+            _t(55.0, "DecodeWidth"),
+            _t(330.0, "MemIssueWidth"),
+            _t(20.0, "DecodeWidth", "MemIssueWidth"),
+        ),
+        comb_terms=(
+            _t(700.0),
+            _t(140.0, "DecodeWidth"),
+            _t(800.0, "MemIssueWidth"),
+            _t(95.0, "DecodeWidth", "MemIssueWidth"),
+        ),
+    ),
+    "I-TLB": StructureSpec(
+        # CAM match lines live in flops.
+        register_terms=(_t(70.0), _t(26.0, "ITLBEntry")),
+        comb_terms=(_t(280.0), _t(48.0, "ITLBEntry")),
+    ),
+    "D-TLB": StructureSpec(
+        register_terms=(_t(70.0), _t(26.0, "DTLBEntry")),
+        comb_terms=(_t(280.0), _t(48.0, "DTLBEntry")),
+    ),
+    "FU Pool": StructureSpec(
+        register_terms=(
+            _t(750.0),
+            _t(850.0, "IntIssueWidth"),
+            _t(1350.0, "FpIssueWidth"),
+            _t(680.0, "MemIssueWidth"),
+        ),
+        comb_terms=(
+            _t(4500.0),
+            _t(5200.0, "IntIssueWidth"),
+            _t(9800.0, "FpIssueWidth"),
+            _t(2600.0, "MemIssueWidth"),
+        ),
+    ),
+    "Other Logic": StructureSpec(
+        register_terms=(
+            _t(1400.0),
+            _t(24.0, "FetchWidth"),
+            _t(140.0, "DecodeWidth"),
+            _t(2.2, "RobEntry"),
+            _t(1.1, "IntPhyRegister"),
+            _t(1.1, "FpPhyRegister"),
+            _t(3.0, "LDQEntry"),
+            _t(3.0, "STQEntry"),
+            _t(7.0, "BranchCount"),
+            _t(55.0, "MemIssueWidth"),
+            _t(40.0, "FpIssueWidth"),
+            _t(40.0, "IntIssueWidth"),
+            _t(14.0, "DCacheWay"),
+            _t(14.0, "ICacheWay"),
+            _t(2.0, "DTLBEntry"),
+            _t(2.0, "ITLBEntry"),
+            _t(11.0, "MSHREntry"),
+            _t(26.0, "ICacheFetchBytes"),
+            _t(20.0, "FetchBufferEntry"),
+        ),
+        comb_terms=(
+            _t(6500.0),
+            _t(110.0, "FetchWidth"),
+            _t(700.0, "DecodeWidth"),
+            _t(9.0, "RobEntry"),
+            _t(4.0, "IntPhyRegister"),
+            _t(4.0, "FpPhyRegister"),
+            _t(30.0, "BranchCount"),
+            _t(240.0, "MemIssueWidth"),
+            _t(180.0, "FpIssueWidth"),
+            _t(180.0, "IntIssueWidth"),
+        ),
+    ),
+    "DCacheMSHR": StructureSpec(
+        register_terms=(_t(95.0), _t(135.0, "MSHREntry")),
+        comb_terms=(_t(400.0), _t(310.0, "MSHREntry")),
+    ),
+    "LSU": StructureSpec(
+        register_terms=(
+            _t(310.0),
+            _t(42.0, "LDQEntry"),
+            _t(46.0, "STQEntry"),
+            _t(250.0, "MemIssueWidth"),
+        ),
+        comb_terms=(
+            _t(1800.0),
+            # Age/dependence matrices scale with queue size x ports.
+            _t(28.0, "LDQEntry", "MemIssueWidth"),
+            _t(32.0, "STQEntry", "MemIssueWidth"),
+            _t(90.0, "LDQEntry"),
+            _t(95.0, "STQEntry"),
+        ),
+    ),
+    "IFU": StructureSpec(
+        register_terms=(
+            _t(260.0),
+            _t(38.0, "FetchWidth"),
+            _t(80.0, "DecodeWidth"),
+            _t(16.0, "FetchBufferEntry"),
+        ),
+        comb_terms=(
+            _t(1300.0),
+            _t(190.0, "FetchWidth"),
+            _t(260.0, "DecodeWidth"),
+            _t(40.0, "FetchBufferEntry"),
+            _t(5.0, "FetchWidth", "DecodeWidth"),
+        ),
+    ),
+}
+
+
+class RtlGenerator:
+    """Generate the structural RTL view of a configuration.
+
+    Equivalent role to Chipyard RTL elaboration in the paper's flow: it is
+    deterministic and purely a function of the configuration.
+    """
+
+    def __init__(self) -> None:
+        missing = {c.name for c in COMPONENTS} - set(_STRUCTURE)
+        if missing:
+            raise AssertionError(f"structure table missing components: {missing}")
+
+    def generate(self, config: BoomConfig) -> RtlDesign:
+        """Elaborate one configuration into its per-component structure."""
+        components = []
+        for comp in COMPONENTS:
+            spec = _STRUCTURE[comp.name]
+            positions = tuple(
+                SramPositionRtl(name=plan.name, component=comp.name, block=plan.block(config))
+                for plan in positions_for(comp.name)
+            )
+            if comp.has_sram and not positions:
+                raise AssertionError(f"{comp.name} marked has_sram but has no plan")
+            if not comp.has_sram and positions:
+                raise AssertionError(f"{comp.name} has SRAM plans but has_sram=False")
+            components.append(
+                ComponentRtl(
+                    name=comp.name,
+                    registers=spec.registers(config),
+                    comb_units=spec.comb_units(config),
+                    sram_positions=positions,
+                )
+            )
+        return RtlDesign(config_name=config.name, components=tuple(components))

@@ -1,0 +1,228 @@
+"""Ground-truth SRAM structure of every component (the hidden scaling laws).
+
+Each SRAM position's block shape follows the two scaling patterns the paper
+observes in real processors:
+
+* **capacity scaling** — total bits scale linearly with a product of
+  hardware parameters,
+* **throughput scaling** — width x count scales linearly with a product of
+  hardware parameters (or stays constant).
+
+A :class:`ScalingLaw` is ``coefficient * prod(params)``; the empty parameter
+tuple means a constant.  The plan for the IFU metadata table reproduces the
+paper's Table I example exactly: width ``30 * FetchWidth``, depth
+``8 * DecodeWidth``, count 1 (capacity ``240 * FetchWidth * DecodeWidth``).
+
+These tables are *label-generation ground truth*.  AutoPower never reads
+them — its scaling-pattern hardware model has to rediscover the laws from
+the block shapes of the 2-3 training configurations.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.arch.config import BoomConfig
+from repro.rtl.design import SramBlockSpec
+
+__all__ = ["SRAM_POSITION_PLANS", "ScalingLaw", "SramPositionPlan", "positions_for"]
+
+
+@dataclass(frozen=True)
+class ScalingLaw:
+    """``value = coefficient * prod(params) / prod(inverse_params)``.
+
+    ``inverse_params`` lets a *derived* quantity (e.g. ROB depth =
+    capacity / throughput) be expressed even though the detector only ever
+    fits direct proportionality on capacity and throughput — matching the
+    paper's note that width/depth/count themselves often do not scale
+    linearly.
+    """
+
+    coefficient: float
+    params: tuple[str, ...] = ()
+    inverse_params: tuple[str, ...] = ()
+
+    def evaluate(self, config: BoomConfig) -> float:
+        value = self.coefficient
+        for name in self.params:
+            value *= config[name]
+        for name in self.inverse_params:
+            value /= config[name]
+        return value
+
+    def evaluate_int(self, config: BoomConfig) -> int:
+        value = self.evaluate(config)
+        rounded = round(value)
+        if abs(value - rounded) > 1e-6:
+            raise ValueError(
+                f"scaling law {self.coefficient} * {self.params} gives "
+                f"non-integral value {value} for {config.name}"
+            )
+        if rounded < 1:
+            raise ValueError(
+                f"scaling law {self.coefficient} * {self.params} gives "
+                f"non-positive value {value} for {config.name}"
+            )
+        return int(rounded)
+
+
+@dataclass(frozen=True)
+class SramPositionPlan:
+    """Ground-truth plan of one SRAM position."""
+
+    name: str
+    component: str
+    width: ScalingLaw
+    depth: ScalingLaw
+    count: ScalingLaw
+    mask_sectors: int = 1
+
+    def block(self, config: BoomConfig) -> SramBlockSpec:
+        return SramBlockSpec(
+            width=self.width.evaluate_int(config),
+            depth=self.depth.evaluate_int(config),
+            count=self.count.evaluate_int(config),
+            mask_sectors=self.mask_sectors,
+        )
+
+
+# ---------------------------------------------------------------------------
+# The 14 SRAM positions across the 11 SRAM-bearing components.
+# ---------------------------------------------------------------------------
+SRAM_POSITION_PLANS: tuple[SramPositionPlan, ...] = (
+    # Branch predictor: TAGE history tables — capacity scales with the
+    # branch-tag budget, throughput constant (one prediction per cycle).
+    SramPositionPlan(
+        name="tage_table",
+        component="BPTAGE",
+        width=ScalingLaw(12.0),
+        depth=ScalingLaw(32.0, ("BranchCount",)),
+        count=ScalingLaw(4.0),
+        mask_sectors=1,
+    ),
+    # BTB: banked by fetch width, entries scale with branch budget.
+    SramPositionPlan(
+        name="btb",
+        component="BPBTB",
+        width=ScalingLaw(40.0),
+        depth=ScalingLaw(16.0, ("BranchCount",)),
+        count=ScalingLaw(0.25, ("FetchWidth",)),
+        mask_sectors=1,
+    ),
+    # I$ tags: all ways probed in parallel -> width scales with ways.
+    SramPositionPlan(
+        name="icache_tags",
+        component="ICacheTagArray",
+        width=ScalingLaw(20.0, ("ICacheWay",)),
+        depth=ScalingLaw(64.0),
+        count=ScalingLaw(1.0),
+        mask_sectors=1,
+    ),
+    # I$ data: fetch-bytes-wide read port, one bank per way.
+    SramPositionPlan(
+        name="icache_data",
+        component="ICacheDataArray",
+        width=ScalingLaw(8.0, ("ICacheFetchBytes",)),
+        depth=ScalingLaw(256.0),
+        count=ScalingLaw(1.0, ("ICacheWay",)),
+        mask_sectors=1,
+    ),
+    # ROB payload: one row holds DecodeWidth uops -> width scales with
+    # DecodeWidth, depth is RobEntry / DecodeWidth.  This is the paper's
+    # example of a position where width/depth/count do NOT individually
+    # scale linearly but capacity (24*RobEntry) and throughput do.
+    SramPositionPlan(
+        name="rob_payload",
+        component="ROB",
+        width=ScalingLaw(24.0, ("DecodeWidth",)),
+        depth=ScalingLaw(1.0, ("RobEntry",), inverse_params=("DecodeWidth",)),
+        count=ScalingLaw(1.0),
+        mask_sectors=1,
+    ),
+    # D$ tags: ways in parallel, banked per memory port.
+    SramPositionPlan(
+        name="dcache_tags",
+        component="DCacheTagArray",
+        width=ScalingLaw(22.0, ("DCacheWay",)),
+        depth=ScalingLaw(64.0),
+        count=ScalingLaw(1.0, ("MemIssueWidth",)),
+        mask_sectors=1,
+    ),
+    # D$ data: 64-bit subline access, one bank per way; byte write masks.
+    SramPositionPlan(
+        name="dcache_data",
+        component="DCacheDataArray",
+        width=ScalingLaw(64.0),
+        depth=ScalingLaw(256.0),
+        count=ScalingLaw(1.0, ("DCacheWay",)),
+        mask_sectors=8,
+    ),
+    # TLBs: page-table-entry arrays.
+    SramPositionPlan(
+        name="itlb_entries",
+        component="I-TLB",
+        width=ScalingLaw(48.0),
+        depth=ScalingLaw(1.0, ("ITLBEntry",)),
+        count=ScalingLaw(1.0),
+        mask_sectors=1,
+    ),
+    SramPositionPlan(
+        name="dtlb_entries",
+        component="D-TLB",
+        width=ScalingLaw(48.0),
+        depth=ScalingLaw(1.0, ("DTLBEntry",)),
+        count=ScalingLaw(1.0),
+        mask_sectors=1,
+    ),
+    # Load / store queues.
+    SramPositionPlan(
+        name="ldq",
+        component="LSU",
+        width=ScalingLaw(64.0),
+        depth=ScalingLaw(1.0, ("LDQEntry",)),
+        count=ScalingLaw(1.0),
+        mask_sectors=1,
+    ),
+    SramPositionPlan(
+        name="stq",
+        component="LSU",
+        width=ScalingLaw(72.0),
+        depth=ScalingLaw(1.0, ("STQEntry",)),
+        count=ScalingLaw(1.0),
+        mask_sectors=2,
+    ),
+    # IFU metadata table — the paper's Table I example, verbatim.
+    SramPositionPlan(
+        name="meta",
+        component="IFU",
+        width=ScalingLaw(30.0, ("FetchWidth",)),
+        depth=ScalingLaw(8.0, ("DecodeWidth",)),
+        count=ScalingLaw(1.0),
+        mask_sectors=2,
+    ),
+    # IFU global-history queue: constant width, depth scales with the
+    # decode pipeline depth budget.
+    SramPositionPlan(
+        name="ghist",
+        component="IFU",
+        width=ScalingLaw(16.0),
+        depth=ScalingLaw(8.0, ("DecodeWidth",)),
+        count=ScalingLaw(1.0),
+        mask_sectors=1,
+    ),
+    # IFU fetch buffer data.
+    SramPositionPlan(
+        name="fb_data",
+        component="IFU",
+        width=ScalingLaw(34.0, ("FetchWidth",)),
+        depth=ScalingLaw(1.0, ("FetchBufferEntry",)),
+        count=ScalingLaw(1.0),
+        mask_sectors=1,
+    ),
+)
+
+
+def positions_for(component_name: str) -> tuple[SramPositionPlan, ...]:
+    """Ground-truth position plans of one component (possibly empty)."""
+    return tuple(p for p in SRAM_POSITION_PLANS if p.component == component_name)

@@ -1,0 +1,40 @@
+"""Simulation substrate: performance events and golden activity.
+
+Three layers:
+
+* :mod:`repro.sim.uarch` — the *true* microarchitectural execution model:
+  deterministic physics of a workload on a configuration (miss rates,
+  misprediction rates, a bottleneck CPI model, true event counts).
+* :mod:`repro.sim.perf` — the gem5-like performance simulator.  It reports
+  the true events distorted by systematic per-event bias and small noise,
+  reproducing the paper's observation that performance-simulator
+  inaccuracy is a root cause of ML power-model error.
+* :mod:`repro.sim.activity` — the VCS-like activity extraction: golden
+  per-component register activity and SRAM read/write frequencies derived
+  from the true execution (what the paper extracts from RTL simulation).
+
+:mod:`repro.sim.trace` adds the 50-cycle windowed view of the two large
+workloads used for time-based power-trace prediction.
+"""
+
+from repro.sim.activity import (
+    ActivitySimulator,
+    ComponentActivity,
+    DesignActivity,
+    PositionActivity,
+)
+from repro.sim.perf import PerfSimulator
+from repro.sim.trace import WindowTrace, WindowTraceGenerator
+from repro.sim.uarch import TrueExecution, execute
+
+__all__ = [
+    "ActivitySimulator",
+    "ComponentActivity",
+    "DesignActivity",
+    "PerfSimulator",
+    "PositionActivity",
+    "TrueExecution",
+    "WindowTrace",
+    "WindowTraceGenerator",
+    "execute",
+]

@@ -1,0 +1,283 @@
+"""Golden activity extraction (the paper's RTL-simulation stage).
+
+From the true execution, derive per component:
+
+* the average active rate of gated registers (the true ``alpha``),
+* the register data-toggle rate (logic-group register power),
+* the combinational switching rate,
+* per SRAM position: block-level read/write frequencies, with writes
+  weighted by write-mask validity — the paper's "one write = a write with
+  all masks valid" convention.
+
+A small seeded per-(config, workload, component) idiosyncrasy keeps the
+labels from being an exact closed-form function of the event rates —
+real RTL activity always has program-specific structure that
+architecture-level features cannot fully explain.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.arch.config import BoomConfig
+from repro.arch.workloads import Workload
+from repro.rtl.design import RtlDesign
+from repro.sim.perf import stable_seed
+from repro.sim.uarch import TrueExecution, execute
+
+__all__ = [
+    "ActivitySimulator",
+    "ComponentActivity",
+    "DesignActivity",
+    "PositionActivity",
+]
+
+
+def _clip(value: float, lo: float, hi: float) -> float:
+    return min(max(value, lo), hi)
+
+
+@dataclass(frozen=True)
+class PositionActivity:
+    """Block-level activity of one SRAM position.
+
+    ``read_per_block_cycle`` / ``write_per_block_cycle`` are the average
+    per-block access frequencies (accesses per cycle); the write frequency
+    is already mask-weighted.  ``mask_valid_fraction`` is kept for
+    diagnostics (fraction of mask sectors valid on an average write).
+    """
+
+    name: str
+    read_per_block_cycle: float
+    write_per_block_cycle: float
+    mask_valid_fraction: float
+
+    def __post_init__(self) -> None:
+        if self.read_per_block_cycle < 0 or self.write_per_block_cycle < 0:
+            raise ValueError(f"{self.name}: negative SRAM access frequency")
+        if not 0.0 <= self.mask_valid_fraction <= 1.0:
+            raise ValueError(f"{self.name}: mask_valid_fraction outside [0, 1]")
+
+
+@dataclass(frozen=True)
+class ComponentActivity:
+    """Golden activity of one component."""
+
+    name: str
+    gated_active_rate: float
+    data_toggle_rate: float
+    comb_switch_rate: float
+    positions: dict[str, PositionActivity] = field(hash=False)
+
+    def __post_init__(self) -> None:
+        for attr in ("gated_active_rate", "data_toggle_rate", "comb_switch_rate"):
+            value = getattr(self, attr)
+            if not 0.0 <= value <= 1.0:
+                raise ValueError(f"{self.name}: {attr}={value} outside [0, 1]")
+
+
+@dataclass(frozen=True)
+class DesignActivity:
+    """Golden activity for a whole design under one workload."""
+
+    config_name: str
+    workload_name: str
+    scale: float
+    components: dict[str, ComponentActivity] = field(hash=False)
+
+    def component(self, name: str) -> ComponentActivity:
+        try:
+            return self.components[name]
+        except KeyError:
+            raise KeyError(f"no activity for component {name!r}") from None
+
+
+class ActivitySimulator:
+    """Golden activity extraction from the true execution model.
+
+    Parameters
+    ----------
+    idiosyncrasy:
+        Relative magnitude of the seeded per-(config, workload, component)
+        activity quirk.  Zero disables it (useful in unit tests).
+    """
+
+    def __init__(self, idiosyncrasy: float = 0.02) -> None:
+        if idiosyncrasy < 0:
+            raise ValueError("idiosyncrasy must be non-negative")
+        self.idiosyncrasy = idiosyncrasy
+
+    # ------------------------------------------------------------------
+    def simulate(
+        self,
+        design: RtlDesign,
+        config: BoomConfig,
+        workload: Workload,
+        true: TrueExecution | None = None,
+        scale: float = 1.0,
+    ) -> DesignActivity:
+        """Extract golden activity (optionally activity-scaled for windows)."""
+        if scale <= 0:
+            raise ValueError("scale must be positive")
+        if true is None:
+            true = execute(config, workload)
+        components: dict[str, ComponentActivity] = {}
+        for comp in design.components:
+            util = _clip(_utilization(comp.name, true, config) * scale, 0.0, 1.0)
+            quirk = self._quirk(config.name, workload.name, comp.name)
+            # Gated banks re-enable for speculation, replays and control
+            # even when not doing useful work: a substantial base activity
+            # plus a utilization-driven part.
+            alpha = _clip((0.18 + 0.62 * util) * quirk, 0.02, 0.98)
+            toggle = _clip(alpha * (0.16 + 0.10 * (1.0 - workload.locality)), 0.0, 1.0)
+            switch = _clip((0.09 + 0.27 * util) * quirk, 0.01, 1.0)
+            positions = {
+                pos.name: self._position_activity(
+                    pos.name, pos.block.count, pos.block.mask_sectors,
+                    true, config, workload, scale,
+                )
+                for pos in comp.sram_positions
+            }
+            components[comp.name] = ComponentActivity(
+                name=comp.name,
+                gated_active_rate=alpha,
+                data_toggle_rate=toggle,
+                comb_switch_rate=switch,
+                positions=positions,
+            )
+        return DesignActivity(
+            config_name=config.name,
+            workload_name=workload.name,
+            scale=scale,
+            components=components,
+        )
+
+    # ------------------------------------------------------------------
+    def _quirk(self, config_name: str, workload_name: str, component: str) -> float:
+        if self.idiosyncrasy == 0.0:
+            return 1.0
+        rng = np.random.default_rng(
+            stable_seed("rtl-activity", config_name, workload_name, component)
+        )
+        return float(1.0 + rng.normal(0.0, self.idiosyncrasy))
+
+    def _position_activity(
+        self,
+        position: str,
+        block_count: int,
+        mask_sectors: int,
+        true: TrueExecution,
+        config: BoomConfig,
+        workload: Workload,
+        scale: float,
+    ) -> PositionActivity:
+        reads, writes, mask_fraction = _position_rates(position, true, config, workload)
+        quirk = self._quirk(true.config_name, true.workload_name, f"pos:{position}")
+        per_block_reads = _clip(reads / block_count * scale * quirk, 0.0, 1.0)
+        # Mask weighting: a write with only k of m sectors valid counts as
+        # k/m writes (paper Sec. II-B).  mask_sectors == 1 means full writes.
+        effective_mask = mask_fraction if mask_sectors > 1 else 1.0
+        per_block_writes = _clip(
+            writes / block_count * effective_mask * scale * quirk, 0.0, 1.0
+        )
+        return PositionActivity(
+            name=position,
+            read_per_block_cycle=per_block_reads,
+            write_per_block_cycle=per_block_writes,
+            mask_valid_fraction=effective_mask,
+        )
+
+
+# ---------------------------------------------------------------------------
+# Component utilization: how busy each component is per cycle, in [0, ~1].
+# ---------------------------------------------------------------------------
+def _utilization(name: str, true: TrueExecution, config: BoomConfig) -> float:
+    cycles = true.cycles
+    dw = config["DecodeWidth"]
+    ev = true.events
+    if name in ("BPTAGE", "BPBTB", "BPOthers"):
+        return ev["branch_lookups"] / cycles
+    if name in ("ICacheTagArray", "ICacheDataArray", "ICacheOthers"):
+        return ev["icache_accesses"] / cycles
+    if name == "IFU":
+        return ev["fetch_packets"] / cycles
+    if name in ("RNU", "ROB"):
+        return ev["decode_uops"] / (cycles * dw)
+    if name == "Regfile":
+        reads = ev["regfile_int_reads"] + ev["regfile_fp_reads"]
+        writes = ev["regfile_int_writes"] + ev["regfile_fp_writes"]
+        return (reads + writes) / (cycles * 4.0 * dw)
+    if name == "FP-ISU":
+        return ev["fp_issues"] / (cycles * config["FpIssueWidth"])
+    if name == "Int-ISU":
+        return ev["int_issues"] / (cycles * config["IntIssueWidth"])
+    if name == "Mem-ISU":
+        return ev["mem_issues"] / (cycles * config["MemIssueWidth"])
+    if name == "I-TLB":
+        return ev["itlb_accesses"] / cycles
+    if name == "D-TLB":
+        return ev["dtlb_accesses"] / cycles
+    if name == "FU Pool":
+        ops = ev["fu_int_ops"] + ev["fu_mul_ops"] + ev["fu_fp_ops"] + ev["fu_mem_ops"]
+        width = config["IntIssueWidth"] + config["FpIssueWidth"] + config["MemIssueWidth"]
+        return ops / (cycles * width)
+    if name == "Other Logic":
+        return ev["instructions"] / (cycles * dw)
+    if name == "DCacheMSHR":
+        return min(ev["mshr_allocations"] * 8.0 / cycles, 1.0)
+    if name in ("LSU", "DCacheTagArray", "DCacheDataArray", "DCacheOthers"):
+        return ev["dcache_accesses"] / (cycles * config["MemIssueWidth"])
+    raise KeyError(f"no utilization model for component {name!r}")
+
+
+# ---------------------------------------------------------------------------
+# SRAM position access rates (position-level, per cycle) and write-mask
+# validity fractions.  Returns (reads, writes, mask_valid_fraction).
+# ---------------------------------------------------------------------------
+def _position_rates(
+    position: str, true: TrueExecution, config: BoomConfig, workload: Workload
+) -> tuple[float, float, float]:
+    c = true.cycles
+    ev = true.events
+    dw = config["DecodeWidth"]
+    if position == "tage_table":
+        return ev["branch_lookups"] / c, ev["instructions"] * workload.frac_branch / c, 1.0
+    if position == "btb":
+        return ev["branch_lookups"] / c, ev["branch_mispredicts"] * 1.2 / c, 1.0
+    if position == "icache_tags":
+        return ev["icache_accesses"] / c, ev["icache_misses"] / c, 1.0
+    if position == "icache_data":
+        # Way-predicted banks: mostly one bank per access plus re-probes.
+        reads = ev["icache_accesses"] * 1.25 / c
+        return reads, ev["icache_misses"] / c, 1.0
+    if position == "rob_payload":
+        return ev["rob_commits"] / (c * dw), ev["rob_allocations"] / (c * dw), 1.0
+    if position == "dcache_tags":
+        return ev["dcache_accesses"] / c, ev["dcache_misses"] / c, 1.0
+    if position == "dcache_data":
+        loads = ev["dcache_accesses"] - ev["stq_allocations"]
+        reads = max(loads, 0.0) * 1.15 / c + ev["dcache_writebacks"] / c
+        writes = (ev["stq_allocations"] + ev["dcache_misses"]) / c
+        # Streaming stores write whole words; scattered stores hit few
+        # byte lanes.
+        mask = _clip(0.35 + 0.60 * workload.locality, 0.0, 1.0)
+        return reads, writes, mask
+    if position == "itlb_entries":
+        return ev["itlb_accesses"] / c, ev["itlb_misses"] / c, 1.0
+    if position == "dtlb_entries":
+        return ev["dtlb_accesses"] / c, ev["dtlb_misses"] / c, 1.0
+    if position == "ldq":
+        return ev["ldq_allocations"] * 1.4 / c, ev["ldq_allocations"] / c, 1.0
+    if position == "stq":
+        mask = _clip(0.45 + 0.50 * workload.locality, 0.0, 1.0)
+        return ev["stq_allocations"] * 1.7 / c, ev["stq_allocations"] / c, mask
+    if position == "meta":
+        mask = _clip(0.55 + 0.35 * workload.locality, 0.0, 1.0)
+        return ev["fetch_packets"] * 0.95 / c, ev["fetch_packets"] * 0.85 / c, mask
+    if position == "ghist":
+        return ev["fetch_packets"] * 0.9 / c, ev["branch_lookups"] * 0.8 / c, 1.0
+    if position == "fb_data":
+        return ev["decode_uops"] / (c * dw), ev["fetch_packets"] * 0.95 / c, 1.0
+    raise KeyError(f"no activity model for SRAM position {position!r}")

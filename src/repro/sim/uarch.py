@@ -1,0 +1,247 @@
+"""True microarchitectural execution model.
+
+This is the substrate's ground truth for *behaviour*: given a configuration
+and a workload profile it deterministically computes miss rates, branch
+misprediction rates, a bottleneck CPI and the true event counts.  Both the
+gem5-like performance simulator (which distorts these events) and the
+golden activity simulator (which consumes them exactly) sit on top of it —
+mirroring how, in reality, gem5 approximates and RTL simulation defines the
+same underlying execution.
+
+The model is interval-analysis style: a peak IPC from the narrowest
+pipeline bound, plus stall CPI adders for mispredictions, cache misses and
+TLB walks.  It is intentionally simple but *responds to every Table II
+parameter* so that configuration changes propagate into events, activity
+and finally power.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+
+from repro.arch.config import BoomConfig
+from repro.arch.events import EVENT_NAMES
+from repro.arch.workloads import Workload
+
+__all__ = ["TrueExecution", "execute"]
+
+_EPS = 1e-9
+
+# Bytes of cache capacity per way (4 KiB ways, BOOM-like).
+_BYTES_PER_WAY = 4096
+_PAGE_BYTES = 4096
+
+
+@dataclass(frozen=True)
+class TrueExecution:
+    """Ground-truth execution of one workload on one configuration."""
+
+    config_name: str
+    workload_name: str
+    cycles: float
+    events: dict[str, float]
+    mispredict_rate: float
+    icache_miss_rate: float
+    dcache_miss_rate: float
+    itlb_miss_rate: float
+    dtlb_miss_rate: float
+
+    @property
+    def ipc(self) -> float:
+        return self.events["instructions"] / self.cycles
+
+    def rate(self, name: str) -> float:
+        """True events per cycle."""
+        return self.events[name] / self.cycles
+
+    def scaled_rates(self, scale: float) -> dict[str, float]:
+        """Per-cycle rates with overall activity scaled (trace windows)."""
+        return {name: self.rate(name) * scale for name in self.events}
+
+
+def _clip(value: float, lo: float, hi: float) -> float:
+    return min(max(value, lo), hi)
+
+
+def mispredict_probability(config: BoomConfig, workload: Workload) -> float:
+    """Per-branch misprediction probability.
+
+    Grows with branch entropy, shrinks as the predictor budget
+    (``BranchCount`` scales the TAGE/BTB tables) grows.
+    """
+    budget = config["BranchCount"]
+    raw = 0.012 + 0.16 * workload.branch_entropy ** 1.5 * 14.0 / (budget + 8.0)
+    return _clip(raw, 0.002, 0.30)
+
+
+def icache_miss_ratio(config: BoomConfig, workload: Workload) -> float:
+    """I-cache misses per access."""
+    capacity = config["ICacheWay"] * _BYTES_PER_WAY
+    pressure = max(0.0, 1.0 - capacity / workload.icache_footprint)
+    hostility = 0.3 + 0.7 * (1.0 - workload.locality)
+    return _clip(0.0015 + 0.10 * hostility * pressure, 0.0005, 0.25)
+
+
+def dcache_miss_ratio(config: BoomConfig, workload: Workload) -> float:
+    """D-cache misses per access."""
+    capacity = config["DCacheWay"] * _BYTES_PER_WAY
+    pressure = max(0.0, 1.0 - capacity / workload.dcache_footprint)
+    hostility = 1.0 - workload.locality
+    raw = 0.004 + 0.28 * hostility * pressure ** 0.8 + 0.012 * pressure
+    return _clip(raw, 0.001, 0.45)
+
+
+def itlb_miss_ratio(config: BoomConfig, workload: Workload) -> float:
+    pages = max(workload.icache_footprint / _PAGE_BYTES, 1.0)
+    return _clip(0.0005 + 0.05 * max(0.0, 1.0 - config["ITLBEntry"] / pages), 0.0002, 0.08)
+
+
+def dtlb_miss_ratio(config: BoomConfig, workload: Workload) -> float:
+    pages = max(workload.dcache_footprint / _PAGE_BYTES, 1.0)
+    hostility = 1.0 - 0.5 * workload.locality
+    raw = 0.001 + 0.06 * hostility * max(0.0, 1.0 - config["DTLBEntry"] / pages)
+    return _clip(raw, 0.0003, 0.12)
+
+
+def _cpi(config: BoomConfig, workload: Workload, rates: dict[str, float]) -> float:
+    """Bottleneck CPI: 1 / peak-IPC plus stall adders."""
+    dw = config["DecodeWidth"]
+    fw = config["FetchWidth"]
+    frac_mem = workload.frac_load + workload.frac_store
+    frac_int = workload.frac_int_alu + workload.frac_int_mul + workload.frac_branch
+
+    bounds = [
+        float(dw),
+        workload.ilp,
+        0.9 * fw,
+        config["IntIssueWidth"] / max(frac_int, _EPS),
+        config["MemIssueWidth"] / max(frac_mem, _EPS),
+    ]
+    if workload.frac_fp > 0.0:
+        bounds.append(config["FpIssueWidth"] / max(workload.frac_fp, _EPS))
+    rob_per_lane = config["RobEntry"] / max(dw, 1)
+    peak_ipc = min(bounds)
+
+    cpi = 1.0 / max(peak_ipc, 0.1)
+    # A small ROB adds dispatch stalls (mild, additive — narrow machines
+    # with small ROBs are still well utilized per lane).
+    cpi += 2.0 / config["RobEntry"]
+    # Branch redirect penalty grows slightly with machine width (deeper
+    # frontends take longer to refill).
+    cpi += workload.frac_branch * rates["p_mp"] * (8.0 + 2.0 * math.log2(dw + 1))
+    fetch_per_inst = 1.0 / (fw * 0.75)
+    cpi += fetch_per_inst * rates["m_ic"] * 14.0
+    # L2-class miss penalty; MSHRs and a big ROB overlap miss latency.
+    mshr = config["MSHREntry"]
+    miss_penalty = 16.0 / (1.0 + 0.35 * (mshr - 1)) / (1.0 + 0.2 * rob_per_lane / 24.0)
+    cpi += frac_mem * rates["m_dc"] * max(miss_penalty, 4.0)
+    cpi += frac_mem * rates["m_dtlb"] * 18.0
+    cpi += fetch_per_inst * rates["m_itlb"] * 16.0
+    return cpi
+
+
+def execute(config: BoomConfig, workload: Workload) -> TrueExecution:
+    """Run the true execution model for one (config, workload) pair."""
+    n = float(workload.instructions)
+    fw = config["FetchWidth"]
+    dw = config["DecodeWidth"]
+
+    p_mp = mispredict_probability(config, workload)
+    m_ic = icache_miss_ratio(config, workload)
+    m_dc = dcache_miss_ratio(config, workload)
+    m_itlb = itlb_miss_ratio(config, workload)
+    m_dtlb = dtlb_miss_ratio(config, workload)
+    rates = {"p_mp": p_mp, "m_ic": m_ic, "m_dc": m_dc, "m_itlb": m_itlb, "m_dtlb": m_dtlb}
+
+    cpi = _cpi(config, workload, rates)
+    cycles = n * cpi
+
+    # Wrong-path (speculative) inflation: wider machines waste more work
+    # per misprediction.
+    spec = 1.0 + 1.8 * p_mp * workload.frac_branch * (1.0 + 0.12 * dw) * 10.0
+    spec_mem = 1.0 + 0.8 * p_mp * workload.frac_branch * 10.0
+
+    uop_expansion = 1.12
+    fetch_packets = min(
+        n / (fw * 0.72) * (1.0 + 1.3 * p_mp * workload.frac_branch * fw),
+        0.98 * cycles,
+    )
+    # Physical capacity clamps: no unit can exceed its per-cycle bandwidth.
+    decode_uops = min(n * uop_expansion * spec, 0.98 * dw * cycles)
+    dcache_accesses = min(
+        n * (workload.frac_load + workload.frac_store) * spec_mem,
+        0.96 * config["MemIssueWidth"] * cycles,
+    )
+    dcache_misses = dcache_accesses * m_dc
+    icache_accesses = fetch_packets
+    icache_misses = icache_accesses * m_ic
+    branch_lookups = fetch_packets
+    branch_mispredicts = n * workload.frac_branch * p_mp
+    int_issues = min(
+        n
+        * (workload.frac_int_alu + workload.frac_int_mul + workload.frac_branch)
+        * spec,
+        0.98 * config["IntIssueWidth"] * cycles,
+    )
+    fp_issues = min(
+        n * workload.frac_fp * (1.0 + 0.3 * (spec - 1.0)),
+        0.98 * config["FpIssueWidth"] * cycles,
+    )
+    mem_issues = min(dcache_accesses * 1.06, 0.98 * config["MemIssueWidth"] * cycles)
+    ldq_allocations = n * workload.frac_load * spec_mem
+    stq_allocations = n * workload.frac_store * (1.0 + 0.4 * (spec_mem - 1.0))
+    store_share = workload.frac_store / max(workload.frac_load + workload.frac_store, _EPS)
+
+    events: dict[str, float] = {
+        "cycles": cycles,
+        "instructions": n,
+        "fetch_packets": fetch_packets,
+        "fetch_bubbles": max(cycles - fetch_packets, 0.0),
+        "decode_uops": decode_uops,
+        "rename_uops": decode_uops,
+        "branch_lookups": branch_lookups,
+        "branch_mispredicts": branch_mispredicts,
+        "btb_hits": branch_lookups * _clip(0.95 - 0.35 * workload.branch_entropy, 0.3, 0.98),
+        "icache_accesses": icache_accesses,
+        "icache_misses": icache_misses,
+        "dcache_accesses": dcache_accesses,
+        "dcache_misses": dcache_misses,
+        "dcache_writebacks": dcache_misses * (0.25 + 0.5 * store_share),
+        "mshr_allocations": dcache_misses * 0.95,
+        "itlb_accesses": icache_accesses,
+        "itlb_misses": icache_accesses * m_itlb,
+        "dtlb_accesses": dcache_accesses,
+        "dtlb_misses": dcache_accesses * m_dtlb,
+        "rob_allocations": decode_uops,
+        "rob_commits": n * uop_expansion,
+        "rob_flushes": branch_mispredicts * 1.05 + n * 1e-4,
+        "int_issues": int_issues,
+        "fp_issues": fp_issues,
+        "mem_issues": mem_issues,
+        "regfile_int_reads": int_issues * 1.7 + mem_issues * 1.0,
+        "regfile_int_writes": int_issues * 0.85 + ldq_allocations * 0.7,
+        "regfile_fp_reads": fp_issues * 1.9,
+        "regfile_fp_writes": fp_issues * 0.95 + ldq_allocations * 0.3,
+        "ldq_allocations": ldq_allocations,
+        "stq_allocations": stq_allocations,
+        "fu_int_ops": max(int_issues - n * workload.frac_int_mul * spec, 0.0),
+        "fu_mul_ops": n * workload.frac_int_mul * spec,
+        "fu_fp_ops": fp_issues,
+        "fu_mem_ops": mem_issues,
+    }
+    missing = set(EVENT_NAMES) - set(events)
+    if missing:
+        raise AssertionError(f"true execution missing events: {sorted(missing)}")
+
+    return TrueExecution(
+        config_name=config.name,
+        workload_name=workload.name,
+        cycles=cycles,
+        events=events,
+        mispredict_rate=p_mp,
+        icache_miss_rate=m_ic,
+        dcache_miss_rate=m_dc,
+        itlb_miss_rate=m_itlb,
+        dtlb_miss_rate=m_dtlb,
+    )

@@ -1,0 +1,23 @@
+"""Logic-synthesis substrate (stands in for Synopsys Design Compiler).
+
+Maps an :class:`~repro.rtl.design.RtlDesign` to a gate-level
+:class:`~repro.synthesis.netlist.Netlist`: combinational units become
+library cell counts, and clock gating is inserted according to
+domain-dependent policies.  The netlist is where AutoPower's training
+labels for register count ``R`` and gating rate ``g`` come from — exactly
+the paper's label-collection procedure ("collect the number of registers
+and the number of gated registers from the netlists of known
+configurations").
+"""
+
+from repro.synthesis.clock_gating import GatingPolicy, policy_for
+from repro.synthesis.netlist import ComponentNetlist, Netlist
+from repro.synthesis.synthesizer import Synthesizer
+
+__all__ = [
+    "ComponentNetlist",
+    "GatingPolicy",
+    "Netlist",
+    "Synthesizer",
+    "policy_for",
+]

@@ -1,0 +1,87 @@
+"""Clock-gating insertion policies.
+
+Real synthesis tools decide per register bank whether gating pays off;
+the outcome depends on the functional domain (datapath registers gate
+well, control/miscellaneous logic gates poorly) and on structure size
+(larger banks amortize the ICG cell better).  The paper highlights that
+this makes the gating rate ``g`` a *netlist-level* quantity that must be
+learned rather than read off the architecture — these policies are what
+make that true in our substrate.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+
+__all__ = ["GatingPolicy", "policy_for"]
+
+
+@dataclass(frozen=True)
+class GatingPolicy:
+    """Gating behaviour of one component under synthesis.
+
+    ``base_rate`` is the gating rate of a 1k-register instance of the
+    component; ``size_slope`` adds per doubling of register count
+    (synthesis finds more gating opportunities in bigger banks);
+    ``fanout`` is the average number of gated registers driven by one ICG
+    cell (sets the paper's ``r = 1 / fanout``).
+    """
+
+    base_rate: float
+    size_slope: float
+    fanout: int
+
+    def __post_init__(self) -> None:
+        if not 0.0 <= self.base_rate <= 1.0:
+            raise ValueError("base_rate must be in [0, 1]")
+        if self.fanout < 1:
+            raise ValueError("fanout must be >= 1")
+
+    def gating_rate(self, registers: int) -> float:
+        """Fraction of registers gated for an instance of this size."""
+        if registers <= 0:
+            return 0.0
+        rate = self.base_rate + self.size_slope * math.log2(registers / 1000.0)
+        return min(max(rate, 0.30), 0.96)
+
+    def gated_registers(self, registers: int) -> int:
+        return int(round(self.gating_rate(registers) * registers))
+
+    def gating_cells(self, gated_registers: int) -> int:
+        if gated_registers == 0:
+            return 0
+        return max(1, math.ceil(gated_registers / self.fanout))
+
+
+# Domain defaults, refined by per-component overrides below.
+_DOMAIN_POLICIES: dict[str, GatingPolicy] = {
+    "frontend": GatingPolicy(base_rate=0.76, size_slope=0.022, fanout=12),
+    "backend": GatingPolicy(base_rate=0.84, size_slope=0.020, fanout=16),
+    "memory": GatingPolicy(base_rate=0.80, size_slope=0.021, fanout=14),
+}
+
+# Components whose gating behaviour deviates from their domain default:
+# register files and FU pipelines gate almost fully; "others"/glue logic
+# is control-dominated and gates poorly.
+_COMPONENT_OVERRIDES: dict[str, GatingPolicy] = {
+    "Regfile": GatingPolicy(base_rate=0.92, size_slope=0.008, fanout=22),
+    "FU Pool": GatingPolicy(base_rate=0.89, size_slope=0.010, fanout=18),
+    "Other Logic": GatingPolicy(base_rate=0.60, size_slope=0.015, fanout=10),
+    "BPOthers": GatingPolicy(base_rate=0.66, size_slope=0.018, fanout=10),
+    "ICacheOthers": GatingPolicy(base_rate=0.68, size_slope=0.018, fanout=11),
+    "DCacheOthers": GatingPolicy(base_rate=0.70, size_slope=0.018, fanout=11),
+    "DCacheMSHR": GatingPolicy(base_rate=0.82, size_slope=0.016, fanout=13),
+    "I-TLB": GatingPolicy(base_rate=0.74, size_slope=0.015, fanout=12),
+    "D-TLB": GatingPolicy(base_rate=0.74, size_slope=0.015, fanout=12),
+}
+
+
+def policy_for(component_name: str, domain: str) -> GatingPolicy:
+    """The gating policy synthesis applies to one component."""
+    if component_name in _COMPONENT_OVERRIDES:
+        return _COMPONENT_OVERRIDES[component_name]
+    try:
+        return _DOMAIN_POLICIES[domain]
+    except KeyError:
+        raise ValueError(f"unknown domain {domain!r}") from None

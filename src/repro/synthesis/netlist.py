@@ -1,0 +1,97 @@
+"""Gate-level netlist IR produced by the synthesizer."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.rtl.design import SramPositionRtl
+
+__all__ = ["ComponentNetlist", "Netlist"]
+
+
+@dataclass(frozen=True)
+class ComponentNetlist:
+    """Synthesized view of one component.
+
+    Attributes
+    ----------
+    registers:
+        Total flip-flop count ``R`` (unchanged by synthesis in this model).
+    gated_registers:
+        Registers whose clock pin sits behind a clock-gating cell.
+    gating_cells:
+        Number of inserted integrated-clock-gating (ICG) cells.
+    comb_cells:
+        Combinational instance counts per library cell class.
+    sram_positions:
+        SRAM positions carried through from RTL (macro mapping happens in
+        the VLSI flow, not in synthesis).
+    """
+
+    name: str
+    registers: int
+    gated_registers: int
+    gating_cells: int
+    comb_cells: dict[str, int] = field(hash=False)
+    sram_positions: tuple[SramPositionRtl, ...] = ()
+
+    def __post_init__(self) -> None:
+        if self.registers < 0:
+            raise ValueError(f"{self.name}: negative register count")
+        if not 0 <= self.gated_registers <= self.registers:
+            raise ValueError(
+                f"{self.name}: gated_registers {self.gated_registers} outside "
+                f"[0, {self.registers}]"
+            )
+        if self.gating_cells < 0:
+            raise ValueError(f"{self.name}: negative gating cell count")
+        if self.gated_registers > 0 and self.gating_cells == 0:
+            raise ValueError(f"{self.name}: gated registers without gating cells")
+        for cell, count in self.comb_cells.items():
+            if count < 0:
+                raise ValueError(f"{self.name}: negative count for cell {cell}")
+
+    @property
+    def gating_rate(self) -> float:
+        """The paper's ``g`` — fraction of registers that are gated."""
+        if self.registers == 0:
+            return 0.0
+        return self.gated_registers / self.registers
+
+    @property
+    def icg_ratio(self) -> float:
+        """The paper's ``r`` — gating cells per gated register."""
+        if self.gated_registers == 0:
+            return 0.0
+        return self.gating_cells / self.gated_registers
+
+    @property
+    def total_comb_cells(self) -> int:
+        return sum(self.comb_cells.values())
+
+
+@dataclass(frozen=True)
+class Netlist:
+    """Synthesized design: one entry per component."""
+
+    config_name: str
+    components: tuple[ComponentNetlist, ...]
+
+    def component(self, name: str) -> ComponentNetlist:
+        for comp in self.components:
+            if comp.name == name:
+                return comp
+        raise KeyError(f"netlist {self.config_name} has no component {name!r}")
+
+    @property
+    def total_registers(self) -> int:
+        return sum(c.registers for c in self.components)
+
+    @property
+    def total_gated_registers(self) -> int:
+        return sum(c.gated_registers for c in self.components)
+
+    @property
+    def gating_rate(self) -> float:
+        total = self.total_registers
+        return self.total_gated_registers / total if total else 0.0

@@ -1,0 +1,6 @@
+"""VLSI flow: SRAM macro mapping rule and end-to-end flow orchestration."""
+
+from repro.vlsi.flow import FlowResult, VlsiFlow
+from repro.vlsi.macro_mapping import MacroMapper, MacroMapping
+
+__all__ = ["FlowResult", "MacroMapper", "MacroMapping", "VlsiFlow"]

@@ -1,0 +1,137 @@
+"""End-to-end VLSI flow orchestration with caching.
+
+One call runs the full label-generation pipeline for a (configuration,
+workload) pair:
+
+    RTL generation -> synthesis -> true execution -> perf simulation
+    (gem5-like events) -> activity extraction (golden) -> power analysis
+
+Designs and netlists are per-configuration and cached; runs are cached per
+(configuration, workload).  Everything downstream (dataset building, the
+experiment harness, benchmarks) goes through this class, the way the
+paper's scripts go through their EDA flow.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.arch.config import BoomConfig
+from repro.arch.events import EventParams
+from repro.arch.workloads import Workload
+from repro.library.stdcell import TechLibrary, default_library
+from repro.power.analysis import PowerAnalyzer
+from repro.power.report import PowerReport
+from repro.rtl.design import RtlDesign
+from repro.rtl.generator import RtlGenerator
+from repro.sim.activity import ActivitySimulator, DesignActivity
+from repro.sim.perf import PerfSimulator
+from repro.sim.uarch import TrueExecution, execute
+from repro.synthesis.netlist import Netlist
+from repro.synthesis.synthesizer import Synthesizer
+from repro.vlsi.macro_mapping import MacroMapper
+
+__all__ = ["FlowResult", "VlsiFlow"]
+
+
+@dataclass(frozen=True)
+class FlowResult:
+    """Everything the flow produces for one (config, workload) pair."""
+
+    config: BoomConfig
+    workload: Workload
+    design: RtlDesign
+    netlist: Netlist
+    true: TrueExecution
+    events: EventParams
+    activity: DesignActivity
+    power: PowerReport
+
+
+class VlsiFlow:
+    """The full synthetic EDA flow, with per-stage caching.
+
+    Parameters
+    ----------
+    library:
+        Technology library; defaults to the repository-wide synthetic
+        40 nm-class library.
+    perf:
+        Performance simulator; replaceable to study simulator-error
+        sensitivity (e.g. a zero-error simulator for ablations).
+    activity:
+        Golden activity simulator.
+    """
+
+    def __init__(
+        self,
+        library: TechLibrary | None = None,
+        perf: PerfSimulator | None = None,
+        activity: ActivitySimulator | None = None,
+    ) -> None:
+        self.library = library if library is not None else default_library()
+        self.mapper = MacroMapper(self.library.sram)
+        self.generator = RtlGenerator()
+        self.synthesizer = Synthesizer(self.library)
+        self.perf = perf if perf is not None else PerfSimulator()
+        self.activity_sim = activity if activity is not None else ActivitySimulator()
+        self.analyzer = PowerAnalyzer(self.library, self.mapper)
+        self._designs: dict[str, RtlDesign] = {}
+        self._netlists: dict[str, Netlist] = {}
+        self._runs: dict[tuple[str, str], FlowResult] = {}
+
+    # ------------------------------------------------------------------
+    def design(self, config: BoomConfig) -> RtlDesign:
+        """Elaborated RTL for a configuration (cached)."""
+        if config.name not in self._designs:
+            self._designs[config.name] = self.generator.generate(config)
+        return self._designs[config.name]
+
+    def netlist(self, config: BoomConfig) -> Netlist:
+        """Synthesized netlist for a configuration (cached)."""
+        if config.name not in self._netlists:
+            self._netlists[config.name] = self.synthesizer.synthesize(
+                self.design(config)
+            )
+        return self._netlists[config.name]
+
+    def run(self, config: BoomConfig, workload: Workload) -> FlowResult:
+        """Full flow for one (config, workload) pair (cached)."""
+        key = (config.name, workload.name)
+        if key not in self._runs:
+            design = self.design(config)
+            netlist = self.netlist(config)
+            true = execute(config, workload)
+            events = self.perf.distort(true, config)
+            activity = self.activity_sim.simulate(design, config, workload, true=true)
+            power = self.analyzer.analyze(netlist, activity)
+            self._runs[key] = FlowResult(
+                config=config,
+                workload=workload,
+                design=design,
+                netlist=netlist,
+                true=true,
+                events=events,
+                activity=activity,
+                power=power,
+            )
+        return self._runs[key]
+
+    def run_many(
+        self, configs: list[BoomConfig], workloads: list[Workload]
+    ) -> list[FlowResult]:
+        """Cross product of configurations and workloads."""
+        return [self.run(c, w) for c in configs for w in workloads]
+
+    # ------------------------------------------------------------------
+    def power_at_scale(
+        self, config: BoomConfig, workload: Workload, scale: float
+    ) -> PowerReport:
+        """Golden power with all activity scaled (windowed-trace support)."""
+        design = self.design(config)
+        netlist = self.netlist(config)
+        true = execute(config, workload)
+        activity = self.activity_sim.simulate(
+            design, config, workload, true=true, scale=scale
+        )
+        return self.analyzer.analyze(netlist, activity)

@@ -1,0 +1,83 @@
+"""SRAM block -> SRAM macro mapping rule (the BOOM VLSI flow script).
+
+The paper treats this rule as a fixed, deterministic part of the VLSI flow
+"available and unchanged for all processors implemented with the same
+flow": given an SRAM block shape, it decides which legal macro to use and
+how many rows (width direction) and columns (depth direction) of that
+macro build the block.  Both the golden power analyzer *and* AutoPower's
+SRAM model call this same rule — exactly as in the paper, where the rule
+is shared between label generation and prediction.
+
+Mapping policy:
+
+* depth: the shallowest legal macro depth that covers the block depth
+  (one column); if the block is deeper than any legal macro, stack
+  ``ceil(depth / max_depth)`` columns of the deepest macro,
+* width: the narrowest legal macro width that covers the block width
+  (one row); if wider than any legal macro, tile ``ceil(width /
+  max_width)`` rows of the widest macro.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+
+from repro.library.sram_compiler import MacroSpec, SramCompiler
+
+__all__ = ["MacroMapper", "MacroMapping"]
+
+
+@dataclass(frozen=True)
+class MacroMapping:
+    """How one SRAM block is built from macros.
+
+    ``n_row`` macros side by side cover the width; ``n_col`` macro groups
+    stacked cover the depth.  A block access activates one row of macros
+    (``n_row`` of them); each macro therefore sees ``1 / n_col`` of the
+    block's access frequency (paper Eq. 9).
+    """
+
+    macro: MacroSpec
+    n_row: int
+    n_col: int
+
+    def __post_init__(self) -> None:
+        if self.n_row < 1 or self.n_col < 1:
+            raise ValueError("macro grid dimensions must be >= 1")
+
+    @property
+    def n_macros(self) -> int:
+        return self.n_row * self.n_col
+
+    @property
+    def bits(self) -> int:
+        """Total macro bits (>= block bits because of shape rounding)."""
+        return self.n_macros * self.macro.bits
+
+
+class MacroMapper:
+    """The flow's deterministic block-to-macro mapping rule."""
+
+    def __init__(self, compiler: SramCompiler) -> None:
+        self.compiler = compiler
+
+    def map(self, width: int, depth: int) -> MacroMapping:
+        """Map one SRAM block shape onto a legal macro grid."""
+        if width < 1 or depth < 1:
+            raise ValueError(f"invalid block shape {width}x{depth}")
+        macro_depth = self.compiler.smallest_depth_at_least(depth)
+        if macro_depth is None:
+            macro_depth = self.compiler.max_depth
+        n_col = math.ceil(depth / macro_depth)
+
+        macro_width = self.compiler.smallest_width_at_least(width)
+        if macro_width is None:
+            macro_width = self.compiler.max_width
+        n_row = math.ceil(width / macro_width)
+
+        return MacroMapping(
+            macro=self.compiler.macro(macro_width, macro_depth),
+            n_row=n_row,
+            n_col=n_col,
+        )

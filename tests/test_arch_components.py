@@ -1,0 +1,87 @@
+"""Unit tests for repro.arch.components (Table III)."""
+
+import pytest
+
+from repro.arch.components import (
+    COMPONENTS,
+    Component,
+    component_by_name,
+    sram_components,
+)
+from repro.arch.params import HARDWARE_PARAMETERS
+
+
+class TestTableIII:
+    def test_twenty_two_components(self):
+        assert len(COMPONENTS) == 22
+
+    def test_unique_names(self):
+        names = [c.name for c in COMPONENTS]
+        assert len(names) == len(set(names))
+
+    def test_paper_parameter_assignments(self):
+        assert component_by_name("BPTAGE").hardware_parameters == (
+            "FetchWidth",
+            "BranchCount",
+        )
+        assert component_by_name("ROB").hardware_parameters == (
+            "DecodeWidth",
+            "RobEntry",
+        )
+        assert component_by_name("Regfile").hardware_parameters == (
+            "DecodeWidth",
+            "IntPhyRegister",
+            "FpPhyRegister",
+        )
+        assert component_by_name("IFU").hardware_parameters == (
+            "FetchWidth",
+            "DecodeWidth",
+            "FetchBufferEntry",
+        )
+        assert component_by_name("FU Pool").hardware_parameters == (
+            "MemIssueWidth",
+            "FpIssueWidth",
+            "IntIssueWidth",
+        )
+
+    def test_other_logic_uses_all_parameters(self):
+        assert set(component_by_name("Other Logic").hardware_parameters) == set(
+            HARDWARE_PARAMETERS
+        )
+
+    def test_all_parameters_are_known(self):
+        for comp in COMPONENTS:
+            for p in comp.hardware_parameters:
+                assert p in HARDWARE_PARAMETERS
+
+    def test_sram_components_subset(self):
+        sram = sram_components()
+        assert {c.name for c in sram} == {
+            "BPTAGE",
+            "BPBTB",
+            "ICacheTagArray",
+            "ICacheDataArray",
+            "ROB",
+            "DCacheTagArray",
+            "DCacheDataArray",
+            "I-TLB",
+            "D-TLB",
+            "LSU",
+            "IFU",
+        }
+
+    def test_domains_valid(self):
+        for comp in COMPONENTS:
+            assert comp.domain in ("frontend", "backend", "memory")
+
+    def test_unknown_component_lookup(self):
+        with pytest.raises(KeyError, match="Nope"):
+            component_by_name("Nope")
+
+    def test_invalid_domain_rejected(self):
+        with pytest.raises(ValueError, match="domain"):
+            Component("X", ("FetchWidth",), False, "sideways")
+
+    def test_invalid_parameter_rejected(self):
+        with pytest.raises(ValueError, match="unknown"):
+            Component("X", ("NoSuchParam",), False, "backend")

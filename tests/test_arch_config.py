@@ -1,0 +1,139 @@
+"""Unit tests for repro.arch.config and repro.arch.params (Table II)."""
+
+import numpy as np
+import pytest
+
+from repro.arch.config import BOOM_CONFIGS, BoomConfig, config_by_name, config_matrix
+from repro.arch.params import (
+    HARDWARE_PARAMETERS,
+    RAW_PARAMETER_ROWS,
+    expand_raw_parameters,
+)
+
+
+class TestTableII:
+    def test_fifteen_configurations(self):
+        assert len(BOOM_CONFIGS) == 15
+        assert [c.name for c in BOOM_CONFIGS] == [f"C{i}" for i in range(1, 16)]
+
+    def test_c1_values_match_paper(self):
+        c1 = config_by_name("C1")
+        assert c1["FetchWidth"] == 4
+        assert c1["DecodeWidth"] == 1
+        assert c1["FetchBufferEntry"] == 5
+        assert c1["RobEntry"] == 16
+        assert c1["IntPhyRegister"] == 36
+        assert c1["FpPhyRegister"] == 36
+        assert c1["LDQEntry"] == 4
+        assert c1["STQEntry"] == 4
+        assert c1["BranchCount"] == 6
+        assert c1["MemIssueWidth"] == 1
+        assert c1["IntIssueWidth"] == 1
+        assert c1["DCacheWay"] == 2
+        assert c1["DTLBEntry"] == 8
+        assert c1["MSHREntry"] == 2
+        assert c1["ICacheFetchBytes"] == 2
+
+    def test_c15_values_match_paper(self):
+        c15 = config_by_name("C15")
+        assert c15["FetchWidth"] == 8
+        assert c15["DecodeWidth"] == 5
+        assert c15["FetchBufferEntry"] == 40
+        assert c15["RobEntry"] == 140
+        assert c15["IntPhyRegister"] == 140
+        assert c15["FpPhyRegister"] == 140
+        assert c15["LDQEntry"] == 36
+        assert c15["BranchCount"] == 20
+        assert c15["MemIssueWidth"] == 2
+        assert c15["IntIssueWidth"] == 5
+        assert c15["ICacheWay"] == 8
+        assert c15["MSHREntry"] == 8
+
+    def test_c7_rob_entry_is_81(self):
+        # The odd one out in Table II.
+        assert config_by_name("C7")["RobEntry"] == 81
+
+    def test_paired_rows_share_values(self):
+        for cfg in BOOM_CONFIGS:
+            assert cfg["LDQEntry"] == cfg["STQEntry"]
+            assert cfg["MemIssueWidth"] == cfg["FpIssueWidth"]
+            assert cfg["DCacheWay"] == cfg["ICacheWay"]
+            assert cfg["ITLBEntry"] == cfg["DTLBEntry"]
+
+    def test_scale_is_monotone_end_to_end(self):
+        c1, c15 = config_by_name("C1"), config_by_name("C15")
+        for name in HARDWARE_PARAMETERS:
+            assert c1[name] <= c15[name]
+
+    def test_all_parameters_present(self):
+        for cfg in BOOM_CONFIGS:
+            assert set(cfg.params) == set(HARDWARE_PARAMETERS)
+
+
+class TestBoomConfig:
+    def test_index(self):
+        assert config_by_name("C7").index == 7
+
+    def test_subset(self):
+        c1 = config_by_name("C1")
+        assert c1.subset(("FetchWidth", "DecodeWidth")) == {
+            "FetchWidth": 4,
+            "DecodeWidth": 1,
+        }
+
+    def test_vector_order(self):
+        c1 = config_by_name("C1")
+        vec = c1.vector(("DecodeWidth", "FetchWidth"))
+        assert vec.tolist() == [1.0, 4.0]
+
+    def test_default_vector_uses_canonical_order(self):
+        c1 = config_by_name("C1")
+        assert c1.vector().shape == (len(HARDWARE_PARAMETERS),)
+        assert c1.vector()[0] == c1["FetchWidth"]
+
+    def test_missing_parameter_rejected(self):
+        params = dict(config_by_name("C1").params)
+        del params["RobEntry"]
+        with pytest.raises(ValueError, match="missing"):
+            BoomConfig(name="X", params=params)
+
+    def test_unknown_parameter_rejected(self):
+        params = dict(config_by_name("C1").params)
+        params["Bogus"] = 1
+        with pytest.raises(ValueError, match="unknown"):
+            BoomConfig(name="X", params=params)
+
+    def test_unknown_name_lookup(self):
+        with pytest.raises(KeyError, match="C99"):
+            config_by_name("C99")
+
+    def test_config_matrix_shape(self):
+        m = config_matrix()
+        assert m.shape == (15, len(HARDWARE_PARAMETERS))
+        assert np.all(m > 0)
+
+
+class TestExpandRawParameters:
+    def test_expands_paired_rows(self):
+        raw = {row: 2 for row in RAW_PARAMETER_ROWS}
+        expanded = expand_raw_parameters(raw)
+        assert expanded["LDQEntry"] == 2
+        assert expanded["STQEntry"] == 2
+        assert set(expanded) == set(HARDWARE_PARAMETERS)
+
+    def test_missing_row_raises(self):
+        raw = {row: 2 for row in RAW_PARAMETER_ROWS[:-1]}
+        with pytest.raises(KeyError):
+            expand_raw_parameters(raw)
+
+    def test_unknown_row_raises(self):
+        raw = {row: 2 for row in RAW_PARAMETER_ROWS}
+        raw["Nonsense"] = 3
+        with pytest.raises(ValueError, match="unknown"):
+            expand_raw_parameters(raw)
+
+    def test_nonpositive_value_raises(self):
+        raw = {row: 2 for row in RAW_PARAMETER_ROWS}
+        raw["FetchWidth"] = 0
+        with pytest.raises(ValueError, match="positive"):
+            expand_raw_parameters(raw)

@@ -1,0 +1,128 @@
+"""Unit tests for repro.arch.workloads."""
+
+import pytest
+
+from repro.arch.workloads import (
+    LARGE_WORKLOADS,
+    Phase,
+    WORKLOADS,
+    Workload,
+    all_workloads,
+    workload_by_name,
+)
+
+
+class TestCatalogue:
+    def test_eight_evaluation_workloads(self):
+        assert len(WORKLOADS) == 8
+        assert {w.name for w in WORKLOADS} == {
+            "dhrystone",
+            "median",
+            "multiply",
+            "qsort",
+            "rsort",
+            "towers",
+            "spmv",
+            "vvadd",
+        }
+
+    def test_two_large_workloads(self):
+        assert {w.name for w in LARGE_WORKLOADS} == {"gemm", "spmm"}
+
+    def test_large_workloads_have_phases(self):
+        for w in LARGE_WORKLOADS:
+            assert w.is_large
+            assert len(w.phases) >= 2
+            assert sum(p.weight for p in w.phases) == pytest.approx(1.0)
+
+    def test_evaluation_workloads_have_no_phases(self):
+        for w in WORKLOADS:
+            assert not w.is_large
+
+    def test_large_workloads_run_millions_of_cycles_worth(self):
+        for w in LARGE_WORKLOADS:
+            assert w.instructions >= 1_000_000
+
+    def test_mix_sums_to_one(self):
+        for w in all_workloads():
+            mix = (
+                w.frac_int_alu
+                + w.frac_int_mul
+                + w.frac_fp
+                + w.frac_load
+                + w.frac_store
+                + w.frac_branch
+            )
+            assert mix == pytest.approx(1.0)
+
+    def test_lookup(self):
+        assert workload_by_name("gemm").name == "gemm"
+        with pytest.raises(KeyError):
+            workload_by_name("doom")
+
+    def test_workload_characters(self):
+        # Sanity of the hand-written profiles.
+        assert workload_by_name("vvadd").branch_entropy < 0.1  # streaming
+        assert workload_by_name("qsort").branch_entropy > 0.5  # branchy
+        assert workload_by_name("spmv").locality < 0.4  # irregular
+        assert workload_by_name("multiply").ilp > 4.0  # ALU-dense
+
+
+class TestProgramFeatures:
+    def test_feature_keys_stable(self):
+        feats = workload_by_name("dhrystone").program_features()
+        assert "prog_branches" in feats
+        assert "prog_dcache_footprint" in feats
+        assert len(feats) == 11
+
+    def test_counts_scale_with_instructions(self):
+        w = workload_by_name("qsort")
+        feats = w.program_features()
+        assert feats["prog_branches"] == pytest.approx(w.instructions * w.frac_branch)
+        assert feats["prog_loads"] == pytest.approx(w.instructions * w.frac_load)
+
+
+class TestValidation:
+    def test_bad_mix_rejected(self):
+        with pytest.raises(ValueError, match="sums to"):
+            Workload(
+                name="bad",
+                instructions=100,
+                frac_int_alu=0.5,
+                frac_int_mul=0.0,
+                frac_fp=0.0,
+                frac_load=0.2,
+                frac_store=0.2,
+                frac_branch=0.2,
+                branch_entropy=0.5,
+                icache_footprint=1024,
+                dcache_footprint=1024,
+                locality=0.5,
+                ilp=2.0,
+            )
+
+    def test_bad_entropy_rejected(self):
+        with pytest.raises(ValueError, match="branch_entropy"):
+            Workload(
+                name="bad",
+                instructions=100,
+                frac_int_alu=0.4,
+                frac_int_mul=0.0,
+                frac_fp=0.0,
+                frac_load=0.2,
+                frac_store=0.2,
+                frac_branch=0.2,
+                branch_entropy=1.5,
+                icache_footprint=1024,
+                dcache_footprint=1024,
+                locality=0.5,
+                ilp=2.0,
+            )
+
+    def test_bad_phase_weight_rejected(self):
+        with pytest.raises(ValueError, match="weight"):
+            Phase("p", weight=0.0, activity_scale=1.0)
+
+    def test_bad_phase_scale_rejected(self):
+        with pytest.raises(ValueError, match="activity_scale"):
+            Phase("p", weight=0.5, activity_scale=-1.0)

@@ -1,0 +1,144 @@
+"""Unit tests for the baseline power models."""
+
+import pytest
+
+from repro.arch.components import COMPONENTS
+from repro.arch.config import config_by_name
+from repro.arch.workloads import workload_by_name
+from repro.baselines.autopower_minus import AutoPowerMinus
+from repro.baselines.mcpat import McPatAnalytical
+from repro.baselines.mcpat_calib import McPatCalib
+from repro.baselines.mcpat_calib_component import McPatCalibComponent
+from repro.ml.metrics import mape
+
+
+class TestMcPatAnalytical:
+    def test_no_training_needed(self, flow, c8):
+        events = flow.run(c8, workload_by_name("qsort")).events
+        assert McPatAnalytical().predict_total(c8, events) > 0
+
+    def test_component_sum_equals_total(self, flow, c8):
+        events = flow.run(c8, workload_by_name("qsort")).events
+        mcpat = McPatAnalytical()
+        assert mcpat.predict_total(c8, events) == pytest.approx(
+            sum(mcpat.predict(c8, events).values())
+        )
+
+    def test_deterministic_distortion(self, flow, c8):
+        events = flow.run(c8, workload_by_name("qsort")).events
+        assert McPatAnalytical().predict_total(c8, events) == pytest.approx(
+            McPatAnalytical().predict_total(c8, events)
+        )
+
+    def test_area_grows_with_config(self):
+        mcpat = McPatAnalytical()
+        for comp in COMPONENTS:
+            assert mcpat.area_proxy(config_by_name("C15"), comp.name) >= (
+                mcpat.area_proxy(config_by_name("C1"), comp.name)
+            )
+
+    def test_activity_increases_power(self, flow, c8):
+        mcpat = McPatAnalytical()
+        busy = flow.run(c8, workload_by_name("multiply")).events
+        idle = flow.run(c8, workload_by_name("spmv")).events
+        assert mcpat.predict_total(c8, busy) > mcpat.predict_total(c8, idle)
+
+    def test_is_miscalibrated(self, flow, test_configs, workloads):
+        # The analytical model must be visibly wrong — that is its role.
+        mcpat = McPatAnalytical()
+        true, pred = [], []
+        for config in test_configs[:5]:
+            for w in workloads:
+                res = flow.run(config, w)
+                true.append(res.power.total)
+                pred.append(mcpat.predict_total(config, res.events))
+        assert mape(true, pred) > 15.0
+
+    def test_invalid_params(self):
+        with pytest.raises(ValueError):
+            McPatAnalytical(static_share=1.5)
+        with pytest.raises(ValueError):
+            McPatAnalytical(miscalibration=1.0)
+
+
+class TestMcPatCalib:
+    @pytest.fixture(scope="class")
+    def calib(self, flow, train_configs, workloads):
+        return McPatCalib().fit(flow, train_configs, workloads)
+
+    def test_positive_predictions(self, calib, flow, c8):
+        events = flow.run(c8, workload_by_name("qsort")).events
+        assert calib.predict_total(c8, events) > 0
+
+    def test_much_better_than_raw_mcpat(
+        self, calib, flow, test_configs, workloads
+    ):
+        mcpat = McPatAnalytical()
+        true, cal, raw = [], [], []
+        for config in test_configs:
+            for w in workloads:
+                res = flow.run(config, w)
+                true.append(res.power.total)
+                cal.append(calib.predict_total(config, res.events))
+                raw.append(mcpat.predict_total(config, res.events))
+        assert mape(true, cal) < 0.7 * mape(true, raw)
+
+    def test_requires_fit(self, flow, c8):
+        with pytest.raises(RuntimeError):
+            McPatCalib().predict_total(c8, flow.run(c8, workload_by_name("qsort")).events)
+
+    def test_feature_names_align(self, calib, flow, c8):
+        events = flow.run(c8, workload_by_name("qsort")).events
+        assert len(McPatCalib.feature_names()) == calib._features(c8, events).size
+
+
+class TestMcPatCalibComponent:
+    @pytest.fixture(scope="class")
+    def calib_comp(self, flow, train_configs, workloads):
+        return McPatCalibComponent().fit(flow, train_configs, workloads)
+
+    def test_total_is_component_sum(self, calib_comp, flow, c8):
+        events = flow.run(c8, workload_by_name("qsort")).events
+        total = calib_comp.predict_total(c8, events)
+        parts = sum(
+            calib_comp.predict_component(c.name, c8, events) for c in COMPONENTS
+        )
+        assert total == pytest.approx(parts)
+
+    def test_requires_fit(self, flow, c8):
+        with pytest.raises(RuntimeError):
+            McPatCalibComponent().predict_component(
+                "ROB", c8, flow.run(c8, workload_by_name("qsort")).events
+            )
+
+
+class TestAutoPowerMinus:
+    @pytest.fixture(scope="class")
+    def minus(self, flow, train_configs, workloads):
+        return AutoPowerMinus().fit(flow, train_configs, workloads)
+
+    def test_groups_sum_to_total(self, minus, flow, c8):
+        w = workload_by_name("qsort")
+        events = flow.run(c8, w).events
+        total = minus.predict_total(c8, events, w)
+        parts = sum(
+            minus.predict_group(c8, events, w, g)
+            for g in ("clock", "sram", "register", "comb")
+        )
+        assert total == pytest.approx(parts)
+
+    def test_logic_group_alias(self, minus, flow, c8):
+        w = workload_by_name("qsort")
+        events = flow.run(c8, w).events
+        logic = minus.predict_group(c8, events, w, "logic")
+        assert logic == pytest.approx(
+            minus.predict_group(c8, events, w, "register")
+            + minus.predict_group(c8, events, w, "comb")
+        )
+
+    def test_requires_fit(self, flow, c8):
+        w = workload_by_name("qsort")
+        with pytest.raises(RuntimeError):
+            AutoPowerMinus().predict_component_group(
+                "ROB", "clock", c8, flow.run(c8, w).events, w
+            )

@@ -1,0 +1,33 @@
+"""Tests for the CLI experiment runner."""
+
+import pytest
+
+from repro.cli import EXPERIMENTS, main
+
+
+class TestCli:
+    def test_listing_returns_zero(self, capsys):
+        assert main([]) == 0
+        out = capsys.readouterr().out
+        assert "fig4" in out
+        assert "table4" in out
+
+    def test_unknown_experiment_rejected(self):
+        with pytest.raises(SystemExit):
+            main(["fig99"])
+
+    def test_registry_covers_paper_artifacts(self):
+        for name in ("fig1", "fig4", "fig6", "fig7", "fig8", "table1", "table4"):
+            assert name in EXPERIMENTS
+
+    def test_fig1_runs_end_to_end(self, capsys):
+        assert main(["fig1"]) == 0
+        out = capsys.readouterr().out
+        assert "power-group breakdown" in out
+        assert "clock + SRAM share" in out
+
+    def test_table1_runs_end_to_end(self, capsys):
+        assert main(["table1"]) == 0
+        out = capsys.readouterr().out
+        assert "240" in out
+        assert "all shapes exact: True" in out

@@ -1,0 +1,136 @@
+"""Unit and behaviour tests for the assembled AutoPower model."""
+
+import numpy as np
+import pytest
+
+from repro.arch.config import config_by_name
+from repro.arch.workloads import workload_by_name
+from repro.core.autopower import AutoPower, events_at_scale
+from repro.ml.metrics import mape, r2_score
+
+
+class TestEventsAtScale:
+    def test_window_cycles_set(self, flow, c8):
+        events = flow.run(c8, workload_by_name("qsort")).events
+        win = events_at_scale(events, 1.0, 50)
+        assert win.cycles == 50.0
+
+    def test_rates_scale_linearly(self, flow, c8):
+        events = flow.run(c8, workload_by_name("qsort")).events
+        base = events_at_scale(events, 1.0, 50)
+        hot = events_at_scale(events, 1.5, 50)
+        assert hot.rate("dcache_accesses") == pytest.approx(
+            1.5 * base.rate("dcache_accesses")
+        )
+
+    def test_invalid_inputs(self, flow, c8):
+        events = flow.run(c8, workload_by_name("qsort")).events
+        with pytest.raises(ValueError):
+            events_at_scale(events, 0.0, 50)
+        with pytest.raises(ValueError):
+            events_at_scale(events, 1.0, 0)
+
+
+class TestPredictReport:
+    def test_report_structure(self, autopower2, flow, c8):
+        w = workload_by_name("dhrystone")
+        res = flow.run(c8, w)
+        report = autopower2.predict_report(c8, res.events, w)
+        assert report.config_name == "C8"
+        assert len(report.components) == 22
+        assert report.total > 0
+
+    def test_total_equals_group_sum(self, autopower2, flow, c8):
+        w = workload_by_name("dhrystone")
+        res = flow.run(c8, w)
+        report = autopower2.predict_report(c8, res.events, w)
+        group_sum = sum(
+            report.group_total(g) for g in ("clock", "sram", "register", "comb")
+        )
+        assert report.total == pytest.approx(group_sum)
+
+    def test_requires_fit(self, flow):
+        model = AutoPower(library=flow.library)
+        with pytest.raises(RuntimeError):
+            model.predict_total(config_by_name("C1"), None, None)
+
+    def test_training_configs_recorded(self, autopower2):
+        assert autopower2.train_config_names == ("C1", "C15")
+
+    def test_empty_fit_rejected(self, flow):
+        with pytest.raises(ValueError):
+            AutoPower(library=flow.library).fit_results([])
+
+
+class TestFewShotAccuracy:
+    """The paper's headline behaviour on the synthetic substrate."""
+
+    def test_total_power_accuracy(self, autopower2, flow, test_configs, workloads):
+        true, pred = [], []
+        for config in test_configs:
+            for w in workloads:
+                res = flow.run(config, w)
+                true.append(res.power.total)
+                pred.append(autopower2.predict_total(config, res.events, w))
+        # Paper: MAPE 4.36 %, R2 0.96 with 2 training configs.  Synthetic
+        # substrate target band: well under 10 % and R2 above 0.88.
+        assert mape(true, pred) < 10.0
+        assert r2_score(true, pred) > 0.88
+
+    def test_accuracy_on_training_configs_is_tight(
+        self, autopower2, flow, train_configs, workloads
+    ):
+        true, pred = [], []
+        for config in train_configs:
+            for w in workloads:
+                res = flow.run(config, w)
+                true.append(res.power.total)
+                pred.append(autopower2.predict_total(config, res.events, w))
+        assert mape(true, pred) < 5.0
+
+    def test_predictions_track_scale(self, autopower2, flow, workloads):
+        # Predicted power must grow from small to large configurations.
+        w = workloads[0]
+        p2 = autopower2.predict_total(
+            config_by_name("C2"), flow.run(config_by_name("C2"), w).events, w
+        )
+        p8 = autopower2.predict_total(
+            config_by_name("C8"), flow.run(config_by_name("C8"), w).events, w
+        )
+        p14 = autopower2.predict_total(
+            config_by_name("C14"), flow.run(config_by_name("C14"), w).events, w
+        )
+        assert p2 < p8 < p14
+
+
+class TestTracePrediction:
+    def test_trace_shape_and_positivity(self, autopower2, flow):
+        c2 = config_by_name("C2")
+        gemm = workload_by_name("gemm")
+        events = flow.run(c2, gemm).events
+        scales = np.linspace(0.6, 1.4, 300)
+        trace = autopower2.predict_trace(c2, events, gemm, scales, n_anchors=17)
+        assert trace.shape == (300,)
+        assert np.all(trace > 0)
+
+    def test_trace_monotone_in_scale(self, autopower2, flow):
+        c2 = config_by_name("C2")
+        gemm = workload_by_name("gemm")
+        events = flow.run(c2, gemm).events
+        lo = autopower2.predict_trace(c2, events, gemm, np.array([0.6]), n_anchors=17)
+        hi = autopower2.predict_trace(c2, events, gemm, np.array([1.6]), n_anchors=17)
+        assert hi[0] > lo[0]
+
+    def test_constant_scales_supported(self, autopower2, flow):
+        c2 = config_by_name("C2")
+        gemm = workload_by_name("gemm")
+        events = flow.run(c2, gemm).events
+        trace = autopower2.predict_trace(c2, events, gemm, np.full(10, 1.0))
+        assert np.allclose(trace, trace[0])
+
+    def test_empty_scales_rejected(self, autopower2, flow):
+        c2 = config_by_name("C2")
+        gemm = workload_by_name("gemm")
+        events = flow.run(c2, gemm).events
+        with pytest.raises(ValueError):
+            autopower2.predict_trace(c2, events, gemm, np.array([]))

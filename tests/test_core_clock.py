@@ -1,0 +1,92 @@
+"""Unit tests for repro.core.clock (clock power model, Eq. 1-8)."""
+
+import pytest
+
+from repro.arch.components import COMPONENTS
+from repro.arch.config import config_by_name
+from repro.arch.workloads import workload_by_name
+from repro.core.clock import ClockPowerModel
+from repro.ml.metrics import mape
+
+
+class TestClockModel:
+    def test_requires_fit(self, flow):
+        model = ClockPowerModel(flow.library)
+        with pytest.raises(RuntimeError, match="before fit"):
+            model.predict_register_count("ROB", config_by_name("C1"))
+
+    def test_empty_results_rejected(self, flow):
+        with pytest.raises(ValueError):
+            ClockPowerModel(flow.library).fit([])
+
+    def test_register_count_exact_on_training_configs(self, autopower2, flow):
+        # Ridge interpolates two points exactly (up to regularization).
+        model = autopower2.clock_model
+        for cname in ("C1", "C15"):
+            config = config_by_name(cname)
+            net = flow.netlist(config)
+            for comp in COMPONENTS:
+                true = net.component(comp.name).registers
+                pred = model.predict_register_count(comp.name, config)
+                assert pred == pytest.approx(true, rel=0.05)
+
+    def test_register_count_generalizes(self, autopower2, flow, test_configs):
+        model = autopower2.clock_model
+        errors = []
+        for config in test_configs:
+            net = flow.netlist(config)
+            for comp in COMPONENTS:
+                errors.append(
+                    (
+                        net.component(comp.name).registers,
+                        model.predict_register_count(comp.name, config),
+                    )
+                )
+        true, pred = zip(*errors)
+        assert mape(true, pred) < 8.0  # paper: 6.93 % for R and g combined
+
+    def test_gating_rate_in_unit_interval(self, autopower2, test_configs):
+        model = autopower2.clock_model
+        for config in test_configs:
+            for comp in COMPONENTS:
+                g = model.predict_gating_rate(comp.name, config)
+                assert 0.0 <= g <= 1.0
+
+    def test_gating_rate_generalizes(self, autopower2, flow, test_configs):
+        model = autopower2.clock_model
+        true, pred = [], []
+        for config in test_configs:
+            net = flow.netlist(config)
+            for comp in COMPONENTS:
+                true.append(net.component(comp.name).gating_rate)
+                pred.append(model.predict_gating_rate(comp.name, config))
+        assert mape(true, pred) < 3.0
+
+    def test_effective_active_rate_nonnegative(self, autopower2, flow, test_configs):
+        model = autopower2.clock_model
+        config = test_configs[0]
+        res = flow.run(config, workload_by_name("qsort"))
+        for comp in COMPONENTS:
+            assert model.predict_effective_active_rate(comp.name, config, res.events) >= 0
+
+    def test_component_clock_power_positive(self, autopower2, flow, c8):
+        res = flow.run(c8, workload_by_name("dhrystone"))
+        power = autopower2.clock_model.predict_component("ROB", c8, res.events)
+        assert power > 0
+
+    def test_group_accuracy_beats_paper_band(self, autopower2, flow, test_configs, workloads):
+        # Paper: clock MAPE 11.37 % with 2 training configs.
+        true, pred = [], []
+        for config in test_configs:
+            for workload in workloads:
+                res = flow.run(config, workload)
+                true.append(res.power.group_total("clock"))
+                pred.append(
+                    sum(autopower2.clock_model.predict(config, res.events).values())
+                )
+        assert mape(true, pred) < 12.0
+
+    def test_predict_covers_all_components(self, autopower2, flow, c8):
+        res = flow.run(c8, workload_by_name("towers"))
+        preds = autopower2.clock_model.predict(c8, res.events)
+        assert set(preds) == {c.name for c in COMPONENTS}

@@ -1,0 +1,102 @@
+"""Unit tests for repro.core.features."""
+
+import numpy as np
+import pytest
+
+from repro.arch.config import config_by_name
+from repro.arch.events import COMPONENT_EVENTS
+from repro.arch.workloads import workload_by_name
+from repro.core.features import (
+    event_feature_names,
+    event_features,
+    hardware_feature_names,
+    hardware_features,
+    polynomial_hardware_feature_names,
+    polynomial_hardware_features,
+    program_feature_names,
+    program_features,
+)
+from repro.sim.perf import PerfSimulator
+
+
+@pytest.fixture(scope="module")
+def events_c8():
+    return PerfSimulator().run(config_by_name("C8"), workload_by_name("qsort"))
+
+
+class TestHardwareFeatures:
+    def test_table3_order(self):
+        c8 = config_by_name("C8")
+        feats = hardware_features(c8, "ROB")
+        assert feats.tolist() == [c8["DecodeWidth"], c8["RobEntry"]]
+
+    def test_polynomial_expansion_size(self):
+        c8 = config_by_name("C8")
+        base = hardware_features(c8, "Regfile")  # 3 params
+        poly = polynomial_hardware_features(c8, "Regfile")
+        assert poly.size == 3 + 6  # raw + upper-triangular products
+
+    def test_polynomial_values(self):
+        c8 = config_by_name("C8")
+        poly = polynomial_hardware_features(c8, "ROB")
+        dw, rob = c8["DecodeWidth"], c8["RobEntry"]
+        assert poly.tolist() == [dw, rob, dw * dw, dw * rob, rob * rob]
+
+    def test_polynomial_names_align(self):
+        names = polynomial_hardware_feature_names("ROB")
+        c8 = config_by_name("C8")
+        assert len(names) == polynomial_hardware_features(c8, "ROB").size
+        assert "DecodeWidth*RobEntry" in names
+
+
+class TestEventFeatures:
+    def test_legacy_form_rates_plus_ipc(self, events_c8):
+        feats = event_features(events_c8, "ROB")
+        assert feats.size == len(COMPONENT_EVENTS["ROB"]) + 1
+        assert feats[-1] == pytest.approx(events_c8.ipc)
+
+    def test_full_form_with_config(self, events_c8):
+        c8 = config_by_name("C8")
+        feats = event_features(events_c8, "ROB", c8)
+        n_events = len(COMPONENT_EVENTS["ROB"])
+        n_params = len(hardware_feature_names("ROB"))
+        assert feats.size == n_events + n_events * n_params + 1
+
+    def test_normalized_only(self, events_c8):
+        c8 = config_by_name("C8")
+        feats = event_features(events_c8, "ROB", c8, include_raw=False)
+        n_events = len(COMPONENT_EVENTS["ROB"])
+        n_params = len(hardware_feature_names("ROB"))
+        assert feats.size == n_events * n_params + 1
+
+    def test_normalization_divides_by_parameter(self, events_c8):
+        c8 = config_by_name("C8")
+        full = event_features(events_c8, "ROB", c8)
+        n_events = len(COMPONENT_EVENTS["ROB"])
+        raw = full[:n_events]
+        norm = full[n_events:-1].reshape(n_events, -1)
+        params = [c8[p] for p in hardware_feature_names("ROB")]
+        for i in range(n_events):
+            for j, value in enumerate(params):
+                assert norm[i, j] == pytest.approx(raw[i] / value)
+
+    def test_names_match_lengths(self, events_c8):
+        c8 = config_by_name("C8")
+        names = event_feature_names("LSU")
+        feats = event_features(events_c8, "LSU", c8)
+        assert len(names) == feats.size
+
+    def test_normalized_only_requires_config(self, events_c8):
+        with pytest.raises(ValueError):
+            event_features(events_c8, "ROB", None, include_raw=False)
+
+
+class TestProgramFeatures:
+    def test_vector_matches_names(self):
+        w = workload_by_name("spmv")
+        assert program_features(w).size == len(program_feature_names())
+
+    def test_microarchitecture_independent(self):
+        # Identical regardless of configuration — by construction.
+        w = workload_by_name("spmv")
+        assert np.array_equal(program_features(w), program_features(w))

@@ -1,0 +1,103 @@
+"""Unit tests for repro.core.logic (register + combinational models)."""
+
+import pytest
+
+from repro.arch.components import COMPONENTS
+from repro.arch.config import config_by_name
+from repro.arch.workloads import workload_by_name
+from repro.core.logic import CombPowerModel, LogicPowerModel, RegisterPowerModel
+from repro.ml.metrics import mape
+
+
+class TestRegisterPowerModel:
+    def test_positive_predictions(self, autopower2, flow, c8):
+        events = flow.run(c8, workload_by_name("dhrystone")).events
+        for comp in COMPONENTS:
+            power = autopower2.logic_model.register_model.predict_component(
+                comp.name, c8, events
+            )
+            assert power > 0
+
+    def test_group_accuracy(self, autopower2, flow, test_configs, workloads):
+        true, pred = [], []
+        for config in test_configs:
+            for w in workloads:
+                res = flow.run(config, w)
+                true.append(res.power.group_total("register"))
+                pred.append(
+                    sum(
+                        autopower2.logic_model.register_model.predict_component(
+                            c.name, config, res.events
+                        )
+                        for c in COMPONENTS
+                    )
+                )
+        assert mape(true, pred) < 15.0
+
+    def test_requires_fit(self):
+        with pytest.raises(RuntimeError):
+            RegisterPowerModel().predict_component("ROB", config_by_name("C1"), None)
+
+    def test_empty_rejected(self):
+        with pytest.raises(ValueError):
+            RegisterPowerModel().fit([])
+
+
+class TestCombPowerModel:
+    def test_positive_predictions(self, autopower2, flow, c8):
+        events = flow.run(c8, workload_by_name("towers")).events
+        for comp in COMPONENTS:
+            power = autopower2.logic_model.comb_model.predict_component(
+                comp.name, c8, events
+            )
+            assert power > 0
+
+    def test_group_accuracy(self, autopower2, flow, test_configs, workloads):
+        true, pred = [], []
+        for config in test_configs:
+            for w in workloads:
+                res = flow.run(config, w)
+                true.append(res.power.group_total("comb"))
+                pred.append(
+                    sum(
+                        autopower2.logic_model.comb_model.predict_component(
+                            c.name, config, res.events
+                        )
+                        for c in COMPONENTS
+                    )
+                )
+        assert mape(true, pred) < 15.0
+
+    def test_variation_captures_workloads(self, autopower2, flow, c8, workloads):
+        # Comb power predictions must differ across workloads at a fixed
+        # config (Eq. 12's variation term).
+        preds = []
+        for w in workloads:
+            events = flow.run(c8, w).events
+            preds.append(
+                autopower2.logic_model.comb_model.predict_component(
+                    "FU Pool", c8, events
+                )
+            )
+        assert max(preds) > 1.05 * min(preds)
+
+    def test_requires_fit(self):
+        with pytest.raises(RuntimeError):
+            CombPowerModel().predict_component("ROB", config_by_name("C1"), None)
+
+
+class TestLogicPowerModel:
+    def test_predict_component_returns_pair(self, autopower2, flow, c8):
+        events = flow.run(c8, workload_by_name("median")).events
+        register, comb = autopower2.logic_model.predict_component("LSU", c8, events)
+        assert register > 0
+        assert comb > 0
+
+    def test_requires_fit(self):
+        with pytest.raises(RuntimeError):
+            LogicPowerModel().predict_component("ROB", config_by_name("C1"), None)
+
+    def test_predict_covers_all_components(self, autopower2, flow, c8):
+        events = flow.run(c8, workload_by_name("median")).events
+        preds = autopower2.logic_model.predict(c8, events)
+        assert set(preds) == {c.name for c in COMPONENTS}

@@ -1,0 +1,107 @@
+"""Unit tests for repro.core.scaling (scaling-pattern detector)."""
+
+import numpy as np
+import pytest
+
+from repro.core.scaling import FittedLaw, ScalingPatternDetector
+
+
+class TestDetector:
+    def test_paper_table1_example(self):
+        # Capacity of the IFU meta table over C1 and C15: width * depth *
+        # count = 120*8*1 = 960 and 240*40*1 = 9600.  (The paper's prose
+        # prints 1920/19200 but its own k = 240 matches 960/9600.)
+        detector = ScalingPatternDetector()
+        law = detector.fit(
+            targets=[960.0, 9600.0],
+            param_values={
+                "FetchWidth": [4.0, 8.0],
+                "DecodeWidth": [1.0, 5.0],
+                "FetchBufferEntry": [5.0, 40.0],
+            },
+            param_order=("FetchWidth", "DecodeWidth", "FetchBufferEntry"),
+        )
+        assert set(law.params) == {"FetchWidth", "DecodeWidth"}
+        assert law.coefficient == pytest.approx(240.0)
+        assert detector.is_exact(law)
+
+    def test_constant_target_picks_empty_combo(self):
+        detector = ScalingPatternDetector()
+        law = detector.fit(
+            targets=[48.0, 48.0, 48.0],
+            param_values={"A": [1.0, 2.0, 3.0]},
+            param_order=("A",),
+        )
+        assert law.params == ()
+        assert law.coefficient == pytest.approx(48.0)
+
+    def test_single_parameter(self):
+        detector = ScalingPatternDetector()
+        law = detector.fit(
+            targets=[32.0, 96.0],
+            param_values={"A": [2.0, 6.0], "B": [1.0, 2.0]},
+            param_order=("A", "B"),
+        )
+        assert law.params == ("A",)
+        assert law.coefficient == pytest.approx(16.0)
+
+    def test_triple_product(self):
+        detector = ScalingPatternDetector(max_combination_size=3)
+        a = np.array([1.0, 2.0, 3.0])
+        b = np.array([2.0, 2.0, 5.0])
+        c = np.array([1.0, 3.0, 2.0])
+        law = detector.fit(
+            targets=7.0 * a * b * c,
+            param_values={"A": list(a), "B": list(b), "C": list(c)},
+            param_order=("A", "B", "C"),
+        )
+        assert set(law.params) == {"A", "B", "C"}
+        assert law.coefficient == pytest.approx(7.0)
+
+    def test_tie_broken_by_smaller_combination(self):
+        # B == A so k*A and k*A*B' ... give identical fits; pick size 1.
+        detector = ScalingPatternDetector()
+        law = detector.fit(
+            targets=[10.0, 20.0],
+            param_values={"A": [1.0, 2.0], "B": [1.0, 1.0]},
+            param_order=("A", "B"),
+        )
+        assert law.params == ("A",)
+
+    def test_noisy_target_minimizes_error(self):
+        detector = ScalingPatternDetector()
+        law = detector.fit(
+            targets=[10.1, 19.8, 30.3],
+            param_values={"A": [1.0, 2.0, 3.0], "B": [3.0, 1.0, 2.0]},
+            param_order=("A", "B"),
+        )
+        assert law.params == ("A",)
+        assert not detector.is_exact(law)
+        assert law.error < 0.02
+
+    def test_evaluate(self):
+        law = FittedLaw(coefficient=30.0, params=("FetchWidth",), error=0.0)
+        assert law.evaluate({"FetchWidth": 8.0}) == pytest.approx(240.0)
+
+    def test_describe(self):
+        law = FittedLaw(240.0, ("FetchWidth", "DecodeWidth"), 0.0)
+        assert law.describe() == "240 * FetchWidth * DecodeWidth"
+        assert FittedLaw(48.0, (), 0.0).describe() == "48"
+
+    def test_rejects_nonpositive_targets(self):
+        with pytest.raises(ValueError, match="positive"):
+            ScalingPatternDetector().fit([0.0, 1.0], {"A": [1.0, 2.0]}, ("A",))
+
+    def test_rejects_mismatched_lengths(self):
+        with pytest.raises(ValueError):
+            ScalingPatternDetector().fit([1.0, 2.0], {"A": [1.0]}, ("A",))
+
+    def test_rejects_empty(self):
+        with pytest.raises(ValueError):
+            ScalingPatternDetector().fit([], {}, ())
+
+    def test_max_combination_size_zero_gives_constant(self):
+        detector = ScalingPatternDetector(max_combination_size=0)
+        law = detector.fit([5.0, 7.0], {"A": [1.0, 2.0]}, ("A",))
+        assert law.params == ()
+        assert law.coefficient == pytest.approx(6.2, rel=0.05)

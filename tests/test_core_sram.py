@@ -1,0 +1,108 @@
+"""Unit tests for repro.core.sram (SRAM power model, Eq. 9-10)."""
+
+import pytest
+
+from repro.arch.config import BOOM_CONFIGS, config_by_name
+from repro.arch.workloads import workload_by_name
+from repro.core.sram import SramPowerModel
+from repro.ml.metrics import mape
+
+
+class TestHardwareModel:
+    def test_meta_laws_match_table1(self, autopower2):
+        laws = autopower2.sram_model.laws("meta")
+        assert set(laws["capacity"].params) == {"FetchWidth", "DecodeWidth"}
+        assert laws["capacity"].coefficient == pytest.approx(240.0)
+        assert laws["throughput"].params == ("FetchWidth",)
+        assert laws["throughput"].coefficient == pytest.approx(30.0)
+        assert laws["width"].coefficient == pytest.approx(30.0)
+
+    def test_all_block_shapes_exact(self, autopower2, flow):
+        # Paper Sec. III-B4: "nearly 0 MAPE" on block information.
+        model = autopower2.sram_model
+        for position in model.position_names:
+            component = model._positions[position].component
+            for config in BOOM_CONFIGS:
+                true = flow.design(config).component(component).position(position).block
+                pred = model.predict_block(position, config)
+                assert (pred.width, pred.depth, pred.count) == (
+                    true.width,
+                    true.depth,
+                    true.count,
+                ), (position, config.name)
+
+    def test_fourteen_positions_discovered(self, autopower2):
+        assert len(autopower2.sram_model.position_names) == 14
+
+    def test_unknown_position_rejected(self, autopower2):
+        with pytest.raises(KeyError):
+            autopower2.sram_model.predict_block("no_such_table", config_by_name("C1"))
+
+
+class TestActivityModel:
+    def test_rates_nonnegative(self, autopower2, flow, test_configs):
+        model = autopower2.sram_model
+        config = test_configs[0]
+        w = workload_by_name("qsort")
+        events = flow.run(config, w).events
+        for position in model.position_names:
+            read, write = model.predict_block_activity(position, config, events, w)
+            assert read >= 0.0
+            assert write >= 0.0
+
+    def test_activity_tracks_golden(self, autopower2, flow, test_configs, workloads):
+        model = autopower2.sram_model
+        true, pred = [], []
+        for config in test_configs[:4]:
+            for w in workloads:
+                res = flow.run(config, w)
+                act = res.activity.component("ICacheDataArray").positions["icache_data"]
+                read, _ = model.predict_block_activity(
+                    "icache_data", config, res.events, w
+                )
+                true.append(act.read_per_block_cycle)
+                pred.append(read)
+        assert mape(true, pred) < 20.0
+
+
+class TestPowerPrediction:
+    def test_constant_calibrated_close_to_truth(self, autopower2, flow):
+        # C should land near the real per-macro static power (leak + pins).
+        compiler = flow.library.sram
+        macros = compiler.all_macros()
+        static = [m.leakage_mw + m.pin_toggle_mw for m in macros]
+        c_hat = autopower2.sram_model.c_constant_mw
+        assert min(static) * 0.5 <= c_hat <= max(static) * 1.5
+
+    def test_component_power_positive(self, autopower2, flow, c8):
+        w = workload_by_name("median")
+        events = flow.run(c8, w).events
+        assert autopower2.sram_model.predict_component("IFU", c8, events, w) > 0
+
+    def test_non_sram_component_is_zero(self, autopower2, flow, c8):
+        w = workload_by_name("median")
+        events = flow.run(c8, w).events
+        assert autopower2.sram_model.predict_component("RNU", c8, events, w) == 0.0
+
+    def test_group_accuracy_within_paper_band(
+        self, autopower2, flow, test_configs, workloads
+    ):
+        # Paper: SRAM MAPE 7.60 % with 2 training configs.
+        true, pred = [], []
+        for config in test_configs:
+            for w in workloads:
+                res = flow.run(config, w)
+                true.append(res.power.group_total("sram"))
+                pred.append(
+                    sum(autopower2.sram_model.predict(config, res.events, w).values())
+                )
+        assert mape(true, pred) < 10.0
+
+    def test_requires_fit(self, flow):
+        model = SramPowerModel(flow.library)
+        with pytest.raises(RuntimeError):
+            model.predict(config_by_name("C1"), None, None)
+
+    def test_empty_results_rejected(self, flow):
+        with pytest.raises(ValueError):
+            SramPowerModel(flow.library).fit([])

@@ -1,0 +1,49 @@
+"""Unit tests for repro.data.dataset."""
+
+import numpy as np
+import pytest
+
+from repro.arch.config import config_by_name
+from repro.arch.workloads import WORKLOADS
+from repro.data.dataset import build_dataset
+
+
+@pytest.fixture(scope="module")
+def small_dataset(flow):
+    configs = (config_by_name("C1"), config_by_name("C8"), config_by_name("C15"))
+    return build_dataset(flow, configs=configs)
+
+
+class TestBuildDataset:
+    def test_sample_count(self, small_dataset):
+        assert len(small_dataset) == 3 * len(WORKLOADS)
+
+    def test_feature_matrix_shape(self, small_dataset):
+        X = small_dataset.features()
+        assert X.shape == (len(small_dataset), len(small_dataset.feature_names))
+        assert np.isfinite(X).all()
+
+    def test_totals_positive(self, small_dataset):
+        assert (small_dataset.totals() > 0).all()
+
+    def test_group_labels(self, small_dataset):
+        clock = small_dataset.group("clock")
+        sram = small_dataset.group("sram")
+        totals = small_dataset.totals()
+        assert ((clock + sram) < totals).all()
+
+    def test_split_by_config(self, small_dataset):
+        train, test = small_dataset.split_by_config(("C1", "C15"))
+        assert len(train) == 2 * len(WORKLOADS)
+        assert len(test) == 1 * len(WORKLOADS)
+        assert {s.config_name for s in test.samples} == {"C8"}
+
+    def test_bad_split_rejected(self, small_dataset):
+        with pytest.raises(ValueError):
+            small_dataset.split_by_config(("C1", "C8", "C15"))
+
+    def test_sample_fields(self, small_dataset):
+        s = small_dataset.samples[0]
+        assert s.config_name == "C1"
+        assert s.hardware.size == 18
+        assert s.total_power > 0

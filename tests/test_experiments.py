@@ -1,0 +1,94 @@
+"""Tests for the experiment harness (fast paths)."""
+
+import pytest
+
+from repro.experiments import fig1_breakdown, submodels, table1_example, table4_trace
+from repro.experiments.runner import TRAIN_SETS, train_configs_for
+from repro.experiments.runner import test_configs_for as holdout_configs_for
+from repro.experiments.tables import format_table
+
+
+class TestTables:
+    def test_format_table_basic(self):
+        out = format_table(["a", "b"], [["x", 1.5], ["long-cell", 2.0]])
+        lines = out.splitlines()
+        assert len(lines) == 4
+        assert "1.500" in out
+
+    def test_format_table_title(self):
+        out = format_table(["a"], [["x"]], title="T")
+        assert out.splitlines()[0] == "T"
+
+    def test_row_width_mismatch_rejected(self):
+        with pytest.raises(ValueError):
+            format_table(["a", "b"], [["only-one"]])
+
+
+class TestSplits:
+    def test_train_sets_cover_budgets(self):
+        assert set(TRAIN_SETS) == {2, 3, 4, 5, 6}
+
+    def test_extremes_always_included(self):
+        for names in TRAIN_SETS.values():
+            assert "C1" in names
+            assert "C15" in names
+
+    def test_train_test_disjoint_and_complete(self):
+        for n in TRAIN_SETS:
+            train = {c.name for c in train_configs_for(n)}
+            test = {c.name for c in holdout_configs_for(n)}
+            assert not train & test
+            assert len(train) + len(test) == 15
+
+    def test_unknown_budget(self):
+        with pytest.raises(KeyError):
+            train_configs_for(9)
+
+
+class TestFig1(object):
+    def test_breakdown_shares(self, flow):
+        result = fig1_breakdown.run(flow)
+        assert sum(result.overall.values()) == pytest.approx(1.0)
+        # Observation 1: clock + SRAM dominate.
+        assert result.clock_plus_sram > 0.55
+        assert len(result.per_config) == 15
+
+    def test_rows_render(self, flow):
+        result = fig1_breakdown.run(flow)
+        assert len(result.rows()) == 16  # overall + 15 configs
+
+
+class TestTable1(object):
+    def test_laws_match_paper(self, flow):
+        result = table1_example.run(flow)
+        assert "240" in result.capacity_law
+        assert "FetchWidth" in result.capacity_law
+        assert "DecodeWidth" in result.capacity_law
+        assert result.throughput_law.startswith("30 * FetchWidth")
+        assert result.all_exact
+
+
+class TestSubmodels(object):
+    def test_paper_bands(self, flow):
+        result = submodels.run(flow)
+        # Paper: R & g MAPE 6.93 % @ 2 configs; block info ~0 MAPE.
+        assert result.mean_reg_and_gate_mape < 7.0
+        assert result.mean_block_mape < 0.5
+
+    def test_rows_cover_components_and_positions(self, flow):
+        result = submodels.run(flow)
+        assert len(result.register_count_mape) == 22
+        assert len(result.block_width_mape) == 14
+
+
+class TestTable4(object):
+    def test_trace_errors_small(self, flow):
+        result = table4_trace.run(flow, max_windows=200, n_anchors=17)
+        assert len(result.rows_) == 6  # 2 workloads x 3 configs
+        for row in result.rows_:
+            assert row.average_error < 15.0
+            assert row.max_power_error < 25.0
+
+    def test_rows_render(self, flow):
+        result = table4_trace.run(flow, configs=("C2",), max_windows=50, n_anchors=9)
+        assert len(result.rows()) == 2

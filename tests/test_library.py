@@ -1,0 +1,113 @@
+"""Unit tests for repro.library (std cells + SRAM compiler)."""
+
+import pytest
+
+from repro.library.sram_compiler import SramCompiler
+from repro.library.stdcell import CombCellSpec, TechLibrary, default_library
+
+
+class TestTechLibrary:
+    def test_default_library_constructs(self):
+        lib = default_library()
+        assert lib.name == "synth40"
+        assert lib.frequency_ghz == 1.0
+
+    def test_p_reg_lookup_positive(self):
+        lib = default_library()
+        assert lib.p_reg_mw > 0
+        assert lib.p_latch_mw > 0
+
+    def test_latch_pin_costs_more_than_reg_pin(self):
+        # ICG latches are larger than a flop clock pin in most libraries.
+        lib = default_library()
+        assert lib.p_latch_mw > lib.p_reg_mw
+
+    def test_power_conversion_at_1ghz_identity(self):
+        lib = default_library()
+        assert lib.power_mw(3.5) == pytest.approx(3.5)
+
+    def test_power_conversion_scales_with_frequency(self):
+        lib = TechLibrary(frequency_ghz=2.0)
+        assert lib.power_mw(1.0) == pytest.approx(2.0)
+
+    def test_comb_cell_lookup(self):
+        lib = default_library()
+        assert lib.comb_cell("nand2").switch_energy_pj > 0
+        with pytest.raises(KeyError):
+            lib.comb_cell("nand99")
+
+    def test_invalid_frequency_rejected(self):
+        with pytest.raises(ValueError):
+            TechLibrary(frequency_ghz=0.0)
+
+    def test_invalid_gated_share_rejected(self):
+        with pytest.raises(ValueError):
+            TechLibrary(clock_tree_gated_share=1.5)
+
+    def test_invalid_cell_spec_rejected(self):
+        with pytest.raises(ValueError):
+            CombCellSpec("bad", -1.0, 0.0)
+
+
+class TestSramCompiler:
+    def test_legal_shapes(self):
+        comp = SramCompiler()
+        assert comp.is_legal(64, 256)
+        assert not comp.is_legal(65, 256)
+        assert not comp.is_legal(64, 257)
+
+    def test_smallest_width_at_least(self):
+        comp = SramCompiler()
+        assert comp.smallest_width_at_least(9) == 16
+        assert comp.smallest_width_at_least(128) == 128
+        assert comp.smallest_width_at_least(129) is None
+
+    def test_smallest_depth_at_least(self):
+        comp = SramCompiler()
+        assert comp.smallest_depth_at_least(8) == 16
+        assert comp.smallest_depth_at_least(1024) == 1024
+        assert comp.smallest_depth_at_least(2000) is None
+
+    def test_macro_energies_increase_with_width(self):
+        comp = SramCompiler()
+        narrow = comp.macro(16, 128)
+        wide = comp.macro(128, 128)
+        assert wide.read_energy_pj > narrow.read_energy_pj
+        assert wide.write_energy_pj > narrow.write_energy_pj
+
+    def test_macro_energies_increase_with_depth(self):
+        comp = SramCompiler()
+        shallow = comp.macro(64, 32)
+        deep = comp.macro(64, 1024)
+        assert deep.read_energy_pj > shallow.read_energy_pj
+
+    def test_write_costs_more_than_read(self):
+        comp = SramCompiler()
+        for macro in comp.all_macros():
+            assert macro.write_energy_pj > macro.read_energy_pj
+
+    def test_leakage_proportional_to_bits(self):
+        comp = SramCompiler()
+        small = comp.macro(8, 16)
+        big = comp.macro(128, 1024)
+        ratio = big.leakage_mw / small.leakage_mw
+        assert ratio == pytest.approx(big.bits / small.bits)
+
+    def test_illegal_shape_rejected(self):
+        with pytest.raises(ValueError, match="not supported"):
+            SramCompiler().macro(30, 128)
+
+    def test_all_macros_count(self):
+        comp = SramCompiler()
+        assert len(comp.all_macros()) == len(comp.widths) * len(comp.depths)
+
+    def test_macro_name(self):
+        assert SramCompiler().macro(64, 256).name == "sram_256x64"
+
+    def test_custom_grid_validation(self):
+        with pytest.raises(ValueError):
+            SramCompiler(widths=(), depths=(16,))
+        with pytest.raises(ValueError):
+            SramCompiler(widths=(8, 8), depths=(16,))
+        with pytest.raises(ValueError):
+            SramCompiler(widths=(-8,), depths=(16,))

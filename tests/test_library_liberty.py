@@ -1,0 +1,40 @@
+"""Tests for the Liberty-style library exporter."""
+
+import pytest
+
+from repro.library.liberty import export_liberty, liberty_text
+from repro.library.stdcell import default_library
+
+
+class TestLibertyExport:
+    def test_contains_all_cells(self):
+        lib = default_library()
+        text = liberty_text(lib)
+        assert f"library ({lib.name})" in text
+        assert "cell (dff)" in text
+        assert "cell (icg)" in text
+        for cell in lib.comb_cells:
+            assert f"cell ({cell.name})" in text
+
+    def test_contains_all_macros(self):
+        lib = default_library()
+        text = liberty_text(lib)
+        for macro in lib.sram.all_macros():
+            assert f"cell ({macro.name})" in text
+
+    def test_energy_values_round_trip(self):
+        lib = default_library()
+        text = liberty_text(lib)
+        assert f"clock_pin_energy : {lib.register_clock_pin_energy_pj:.6g};" in text
+
+    def test_braces_balanced(self):
+        text = liberty_text(default_library())
+        assert text.count("{") == text.count("}")
+
+    def test_export_writes_file(self, tmp_path):
+        out = export_liberty(default_library(), tmp_path / "synth40.lib")
+        assert out.exists()
+        assert out.read_text().startswith("library (synth40)")
+
+    def test_deterministic(self):
+        assert liberty_text(default_library()) == liberty_text(default_library())

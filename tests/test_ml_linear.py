@@ -1,0 +1,103 @@
+"""Unit tests for repro.ml.linear (ridge regression)."""
+
+import numpy as np
+import pytest
+
+from repro.ml.linear import RidgeRegression
+
+
+def _linear_data(n=40, noise=0.0, seed=0):
+    rng = np.random.default_rng(seed)
+    X = rng.uniform(0, 10, size=(n, 3))
+    w = np.array([2.0, -1.5, 0.5])
+    y = X @ w + 4.0 + noise * rng.normal(size=n)
+    return X, y, w
+
+
+class TestFit:
+    def test_recovers_exact_linear_relation(self):
+        X, y, w = _linear_data()
+        model = RidgeRegression(alpha=1e-10).fit(X, y)
+        assert np.allclose(model.coef_, w, atol=1e-6)
+        assert model.intercept_ == pytest.approx(4.0, abs=1e-6)
+
+    def test_predict_matches_training_targets(self):
+        X, y, _ = _linear_data()
+        model = RidgeRegression(alpha=1e-10).fit(X, y)
+        assert np.allclose(model.predict(X), y, atol=1e-6)
+
+    def test_two_samples_interpolate(self):
+        # The few-shot regime: 2 samples, 2 features.
+        X = np.array([[1.0, 16.0], [5.0, 140.0]])
+        y = np.array([381.0, 1875.0])
+        model = RidgeRegression(alpha=1e-6).fit(X, y)
+        assert np.allclose(model.predict(X), y, rtol=1e-3)
+
+    def test_underdetermined_does_not_blow_up(self):
+        X = np.array([[1.0, 2.0, 3.0, 4.0], [2.0, 3.0, 5.0, 9.0]])
+        y = np.array([1.0, 2.0])
+        model = RidgeRegression(alpha=1e-3).fit(X, y)
+        pred = model.predict(np.array([[1.5, 2.5, 4.0, 6.5]]))
+        assert np.isfinite(pred).all()
+        assert 0.0 < pred[0] < 3.0
+
+    def test_regularization_shrinks_coefficients(self):
+        X, y, _ = _linear_data(noise=1.0)
+        small = RidgeRegression(alpha=1e-6).fit(X, y)
+        large = RidgeRegression(alpha=1e4).fit(X, y)
+        assert np.linalg.norm(large.coef_) < np.linalg.norm(small.coef_)
+
+    def test_huge_alpha_predicts_mean(self):
+        X, y, _ = _linear_data()
+        model = RidgeRegression(alpha=1e12).fit(X, y)
+        assert np.allclose(model.predict(X), y.mean(), rtol=1e-3)
+
+    def test_constant_feature_is_harmless(self):
+        X = np.column_stack([np.ones(10), np.arange(10.0)])
+        y = 3.0 * np.arange(10.0) + 1.0
+        model = RidgeRegression(alpha=1e-9).fit(X, y)
+        assert np.allclose(model.predict(X), y, atol=1e-6)
+
+    def test_no_intercept(self):
+        X = np.array([[1.0], [2.0], [3.0]])
+        y = np.array([2.0, 4.0, 6.0])
+        model = RidgeRegression(alpha=1e-10, fit_intercept=False, normalize=False)
+        model.fit(X, y)
+        assert model.intercept_ == 0.0
+        assert model.coef_[0] == pytest.approx(2.0, rel=1e-6)
+
+
+class TestValidation:
+    def test_negative_alpha_rejected(self):
+        with pytest.raises(ValueError, match="non-negative"):
+            RidgeRegression(alpha=-1.0)
+
+    def test_predict_before_fit(self):
+        with pytest.raises(RuntimeError, match="before fit"):
+            RidgeRegression().predict([[1.0]])
+
+    def test_shape_mismatch(self):
+        with pytest.raises(ValueError):
+            RidgeRegression().fit(np.ones((3, 2)), np.ones(4))
+
+    def test_empty_rejected(self):
+        with pytest.raises(ValueError):
+            RidgeRegression().fit(np.empty((0, 2)), np.empty(0))
+
+    def test_predict_feature_mismatch(self):
+        model = RidgeRegression().fit(np.ones((3, 2)), np.ones(3))
+        with pytest.raises(ValueError, match="features"):
+            model.predict(np.ones((1, 3)))
+
+
+class TestNonnegative:
+    def test_clamps_predictions(self):
+        X = np.array([[1.0], [2.0], [3.0]])
+        y = np.array([1.0, 0.5, 0.0])
+        model = RidgeRegression(alpha=1e-9, nonnegative=True).fit(X, y)
+        assert model.predict(np.array([[10.0]]))[0] == 0.0
+
+    def test_fit_predict_convenience(self):
+        X, y, _ = _linear_data(n=10)
+        model = RidgeRegression(alpha=1e-9)
+        assert np.allclose(model.fit_predict(X, y), y, atol=1e-5)

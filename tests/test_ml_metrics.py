@@ -1,0 +1,104 @@
+"""Unit tests for repro.ml.metrics."""
+
+import numpy as np
+import pytest
+
+from repro.ml.metrics import (
+    mape,
+    max_error,
+    mean_absolute_error,
+    pearson_r,
+    r2_score,
+    rmse,
+)
+
+
+class TestMape:
+    def test_exact_prediction_is_zero(self):
+        assert mape([1.0, 2.0, 3.0], [1.0, 2.0, 3.0]) == 0.0
+
+    def test_known_value(self):
+        assert mape([100.0], [104.36]) == pytest.approx(4.36)
+
+    def test_symmetric_under_over(self):
+        assert mape([100.0], [90.0]) == pytest.approx(10.0)
+        assert mape([100.0], [110.0]) == pytest.approx(10.0)
+
+    def test_rejects_zero_truth(self):
+        with pytest.raises(ValueError, match="undefined"):
+            mape([0.0, 1.0], [1.0, 1.0])
+
+    def test_rejects_shape_mismatch(self):
+        with pytest.raises(ValueError, match="shape mismatch"):
+            mape([1.0, 2.0], [1.0])
+
+    def test_rejects_empty(self):
+        with pytest.raises(ValueError):
+            mape([], [])
+
+    def test_rejects_nan(self):
+        with pytest.raises(ValueError, match="finite"):
+            mape([1.0, float("nan")], [1.0, 1.0])
+
+    def test_mean_of_percent_errors(self):
+        # 10% and 30% -> 20%
+        assert mape([10.0, 10.0], [11.0, 13.0]) == pytest.approx(20.0)
+
+
+class TestR2:
+    def test_perfect(self):
+        assert r2_score([1, 2, 3], [1, 2, 3]) == pytest.approx(1.0)
+
+    def test_mean_predictor_is_zero(self):
+        y = np.array([1.0, 2.0, 3.0])
+        assert r2_score(y, np.full(3, y.mean())) == pytest.approx(0.0)
+
+    def test_can_be_negative(self):
+        assert r2_score([1.0, 2.0, 3.0], [3.0, 3.0, -2.0]) < 0.0
+
+    def test_constant_truth_exact(self):
+        assert r2_score([2.0, 2.0], [2.0, 2.0]) == 1.0
+
+    def test_constant_truth_inexact(self):
+        assert r2_score([2.0, 2.0], [2.0, 3.0]) == 0.0
+
+
+class TestPearson:
+    def test_perfect_linear(self):
+        assert pearson_r([1, 2, 3], [10, 20, 30]) == pytest.approx(1.0)
+
+    def test_perfect_negative(self):
+        assert pearson_r([1, 2, 3], [-1, -2, -3]) == pytest.approx(-1.0)
+
+    def test_scale_invariant(self):
+        y = [1.0, 3.0, 2.0, 5.0]
+        p = [2.0, 6.0, 4.0, 10.0]
+        assert pearson_r(y, p) == pytest.approx(1.0)
+
+    def test_constant_prediction_is_zero(self):
+        assert pearson_r([1.0, 2.0, 3.0], [5.0, 5.0, 5.0]) == 0.0
+
+    def test_requires_two_samples(self):
+        with pytest.raises(ValueError):
+            pearson_r([1.0], [1.0])
+
+
+class TestOtherMetrics:
+    def test_mae(self):
+        assert mean_absolute_error([1.0, 2.0], [2.0, 0.0]) == pytest.approx(1.5)
+
+    def test_rmse(self):
+        assert rmse([0.0, 0.0], [3.0, 4.0]) == pytest.approx(np.sqrt(12.5))
+
+    def test_rmse_at_least_mae(self):
+        rng = np.random.default_rng(0)
+        t = rng.normal(size=50)
+        p = t + rng.normal(size=50)
+        assert rmse(t, p) >= mean_absolute_error(t, p)
+
+    def test_max_error(self):
+        assert max_error([1.0, 2.0, 3.0], [1.0, 5.0, 2.5]) == pytest.approx(3.0)
+
+    def test_accepts_2d_input_ravel(self):
+        t = np.array([[1.0, 2.0], [3.0, 4.0]])
+        assert mean_absolute_error(t, t) == 0.0

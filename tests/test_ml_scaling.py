@@ -1,0 +1,41 @@
+"""Unit tests for repro.ml.scaling (StandardScaler)."""
+
+import numpy as np
+import pytest
+
+from repro.ml.scaling import StandardScaler
+
+
+class TestStandardScaler:
+    def test_zero_mean_unit_variance(self):
+        rng = np.random.default_rng(0)
+        X = rng.normal(5.0, 3.0, size=(100, 4))
+        Z = StandardScaler().fit_transform(X)
+        assert np.allclose(Z.mean(axis=0), 0.0, atol=1e-9)
+        assert np.allclose(Z.std(axis=0), 1.0, atol=1e-9)
+
+    def test_constant_column_not_divided_by_zero(self):
+        X = np.column_stack([np.full(10, 3.0), np.arange(10.0)])
+        Z = StandardScaler().fit_transform(X)
+        assert np.allclose(Z[:, 0], 0.0)
+        assert np.isfinite(Z).all()
+
+    def test_round_trip(self):
+        rng = np.random.default_rng(1)
+        X = rng.uniform(-4, 9, size=(30, 3))
+        scaler = StandardScaler().fit(X)
+        assert np.allclose(scaler.inverse_transform(scaler.transform(X)), X)
+
+    def test_transform_before_fit(self):
+        with pytest.raises(RuntimeError):
+            StandardScaler().transform([[1.0]])
+
+    def test_feature_count_mismatch(self):
+        scaler = StandardScaler().fit(np.ones((5, 2)))
+        with pytest.raises(ValueError):
+            scaler.transform(np.ones((5, 3)))
+
+    def test_transform_new_data_uses_fit_stats(self):
+        X = np.array([[0.0], [2.0]])
+        scaler = StandardScaler().fit(X)
+        assert scaler.transform([[4.0]])[0, 0] == pytest.approx(3.0)

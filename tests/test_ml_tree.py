@@ -1,0 +1,109 @@
+"""Unit tests for repro.ml.tree (regression tree)."""
+
+import numpy as np
+import pytest
+
+from repro.ml.tree import RegressionTree
+
+
+def _step_data():
+    X = np.arange(20, dtype=float).reshape(-1, 1)
+    y = np.where(X.ravel() < 10, 1.0, 5.0)
+    return X, y
+
+
+class TestFit:
+    def test_learns_step_function(self):
+        X, y = _step_data()
+        tree = RegressionTree(max_depth=1, reg_lambda=0.0).fit(X, y)
+        pred = tree.predict(X)
+        assert np.allclose(pred, y, atol=1e-9)
+
+    def test_split_threshold_between_values(self):
+        X, y = _step_data()
+        tree = RegressionTree(max_depth=1, reg_lambda=0.0).fit(X, y)
+        assert tree.root_.threshold == pytest.approx(9.5)
+
+    def test_depth_zero_is_mean_leaf(self):
+        X, y = _step_data()
+        tree = RegressionTree(max_depth=0, reg_lambda=0.0).fit(X, y)
+        assert tree.root_.is_leaf
+        assert tree.predict(X)[0] == pytest.approx(y.mean())
+
+    def test_reg_lambda_shrinks_leaf_values(self):
+        X = np.array([[0.0], [1.0]])
+        y = np.array([0.0, 10.0])
+        plain = RegressionTree(max_depth=1, reg_lambda=0.0).fit(X, y)
+        shrunk = RegressionTree(max_depth=1, reg_lambda=5.0).fit(X, y)
+        assert max(abs(v) for v in shrunk.predict(X)) < max(
+            abs(v) for v in plain.predict(X)
+        )
+
+    def test_min_child_weight_blocks_small_splits(self):
+        X, y = _step_data()
+        tree = RegressionTree(max_depth=3, min_child_weight=50.0).fit(X, y)
+        assert tree.root_.is_leaf
+
+    def test_gamma_blocks_weak_splits(self):
+        rng = np.random.default_rng(0)
+        X = rng.normal(size=(30, 2))
+        y = rng.normal(size=30) * 0.01  # almost no structure
+        tree = RegressionTree(max_depth=3, gamma=10.0).fit(X, y)
+        assert tree.root_.is_leaf
+
+    def test_max_depth_respected(self):
+        rng = np.random.default_rng(1)
+        X = rng.normal(size=(200, 3))
+        y = np.sin(X[:, 0]) + X[:, 1] ** 2
+        tree = RegressionTree(max_depth=2).fit(X, y)
+        assert tree.depth_ <= 2
+
+    def test_constant_target_single_leaf(self):
+        X = np.arange(10, dtype=float).reshape(-1, 1)
+        tree = RegressionTree(max_depth=3, reg_lambda=0.0).fit(X, np.full(10, 7.0))
+        assert tree.root_.is_leaf
+        assert tree.predict(X)[0] == pytest.approx(7.0)
+
+    def test_duplicate_feature_values_not_split(self):
+        X = np.ones((10, 1))
+        y = np.arange(10.0)
+        tree = RegressionTree(max_depth=3).fit(X, y)
+        assert tree.root_.is_leaf
+
+    def test_predictions_within_target_range(self):
+        # Trees cannot extrapolate — the paper's few-shot failure mode.
+        rng = np.random.default_rng(2)
+        X = rng.uniform(0, 1, size=(50, 2))
+        y = rng.uniform(10, 20, size=50)
+        tree = RegressionTree(max_depth=4, reg_lambda=0.0).fit(X, y)
+        pred = tree.predict(rng.uniform(-5, 5, size=(100, 2)))
+        assert pred.min() >= y.min() - 1e-9
+        assert pred.max() <= y.max() + 1e-9
+
+
+class TestValidation:
+    def test_bad_depth(self):
+        with pytest.raises(ValueError):
+            RegressionTree(max_depth=-1)
+
+    def test_bad_min_samples(self):
+        with pytest.raises(ValueError):
+            RegressionTree(min_samples_split=1)
+
+    def test_predict_before_fit(self):
+        with pytest.raises(RuntimeError):
+            RegressionTree().predict([[1.0]])
+
+    def test_feature_count_mismatch(self):
+        tree = RegressionTree().fit(np.ones((4, 2)), np.arange(4.0))
+        with pytest.raises(ValueError):
+            tree.predict(np.ones((1, 3)))
+
+    def test_empty_rejected(self):
+        with pytest.raises(ValueError):
+            RegressionTree().fit_gradients(np.empty((0, 1)), np.empty(0), np.empty(0))
+
+    def test_count_leaves(self):
+        X, y = _step_data()
+        tree = RegressionTree(max_depth=1, reg_lambda=0.0).fit(X, y)
+        assert tree.root_.count_leaves() == 2

@@ -1,0 +1,142 @@
+"""Unit tests for repro.power: reports, analyzer, golden traces."""
+
+import numpy as np
+import pytest
+
+from repro.arch.config import BOOM_CONFIGS, config_by_name
+from repro.arch.workloads import WORKLOADS, workload_by_name
+from repro.power.report import ComponentPower, POWER_GROUPS, PowerReport
+from repro.power.trace import golden_trace_power, power_scale_function
+
+
+class TestComponentPower:
+    def test_total_and_logic(self):
+        cp = ComponentPower("X", clock=1.0, sram=2.0, register=0.5, comb=1.5)
+        assert cp.total == pytest.approx(5.0)
+        assert cp.logic == pytest.approx(2.0)
+
+    def test_group_accessor(self):
+        cp = ComponentPower("X", clock=1.0, sram=2.0, register=0.5, comb=1.5)
+        assert cp.group("clock") == 1.0
+        assert cp.group("logic") == 2.0
+        assert cp.group("total") == 5.0
+        with pytest.raises(KeyError):
+            cp.group("thermal")
+
+    def test_negative_rejected(self):
+        with pytest.raises(ValueError):
+            ComponentPower("X", clock=-1.0, sram=0.0, register=0.0, comb=0.0)
+
+
+class TestPowerReport:
+    def _report(self):
+        return PowerReport(
+            config_name="C1",
+            workload_name="w",
+            components=(
+                ComponentPower("A", 1.0, 2.0, 0.5, 0.5),
+                ComponentPower("B", 2.0, 1.0, 0.5, 1.5),
+            ),
+        )
+
+    def test_totals(self):
+        report = self._report()
+        assert report.total == pytest.approx(9.0)
+        assert report.group_total("clock") == pytest.approx(3.0)
+        assert report.group_total("logic") == pytest.approx(3.0)
+
+    def test_breakdown_sums_to_one(self):
+        breakdown = self._report().breakdown()
+        assert sum(breakdown.values()) == pytest.approx(1.0)
+
+    def test_component_lookup(self):
+        report = self._report()
+        assert report.component("A").clock == 1.0
+        with pytest.raises(KeyError):
+            report.component("C")
+
+    def test_as_rows(self):
+        rows = self._report().as_rows()
+        assert len(rows) == 2
+        assert rows[0][0] == "A"
+
+
+class TestGoldenPower:
+    def test_power_positive_everywhere(self, flow):
+        for cname in ("C1", "C8", "C15"):
+            config = config_by_name(cname)
+            for workload in WORKLOADS:
+                report = flow.run(config, workload).power
+                for comp in report.components:
+                    assert comp.clock > 0
+                    assert comp.register > 0
+                    assert comp.comb > 0
+
+    def test_observation1_clock_sram_dominate(self, flow):
+        # The paper's Observation 1.
+        shares = []
+        for config in BOOM_CONFIGS:
+            for workload in WORKLOADS:
+                b = flow.run(config, workload).power.breakdown()
+                shares.append(b["clock"] + b["sram"])
+        assert np.mean(shares) > 0.55
+
+    def test_power_scales_with_configuration(self, flow):
+        w = workload_by_name("dhrystone")
+        p1 = flow.run(config_by_name("C1"), w).power.total
+        p8 = flow.run(config_by_name("C8"), w).power.total
+        p15 = flow.run(config_by_name("C15"), w).power.total
+        assert p1 < p8 < p15
+
+    def test_power_depends_on_workload(self, flow):
+        c8 = config_by_name("C8")
+        totals = {w.name: flow.run(c8, w).power.total for w in WORKLOADS}
+        assert max(totals.values()) > 1.1 * min(totals.values())
+
+    def test_sram_only_in_sram_components(self, flow):
+        report = flow.run(config_by_name("C8"), workload_by_name("qsort")).power
+        assert report.component("RNU").sram == 0.0
+        assert report.component("ICacheDataArray").sram > 0.0
+
+    def test_position_power_sums_to_component_sram(self, flow):
+        config = config_by_name("C8")
+        res = flow.run(config, workload_by_name("qsort"))
+        comp_net = res.netlist.component("IFU")
+        comp_act = res.activity.component("IFU")
+        total = sum(
+            flow.analyzer.position_power(comp_net, comp_act, p.name)
+            for p in comp_net.sram_positions
+        )
+        assert total == pytest.approx(res.power.component("IFU").sram)
+
+
+class TestGoldenTrace:
+    def test_trace_power_monotone_in_scale(self, flow):
+        config = config_by_name("C2")
+        gemm = workload_by_name("gemm")
+        scales = np.linspace(0.5, 1.5, 64)
+        powers = golden_trace_power(flow, config, gemm, scales)
+        assert np.all(np.diff(powers) >= -1e-9)
+
+    def test_anchor_interpolation_close_to_exact(self, flow):
+        config = config_by_name("C2")
+        gemm = workload_by_name("gemm")
+        scales = np.array([0.6, 0.9, 1.3])
+        approx = golden_trace_power(flow, config, gemm, scales, n_anchors=129)
+        exact = np.array(
+            [flow.power_at_scale(config, gemm, float(s)).total for s in scales]
+        )
+        assert np.allclose(approx, exact, rtol=2e-3)
+
+    def test_scale_function_rejects_out_of_range(self, flow):
+        fn = power_scale_function(
+            flow, config_by_name("C2"), workload_by_name("gemm"), 0.5, 1.5
+        )
+        with pytest.raises(ValueError):
+            fn(np.array([2.0]))
+
+    def test_empty_scales_rejected(self, flow):
+        with pytest.raises(ValueError):
+            golden_trace_power(
+                flow, config_by_name("C2"), workload_by_name("gemm"), np.array([])
+            )

@@ -1,0 +1,97 @@
+"""Property-based tests of the substrate: any valid workload profile must
+flow through execution, activity extraction and power analysis without
+violating physical invariants."""
+
+import numpy as np
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.arch.config import config_by_name
+from repro.arch.workloads import Workload
+from repro.library.stdcell import default_library
+from repro.rtl.generator import RtlGenerator
+from repro.power.analysis import PowerAnalyzer
+from repro.sim.activity import ActivitySimulator
+from repro.sim.uarch import execute
+from repro.synthesis.synthesizer import Synthesizer
+
+_SMALL = dict(max_examples=25, deadline=None)
+
+
+@st.composite
+def workloads(draw):
+    """Random but valid workload profiles."""
+    weights = [draw(st.floats(min_value=0.01, max_value=1.0)) for _ in range(6)]
+    total = sum(weights)
+    mix = [w / total for w in weights]
+    # Re-normalize exactly (floating error must not trip validation).
+    mix[0] += 1.0 - sum(mix)
+    return Workload(
+        name="hypo",
+        instructions=draw(st.integers(min_value=1_000, max_value=500_000)),
+        frac_int_alu=mix[0],
+        frac_int_mul=mix[1],
+        frac_fp=mix[2],
+        frac_load=mix[3],
+        frac_store=mix[4],
+        frac_branch=mix[5],
+        branch_entropy=draw(st.floats(min_value=0.0, max_value=1.0)),
+        icache_footprint=draw(st.integers(min_value=1_024, max_value=1 << 20)),
+        dcache_footprint=draw(st.integers(min_value=1_024, max_value=1 << 22)),
+        locality=draw(st.floats(min_value=0.0, max_value=1.0)),
+        ilp=draw(st.floats(min_value=1.0, max_value=6.0)),
+    )
+
+
+class TestExecutionInvariants:
+    @given(workloads())
+    @settings(**_SMALL)
+    def test_events_physical(self, workload):
+        config = config_by_name("C8")
+        res = execute(config, workload)
+        assert res.cycles > 0
+        assert 0 < res.ipc <= config["DecodeWidth"]
+        for name, value in res.events.items():
+            assert value >= 0.0, name
+        assert res.events["icache_misses"] <= res.events["icache_accesses"] + 1e-9
+        assert res.events["dcache_misses"] <= res.events["dcache_accesses"] + 1e-9
+
+    @given(workloads())
+    @settings(**_SMALL)
+    def test_rates_bounded(self, workload):
+        config = config_by_name("C3")
+        res = execute(config, workload)
+        assert res.events["decode_uops"] <= config["DecodeWidth"] * res.cycles
+        assert res.events["fetch_packets"] <= res.cycles
+
+
+class TestPipelineInvariants:
+    @given(workloads())
+    @settings(**_SMALL)
+    def test_power_positive_for_any_workload(self, workload):
+        config = config_by_name("C5")
+        library = default_library()
+        design = RtlGenerator().generate(config)
+        netlist = Synthesizer(library).synthesize(design)
+        activity = ActivitySimulator().simulate(design, config, workload)
+        report = PowerAnalyzer(library).analyze(netlist, activity)
+        assert report.total > 0
+        for comp in report.components:
+            assert comp.total >= 0
+        shares = report.breakdown()
+        assert abs(sum(shares.values()) - 1.0) < 1e-9
+
+    @given(workloads(), st.floats(min_value=0.4, max_value=1.6))
+    @settings(max_examples=15, deadline=None)
+    def test_power_monotone_in_activity_scale(self, workload, scale):
+        config = config_by_name("C5")
+        library = default_library()
+        design = RtlGenerator().generate(config)
+        netlist = Synthesizer(library).synthesize(design)
+        sim = ActivitySimulator(idiosyncrasy=0.0)
+        analyzer = PowerAnalyzer(library)
+        low = analyzer.analyze(netlist, sim.simulate(design, config, workload, scale=scale))
+        high = analyzer.analyze(
+            netlist, sim.simulate(design, config, workload, scale=scale * 1.2)
+        )
+        assert high.total >= low.total - 1e-9

@@ -1,0 +1,134 @@
+"""Unit tests for repro.rtl: design IR, SRAM plans, generator."""
+
+import pytest
+
+from repro.arch.components import COMPONENTS, sram_components
+from repro.arch.config import BOOM_CONFIGS, config_by_name
+from repro.rtl.design import ComponentRtl, RtlDesign, SramBlockSpec, SramPositionRtl
+from repro.rtl.generator import RtlGenerator
+from repro.rtl.sram_plan import (
+    SRAM_POSITION_PLANS,
+    ScalingLaw,
+    positions_for,
+)
+
+
+class TestSramBlockSpec:
+    def test_capacity_and_throughput(self):
+        block = SramBlockSpec(width=30, depth=8, count=2)
+        assert block.capacity_bits == 480
+        assert block.throughput_bits == 60
+        assert block.bits_per_block == 240
+
+    def test_invalid_dims_rejected(self):
+        with pytest.raises(ValueError):
+            SramBlockSpec(width=0, depth=8, count=1)
+        with pytest.raises(ValueError):
+            SramBlockSpec(width=8, depth=8, count=0)
+
+    def test_mask_must_divide_width(self):
+        with pytest.raises(ValueError, match="divisible"):
+            SramBlockSpec(width=30, depth=8, count=1, mask_sectors=4)
+
+
+class TestScalingLaw:
+    def test_constant(self):
+        law = ScalingLaw(12.0)
+        assert law.evaluate(config_by_name("C1")) == 12.0
+
+    def test_product(self):
+        law = ScalingLaw(240.0, ("FetchWidth", "DecodeWidth"))
+        assert law.evaluate(config_by_name("C1")) == 960.0  # 240*4*1
+        assert law.evaluate(config_by_name("C15")) == 9600.0  # 240*8*5
+
+    def test_inverse(self):
+        law = ScalingLaw(1.0, ("RobEntry",), inverse_params=("DecodeWidth",))
+        assert law.evaluate_int(config_by_name("C7")) == 27  # 81/3
+
+    def test_non_integral_rejected(self):
+        law = ScalingLaw(0.3, ("FetchWidth",))
+        with pytest.raises(ValueError, match="non-integral"):
+            law.evaluate_int(config_by_name("C1"))
+
+
+class TestSramPlans:
+    def test_fourteen_positions(self):
+        assert len(SRAM_POSITION_PLANS) == 14
+
+    def test_every_sram_component_has_a_plan(self):
+        for comp in sram_components():
+            assert positions_for(comp.name), comp.name
+
+    def test_meta_matches_paper_table1(self):
+        meta = next(p for p in SRAM_POSITION_PLANS if p.name == "meta")
+        c1 = meta.block(config_by_name("C1"))
+        c15 = meta.block(config_by_name("C15"))
+        assert (c1.width, c1.depth, c1.count) == (120, 8, 1)
+        assert (c15.width, c15.depth, c15.count) == (240, 40, 1)
+
+    def test_all_plans_integral_for_all_configs(self):
+        for plan in SRAM_POSITION_PLANS:
+            for config in BOOM_CONFIGS:
+                block = plan.block(config)  # raises on non-integral laws
+                assert block.capacity_bits > 0
+
+    def test_rob_payload_derived_scaling(self):
+        # Width/depth individually non-linear; capacity linear in RobEntry.
+        plan = next(p for p in SRAM_POSITION_PLANS if p.name == "rob_payload")
+        for config in BOOM_CONFIGS:
+            block = plan.block(config)
+            assert block.capacity_bits == 24 * config["RobEntry"]
+
+
+class TestGenerator:
+    @pytest.fixture(scope="class")
+    def designs(self):
+        gen = RtlGenerator()
+        return {c.name: gen.generate(c) for c in BOOM_CONFIGS}
+
+    def test_all_components_present(self, designs):
+        for design in designs.values():
+            assert len(design.components) == len(COMPONENTS)
+
+    def test_registers_positive_and_monotone_c1_c15(self, designs):
+        for comp in COMPONENTS:
+            r1 = designs["C1"].component(comp.name).registers
+            r15 = designs["C15"].component(comp.name).registers
+            assert 0 < r1 <= r15
+
+    def test_total_registers_grow_with_scale(self, designs):
+        totals = [designs[f"C{i}"].total_registers for i in (1, 5, 10, 15)]
+        assert totals == sorted(totals)
+
+    def test_sram_positions_attached_to_right_components(self, designs):
+        design = designs["C8"]
+        for comp in design.components:
+            for pos in comp.sram_positions:
+                assert pos.component == comp.name
+
+    def test_deterministic(self):
+        gen = RtlGenerator()
+        c8 = config_by_name("C8")
+        assert gen.generate(c8) == gen.generate(c8)
+
+    def test_total_sram_bits_grow_with_scale(self, designs):
+        assert designs["C1"].total_sram_bits < designs["C15"].total_sram_bits
+
+    def test_unknown_component_lookup(self, designs):
+        with pytest.raises(KeyError):
+            designs["C1"].component("NoSuch")
+
+    def test_unknown_position_lookup(self, designs):
+        with pytest.raises(KeyError):
+            designs["C1"].component("IFU").position("nope")
+
+
+class TestDesignIr:
+    def test_mismatched_position_component_rejected(self):
+        pos = SramPositionRtl("x", "ROB", SramBlockSpec(8, 8, 1))
+        with pytest.raises(ValueError, match="belongs to"):
+            ComponentRtl(name="IFU", registers=10, comb_units=5.0, sram_positions=(pos,))
+
+    def test_negative_registers_rejected(self):
+        with pytest.raises(ValueError):
+            ComponentRtl(name="IFU", registers=-1, comb_units=0.0)

@@ -1,0 +1,112 @@
+"""Unit tests for repro.sim.activity (golden activity extraction)."""
+
+import pytest
+
+from repro.arch.config import BOOM_CONFIGS, config_by_name
+from repro.arch.workloads import WORKLOADS, workload_by_name
+from repro.rtl.generator import RtlGenerator
+from repro.sim.activity import ActivitySimulator, PositionActivity
+
+
+@pytest.fixture(scope="module")
+def gen():
+    return RtlGenerator()
+
+
+@pytest.fixture(scope="module")
+def sim():
+    return ActivitySimulator()
+
+
+class TestActivitySimulator:
+    def test_covers_all_components(self, gen, sim):
+        c8 = config_by_name("C8")
+        act = sim.simulate(gen.generate(c8), c8, workload_by_name("qsort"))
+        assert len(act.components) == 22
+
+    def test_rates_in_unit_interval(self, gen, sim):
+        for cname in ("C1", "C8", "C15"):
+            config = config_by_name(cname)
+            design = gen.generate(config)
+            for workload in WORKLOADS:
+                act = sim.simulate(design, config, workload)
+                for comp in act.components.values():
+                    assert 0.0 <= comp.gated_active_rate <= 1.0
+                    assert 0.0 <= comp.data_toggle_rate <= 1.0
+                    assert 0.0 <= comp.comb_switch_rate <= 1.0
+                    for pos in comp.positions.values():
+                        assert 0.0 <= pos.read_per_block_cycle <= 1.0
+                        assert 0.0 <= pos.write_per_block_cycle <= 1.0
+
+    def test_deterministic(self, gen, sim):
+        c5 = config_by_name("C5")
+        design = gen.generate(c5)
+        w = workload_by_name("towers")
+        assert sim.simulate(design, c5, w) == sim.simulate(design, c5, w)
+
+    def test_sram_positions_match_design(self, gen, sim):
+        c8 = config_by_name("C8")
+        design = gen.generate(c8)
+        act = sim.simulate(design, c8, workload_by_name("dhrystone"))
+        for comp in design.components:
+            names = {p.name for p in comp.sram_positions}
+            assert set(act.components[comp.name].positions) == names
+
+    def test_scale_increases_activity(self, gen, sim):
+        c8 = config_by_name("C8")
+        design = gen.generate(c8)
+        w = workload_by_name("median")
+        low = sim.simulate(design, c8, w, scale=0.5)
+        high = sim.simulate(design, c8, w, scale=1.5)
+        ups = sum(
+            high.components[n].gated_active_rate > low.components[n].gated_active_rate
+            for n in low.components
+        )
+        assert ups >= 18  # nearly all components go up with scale
+
+    def test_invalid_scale_rejected(self, gen, sim):
+        c1 = config_by_name("C1")
+        with pytest.raises(ValueError):
+            sim.simulate(gen.generate(c1), c1, workload_by_name("median"), scale=0.0)
+
+    def test_zero_idiosyncrasy_is_pure_function(self, gen):
+        clean = ActivitySimulator(idiosyncrasy=0.0)
+        c3 = config_by_name("C3")
+        design = gen.generate(c3)
+        w = workload_by_name("rsort")
+        a = clean.simulate(design, c3, w)
+        b = clean.simulate(design, c3, w)
+        assert a == b
+
+    def test_mask_weighting_reduces_writes(self, gen, sim):
+        # dcache_data has byte masks; its write frequency is mask-weighted.
+        c8 = config_by_name("C8")
+        design = gen.generate(c8)
+        act = sim.simulate(design, c8, workload_by_name("qsort"))
+        dcache = act.components["DCacheDataArray"].positions["dcache_data"]
+        assert dcache.mask_valid_fraction < 1.0
+
+    def test_unmasked_positions_have_full_mask(self, gen, sim):
+        c8 = config_by_name("C8")
+        design = gen.generate(c8)
+        act = sim.simulate(design, c8, workload_by_name("qsort"))
+        tags = act.components["ICacheTagArray"].positions["icache_tags"]
+        assert tags.mask_valid_fraction == 1.0
+
+    def test_busy_workload_more_active_than_idle(self, gen, sim):
+        c8 = config_by_name("C8")
+        design = gen.generate(c8)
+        fast = sim.simulate(design, c8, workload_by_name("multiply"))
+        slow = sim.simulate(design, c8, workload_by_name("spmv"))
+        assert (
+            fast.components["Int-ISU"].gated_active_rate
+            > slow.components["Int-ISU"].gated_active_rate
+        )
+
+
+class TestPositionActivity:
+    def test_invalid_rates_rejected(self):
+        with pytest.raises(ValueError):
+            PositionActivity("x", -0.1, 0.0, 1.0)
+        with pytest.raises(ValueError):
+            PositionActivity("x", 0.1, 0.0, 1.5)

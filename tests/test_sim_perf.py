@@ -1,0 +1,80 @@
+"""Unit tests for repro.sim.perf (gem5-like simulator with error)."""
+
+import numpy as np
+import pytest
+
+from repro.arch.config import config_by_name
+from repro.arch.events import EVENT_NAMES
+from repro.arch.workloads import workload_by_name
+from repro.sim.perf import PerfSimulator, stable_seed
+from repro.sim.uarch import execute
+
+
+class TestStableSeed:
+    def test_deterministic(self):
+        assert stable_seed("a", "b") == stable_seed("a", "b")
+
+    def test_part_sensitive(self):
+        assert stable_seed("a", "b") != stable_seed("b", "a")
+        assert stable_seed("ab") != stable_seed("a", "b")
+
+
+class TestPerfSimulator:
+    def test_reports_all_events(self):
+        sim = PerfSimulator()
+        ev = sim.run(config_by_name("C8"), workload_by_name("qsort"))
+        assert set(ev.counts) == set(EVENT_NAMES)
+
+    def test_deterministic(self):
+        sim = PerfSimulator()
+        c, w = config_by_name("C8"), workload_by_name("qsort")
+        a = sim.run(c, w)
+        b = sim.run(c, w)
+        assert a.counts == b.counts
+
+    def test_distortion_is_bounded(self):
+        sim = PerfSimulator(bias_magnitude=0.07, noise_magnitude=0.015, width_drift=0.012)
+        c, w = config_by_name("C8"), workload_by_name("qsort")
+        true = execute(c, w)
+        ev = sim.run(c, w)
+        for name in EVENT_NAMES:
+            if true.events[name] <= 0:
+                continue
+            rel = abs(ev.counts[name] - true.events[name]) / true.events[name]
+            assert rel < 0.25, name
+
+    def test_distortion_is_nonzero(self):
+        sim = PerfSimulator()
+        c, w = config_by_name("C8"), workload_by_name("qsort")
+        true = execute(c, w)
+        ev = sim.run(c, w)
+        diffs = [
+            abs(ev.counts[n] - true.events[n]) / max(true.events[n], 1e-9)
+            for n in EVENT_NAMES
+        ]
+        assert np.mean(diffs) > 0.01
+
+    def test_zero_error_simulator_is_exact(self):
+        sim = PerfSimulator(bias_magnitude=0.0, noise_magnitude=0.0, width_drift=0.0)
+        c, w = config_by_name("C8"), workload_by_name("qsort")
+        true = execute(c, w)
+        ev = sim.run(c, w)
+        for name in EVENT_NAMES:
+            assert ev.counts[name] == pytest.approx(true.events[name])
+
+    def test_bias_is_systematic_across_configs(self):
+        # Same (workload, event) -> same bias direction on any config.
+        sim = PerfSimulator(noise_magnitude=0.0)
+        w = workload_by_name("qsort")
+        name = "dcache_misses"
+        signs = []
+        for cname in ("C2", "C5", "C9"):
+            c = config_by_name(cname)
+            true = execute(c, w)
+            ev = sim.run(c, w)
+            signs.append(np.sign(ev.counts[name] - true.events[name]))
+        assert len(set(signs)) == 1
+
+    def test_negative_magnitudes_rejected(self):
+        with pytest.raises(ValueError):
+            PerfSimulator(bias_magnitude=-0.1)

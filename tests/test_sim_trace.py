@@ -1,0 +1,68 @@
+"""Unit tests for repro.sim.trace (windowed traces)."""
+
+import numpy as np
+import pytest
+
+from repro.arch.config import config_by_name
+from repro.arch.workloads import LARGE_WORKLOADS, workload_by_name
+from repro.sim.trace import WindowTraceGenerator
+
+
+class TestWindowTraceGenerator:
+    def test_rejects_small_workloads(self):
+        gen = WindowTraceGenerator()
+        with pytest.raises(ValueError, match="phase structure"):
+            gen.generate(config_by_name("C2"), workload_by_name("dhrystone"))
+
+    def test_millions_of_cycles_many_windows(self):
+        gen = WindowTraceGenerator(window_cycles=50)
+        trace = gen.generate(config_by_name("C2"), workload_by_name("gemm"))
+        assert trace.total_cycles > 1_000_000
+        assert trace.n_windows == int(np.ceil(trace.total_cycles / 50))
+        assert trace.n_windows > 20_000
+
+    def test_scales_normalized_to_mean_one(self):
+        gen = WindowTraceGenerator()
+        trace = gen.generate(config_by_name("C3"), workload_by_name("spmm"))
+        assert trace.scales.mean() == pytest.approx(1.0)
+
+    def test_scales_positive_and_bounded(self):
+        gen = WindowTraceGenerator()
+        for workload in LARGE_WORKLOADS:
+            trace = gen.generate(config_by_name("C4"), workload)
+            assert trace.scales.min() > 0.1
+            assert trace.scales.max() < 3.0
+
+    def test_deterministic(self):
+        gen = WindowTraceGenerator()
+        c2, gemm = config_by_name("C2"), workload_by_name("gemm")
+        a = gen.generate(c2, gemm, max_windows=500)
+        b = gen.generate(c2, gemm, max_windows=500)
+        assert np.array_equal(a.scales, b.scales)
+
+    def test_different_configs_different_traces(self):
+        gen = WindowTraceGenerator()
+        gemm = workload_by_name("gemm")
+        a = gen.generate(config_by_name("C2"), gemm, max_windows=500)
+        b = gen.generate(config_by_name("C3"), gemm, max_windows=500)
+        assert not np.array_equal(a.scales, b.scales)
+
+    def test_max_windows_subsampling(self):
+        gen = WindowTraceGenerator()
+        trace = gen.generate(
+            config_by_name("C2"), workload_by_name("gemm"), max_windows=200
+        )
+        assert trace.n_windows == 200
+
+    def test_phases_visible_in_trace(self):
+        # GEMM's compute phase is hotter than its ramp phase.
+        gen = WindowTraceGenerator()
+        trace = gen.generate(config_by_name("C2"), workload_by_name("gemm"))
+        n = trace.n_windows
+        ramp = trace.scales[: int(0.06 * n)].mean()
+        compute = trace.scales[int(0.2 * n) : int(0.8 * n)].mean()
+        assert compute > ramp * 1.2
+
+    def test_invalid_window_cycles(self):
+        with pytest.raises(ValueError):
+            WindowTraceGenerator(window_cycles=0)

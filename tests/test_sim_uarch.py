@@ -1,0 +1,103 @@
+"""Unit tests for repro.sim.uarch (the true execution model)."""
+
+import pytest
+
+from repro.arch.config import BOOM_CONFIGS, config_by_name
+from repro.arch.events import EVENT_NAMES
+from repro.arch.workloads import WORKLOADS, workload_by_name
+from repro.sim.uarch import (
+    dcache_miss_ratio,
+    dtlb_miss_ratio,
+    execute,
+    icache_miss_ratio,
+    mispredict_probability,
+)
+
+
+class TestRates:
+    def test_bigger_predictor_fewer_mispredicts(self):
+        qsort = workload_by_name("qsort")
+        small = mispredict_probability(config_by_name("C1"), qsort)
+        big = mispredict_probability(config_by_name("C15"), qsort)
+        assert big < small
+
+    def test_entropy_increases_mispredicts(self):
+        c8 = config_by_name("C8")
+        assert mispredict_probability(c8, workload_by_name("qsort")) > (
+            mispredict_probability(c8, workload_by_name("vvadd"))
+        )
+
+    def test_bigger_cache_fewer_misses(self):
+        spmv = workload_by_name("spmv")
+        assert dcache_miss_ratio(config_by_name("C15"), spmv) < (
+            dcache_miss_ratio(config_by_name("C1"), spmv)
+        )
+
+    def test_fitting_footprint_low_misses(self):
+        multiply = workload_by_name("multiply")  # 8 KB footprint
+        assert dcache_miss_ratio(config_by_name("C15"), multiply) < 0.01
+
+    def test_icache_miss_bounded(self):
+        for config in BOOM_CONFIGS:
+            for workload in WORKLOADS:
+                assert 0.0 < icache_miss_ratio(config, workload) <= 0.25
+
+    def test_bigger_tlb_fewer_misses(self):
+        spmv = workload_by_name("spmv")
+        assert dtlb_miss_ratio(config_by_name("C15"), spmv) < (
+            dtlb_miss_ratio(config_by_name("C1"), spmv)
+        )
+
+
+class TestExecute:
+    def test_all_events_present_and_nonnegative(self):
+        res = execute(config_by_name("C8"), workload_by_name("dhrystone"))
+        assert set(res.events) == set(EVENT_NAMES)
+        assert all(v >= 0 for v in res.events.values())
+
+    def test_ipc_bounded_by_decode_width(self):
+        for config in BOOM_CONFIGS:
+            for workload in WORKLOADS:
+                res = execute(config, workload)
+                assert 0.05 < res.ipc <= config["DecodeWidth"]
+
+    def test_bigger_machine_is_faster(self):
+        for workload in WORKLOADS:
+            small = execute(config_by_name("C1"), workload)
+            big = execute(config_by_name("C15"), workload)
+            assert big.ipc > small.ipc
+
+    def test_throughput_clamps_hold(self):
+        for config in BOOM_CONFIGS:
+            for workload in WORKLOADS:
+                res = execute(config, workload)
+                cycles = res.cycles
+                assert res.events["decode_uops"] <= 0.99 * config["DecodeWidth"] * cycles
+                assert res.events["int_issues"] <= 0.99 * config["IntIssueWidth"] * cycles
+                assert res.events["fp_issues"] <= 0.99 * config["FpIssueWidth"] * cycles
+                assert res.events["dcache_accesses"] <= config["MemIssueWidth"] * cycles
+                assert res.events["fetch_packets"] <= cycles
+
+    def test_misses_less_than_accesses(self):
+        for config in (config_by_name("C1"), config_by_name("C15")):
+            for workload in WORKLOADS:
+                res = execute(config, workload)
+                assert res.events["icache_misses"] <= res.events["icache_accesses"]
+                assert res.events["dcache_misses"] <= res.events["dcache_accesses"]
+                assert res.events["dtlb_misses"] <= res.events["dtlb_accesses"]
+
+    def test_deterministic(self):
+        a = execute(config_by_name("C5"), workload_by_name("qsort"))
+        b = execute(config_by_name("C5"), workload_by_name("qsort"))
+        assert a == b
+
+    def test_scaled_rates(self):
+        res = execute(config_by_name("C5"), workload_by_name("qsort"))
+        rates = res.scaled_rates(2.0)
+        assert rates["instructions"] == pytest.approx(2.0 * res.rate("instructions"))
+
+    def test_memory_heavy_workload_stresses_dcache(self):
+        c8 = config_by_name("C8")
+        spmv = execute(c8, workload_by_name("spmv"))
+        multiply = execute(c8, workload_by_name("multiply"))
+        assert spmv.rate("dcache_misses") > multiply.rate("dcache_misses")

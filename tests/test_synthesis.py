@@ -1,0 +1,127 @@
+"""Unit tests for repro.synthesis: gating policies, netlist, synthesizer."""
+
+import pytest
+
+from repro.arch.config import BOOM_CONFIGS, config_by_name
+from repro.library.stdcell import default_library
+from repro.rtl.generator import RtlGenerator
+from repro.synthesis.clock_gating import GatingPolicy, policy_for
+from repro.synthesis.netlist import ComponentNetlist, Netlist
+from repro.synthesis.synthesizer import Synthesizer
+
+
+class TestGatingPolicy:
+    def test_rate_bounds(self):
+        policy = GatingPolicy(base_rate=0.8, size_slope=0.02, fanout=16)
+        for registers in (1, 10, 1000, 100_000):
+            assert 0.30 <= policy.gating_rate(registers) <= 0.96
+
+    def test_bigger_banks_gate_more(self):
+        policy = GatingPolicy(base_rate=0.8, size_slope=0.02, fanout=16)
+        assert policy.gating_rate(10_000) > policy.gating_rate(100)
+
+    def test_gating_cells_ceiling(self):
+        policy = GatingPolicy(base_rate=0.8, size_slope=0.0, fanout=16)
+        assert policy.gating_cells(0) == 0
+        assert policy.gating_cells(1) == 1
+        assert policy.gating_cells(17) == 2
+
+    def test_zero_registers(self):
+        policy = GatingPolicy(base_rate=0.8, size_slope=0.02, fanout=16)
+        assert policy.gating_rate(0) == 0.0
+        assert policy.gated_registers(0) == 0
+
+    def test_component_overrides(self):
+        assert policy_for("Regfile", "backend").base_rate > policy_for(
+            "Other Logic", "backend"
+        ).base_rate
+
+    def test_domain_fallback(self):
+        assert policy_for("ROB", "backend") is policy_for("RNU", "backend")
+
+    def test_unknown_domain(self):
+        with pytest.raises(ValueError):
+            policy_for("ROB", "westside")
+
+    def test_invalid_policy_rejected(self):
+        with pytest.raises(ValueError):
+            GatingPolicy(base_rate=1.2, size_slope=0.0, fanout=16)
+        with pytest.raises(ValueError):
+            GatingPolicy(base_rate=0.5, size_slope=0.0, fanout=0)
+
+
+class TestComponentNetlist:
+    def test_gating_rate_property(self):
+        comp = ComponentNetlist(
+            name="X", registers=100, gated_registers=80, gating_cells=5, comb_cells={}
+        )
+        assert comp.gating_rate == pytest.approx(0.8)
+        assert comp.icg_ratio == pytest.approx(5 / 80)
+
+    def test_gated_exceeding_total_rejected(self):
+        with pytest.raises(ValueError):
+            ComponentNetlist(
+                name="X", registers=10, gated_registers=11, gating_cells=1, comb_cells={}
+            )
+
+    def test_gated_without_cells_rejected(self):
+        with pytest.raises(ValueError):
+            ComponentNetlist(
+                name="X", registers=10, gated_registers=5, gating_cells=0, comb_cells={}
+            )
+
+    def test_zero_registers_gating_rate(self):
+        comp = ComponentNetlist(
+            name="X", registers=0, gated_registers=0, gating_cells=0, comb_cells={}
+        )
+        assert comp.gating_rate == 0.0
+        assert comp.icg_ratio == 0.0
+
+
+class TestSynthesizer:
+    @pytest.fixture(scope="class")
+    def netlists(self):
+        lib = default_library()
+        gen = RtlGenerator()
+        synth = Synthesizer(lib)
+        return {c.name: synth.synthesize(gen.generate(c)) for c in BOOM_CONFIGS}
+
+    def test_register_counts_preserved(self, netlists):
+        gen = RtlGenerator()
+        for name in ("C1", "C8", "C15"):
+            design = gen.generate(config_by_name(name))
+            for comp in design.components:
+                assert netlists[name].component(comp.name).registers == comp.registers
+
+    def test_gating_rates_in_plausible_band(self, netlists):
+        for netlist in netlists.values():
+            assert 0.6 <= netlist.gating_rate <= 0.95
+
+    def test_regfile_gates_more_than_other_logic(self, netlists):
+        net = netlists["C8"]
+        assert (
+            net.component("Regfile").gating_rate
+            > net.component("Other Logic").gating_rate
+        )
+
+    def test_comb_cells_mapped(self, netlists):
+        comp = netlists["C8"].component("FU Pool")
+        assert comp.total_comb_cells > 0
+        assert set(comp.comb_cells) == {"nand2", "aoi22", "xor2", "mux2", "buf4"}
+
+    def test_sram_positions_carried_through(self, netlists):
+        assert len(netlists["C8"].component("IFU").sram_positions) == 3
+
+    def test_deterministic(self):
+        lib = default_library()
+        synth = Synthesizer(lib)
+        design = RtlGenerator().generate(config_by_name("C3"))
+        assert synth.synthesize(design) == synth.synthesize(design)
+
+    def test_total_gated_less_than_total(self, netlists):
+        for net in netlists.values():
+            assert 0 < net.total_gated_registers < net.total_registers
+
+    def test_unknown_component_lookup(self, netlists):
+        with pytest.raises(KeyError):
+            netlists["C1"].component("Flux Capacitor")
