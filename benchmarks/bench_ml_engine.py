@@ -1,0 +1,100 @@
+"""Microbenchmarks for the vectorized tree engine (fit + batch predict).
+
+These run on synthetic data only — no VLSI flow — so a tree-engine
+regression is caught in seconds without regenerating the figure
+benchmarks.  All cases carry the ``perf_smoke`` marker:
+
+    PYTHONPATH=src python -m pytest benchmarks -m perf_smoke
+
+Two regimes are covered: the few-shot regime AutoPower actually fits in
+(a dozen samples, ~150 boosting rounds — dominated by numpy dispatch, the
+reason for the per-fit sort/size caches), and a larger regime where the
+histogram mode and the fused-ensemble batch inference matter.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.ml.gbm import GradientBoostingRegressor
+
+
+def _fewshot_data(seed: int = 0):
+    rng = np.random.default_rng(seed)
+    X = rng.uniform(0.0, 4.0, size=(12, 30))
+    y = 50.0 + 8.0 * X[:, 0] - 3.0 * X[:, 1] + rng.normal(scale=0.5, size=12)
+    return X, y
+
+
+def _bulk_data(seed: int = 1):
+    rng = np.random.default_rng(seed)
+    X = rng.uniform(0.0, 1.0, size=(2000, 16))
+    y = 10 * np.sin(np.pi * X[:, 0] * X[:, 1]) + 5 * X[:, 2] + rng.normal(size=2000)
+    return X, y
+
+
+@pytest.fixture(scope="module")
+def bulk_model():
+    X, y = _bulk_data()
+    return GradientBoostingRegressor(
+        n_estimators=100, learning_rate=0.1, max_depth=4
+    ).fit(X, y), X, y
+
+
+@pytest.mark.perf_smoke
+def test_fewshot_fit_exact(benchmark):
+    """AutoPower's regime: 12 samples x 150 rounds, exact split search."""
+    X, y = _fewshot_data()
+
+    def fit():
+        return GradientBoostingRegressor(
+            n_estimators=150, learning_rate=0.08, max_depth=3
+        ).fit(X, y)
+
+    model = benchmark(fit)
+    assert model.n_trees_ == 150
+    assert model.train_losses_[-1] <= model.train_losses_[0]
+
+
+@pytest.mark.perf_smoke
+def test_bulk_fit_hist(benchmark):
+    """Histogram mode on a larger matrix (shared per-fit bin cache)."""
+    X, y = _bulk_data()
+
+    def fit():
+        return GradientBoostingRegressor(
+            n_estimators=40, learning_rate=0.1, max_depth=4,
+            tree_method="hist", max_bin=64,
+        ).fit(X, y)
+
+    model = benchmark(fit)
+    resid = model.predict(X) - y
+    assert float(np.sqrt(np.mean(resid**2))) < 2.0
+
+
+@pytest.mark.perf_smoke
+def test_bulk_fit_exact(benchmark):
+    """Exact mode on the same matrix, for the hist/exact tradeoff curve."""
+    X, y = _bulk_data()
+
+    def fit():
+        return GradientBoostingRegressor(
+            n_estimators=40, learning_rate=0.1, max_depth=4
+        ).fit(X, y)
+
+    model = benchmark(fit)
+    assert model.n_trees_ == 40
+
+
+@pytest.mark.perf_smoke
+def test_batch_predict(benchmark, bulk_model):
+    """Fused-ensemble inference: all rows x all trees, no per-row Python."""
+    model, X, _y = bulk_model
+    rng = np.random.default_rng(2)
+    X_test = rng.uniform(0.0, 1.0, size=(20000, X.shape[1]))
+    model.predict(X_test)  # build the fused ensemble outside the timing loop
+
+    pred = benchmark(model.predict, X_test)
+    assert pred.shape == (20000,)
+    assert np.isfinite(pred).all()

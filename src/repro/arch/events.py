@@ -16,7 +16,9 @@ from __future__ import annotations
 
 from dataclasses import dataclass, field
 
-__all__ = ["COMPONENT_EVENTS", "EVENT_NAMES", "EventParams"]
+import numpy as np
+
+__all__ = ["COMPONENT_EVENTS", "EVENT_NAMES", "EventBatch", "EventParams"]
 
 EVENT_NAMES: tuple[str, ...] = (
     "cycles",
@@ -144,3 +146,80 @@ class EventParams:
         if factor <= 0:
             raise ValueError("factor must be positive")
         return EventParams({k: v * factor for k, v in self.counts.items()})
+
+
+_EVENT_INDEX: dict[str, int] = {name: i for i, name in enumerate(EVENT_NAMES)}
+
+
+class EventBatch:
+    """Stacked event counts for many simulation intervals.
+
+    The matrix has one row per interval and one column per event in
+    ``EVENT_NAMES`` order.  Batched feature extraction and the batch
+    prediction APIs consume this instead of a list of
+    :class:`EventParams`, so a trace sweep touches no per-window dicts.
+    """
+
+    __slots__ = ("matrix",)
+
+    def __init__(self, matrix: np.ndarray) -> None:
+        matrix = np.atleast_2d(np.asarray(matrix, dtype=float))
+        if matrix.shape[1] != len(EVENT_NAMES):
+            raise ValueError(
+                f"event matrix has {matrix.shape[1]} columns, "
+                f"expected {len(EVENT_NAMES)}"
+            )
+        if matrix.shape[0] == 0:
+            raise ValueError("event matrix must have at least one row")
+        if np.any(matrix < 0):
+            raise ValueError("event counts must be non-negative")
+        if np.any(matrix[:, _EVENT_INDEX["cycles"]] <= 0):
+            raise ValueError("cycles must be positive")
+        self.matrix = matrix
+
+    @classmethod
+    def from_events(cls, events) -> "EventBatch":
+        """Stack a sequence of :class:`EventParams` (or pass one through)."""
+        if isinstance(events, EventBatch):
+            return events
+        if isinstance(events, EventParams):
+            events = [events]
+        rows = [[e.counts[name] for name in EVENT_NAMES] for e in events]
+        return cls(np.array(rows, dtype=float))
+
+    def __len__(self) -> int:
+        return self.matrix.shape[0]
+
+    def __getitem__(self, i: int) -> EventParams:
+        row = self.matrix[i]
+        return EventParams({name: float(row[j]) for name, j in _EVENT_INDEX.items()})
+
+    def column(self, name: str) -> np.ndarray:
+        """The per-interval counts of one event."""
+        try:
+            return self.matrix[:, _EVENT_INDEX[name]]
+        except KeyError:
+            raise KeyError(f"unknown event name {name!r}") from None
+
+    @property
+    def cycles(self) -> np.ndarray:
+        return self.matrix[:, _EVENT_INDEX["cycles"]]
+
+    @property
+    def ipc(self) -> np.ndarray:
+        return self.matrix[:, _EVENT_INDEX["instructions"]] / self.cycles
+
+    def rate(self, name: str) -> np.ndarray:
+        """Events per cycle for the given event, per interval."""
+        return self.column(name) / self.cycles
+
+    def rates_for_component(self, component_name: str) -> dict[str, np.ndarray]:
+        """Per-cycle event rate vectors relevant to one component."""
+        try:
+            names = COMPONENT_EVENTS[component_name]
+        except KeyError:
+            raise KeyError(
+                f"no event mapping for component {component_name!r}"
+            ) from None
+        cycles = self.cycles
+        return {name: self.column(name) / cycles for name in names}

@@ -15,9 +15,15 @@ import numpy as np
 
 from repro.arch.components import COMPONENTS
 from repro.arch.config import BoomConfig
-from repro.arch.events import EventParams
+from repro.arch.events import EventBatch, EventParams
 from repro.arch.workloads import Workload
-from repro.core.features import event_features, hardware_features, program_features
+from repro.core.features import (
+    event_features,
+    event_features_batch,
+    hardware_features,
+    program_features,
+    program_features_matrix,
+)
 from repro.ml.gbm import GradientBoostingRegressor
 from repro.power.report import POWER_GROUPS
 
@@ -117,3 +123,30 @@ class AutoPowerMinus:
             self.predict_group(config, events, workload, group)
             for group in POWER_GROUPS
         )
+
+    def predict_totals(self, config: BoomConfig, events, workload) -> np.ndarray:
+        """Total power per interval of a batch, in mW (batched GBM passes).
+
+        ``events`` is an :class:`EventBatch` or a sequence of
+        :class:`EventParams`; ``workload`` is one workload or one per
+        interval.
+        """
+        if not self._models:
+            raise RuntimeError("AutoPowerMinus used before fit")
+        batch = EventBatch.from_events(events)
+        n = len(batch)
+        total = np.zeros(n)
+        prog = (
+            program_features_matrix(workload, n) if self.use_program_features else None
+        )
+        for comp in COMPONENTS:
+            parts = [
+                np.tile(hardware_features(config, comp.name), (n, 1)),
+                event_features_batch(batch, comp.name, config),
+            ]
+            if prog is not None:
+                parts.append(prog)
+            x = np.hstack(parts)
+            for group in POWER_GROUPS:
+                total += np.maximum(self._models[(comp.name, group)].predict(x), 0.0)
+        return total

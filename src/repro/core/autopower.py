@@ -15,7 +15,7 @@ import numpy as np
 
 from repro.arch.components import COMPONENTS
 from repro.arch.config import BoomConfig
-from repro.arch.events import EVENT_NAMES, EventParams
+from repro.arch.events import EVENT_NAMES, EventBatch, EventParams
 from repro.arch.workloads import Workload
 from repro.core.clock import ClockPowerModel
 from repro.core.logic import LogicPowerModel
@@ -28,24 +28,40 @@ __all__ = ["AutoPower", "events_at_scale"]
 
 
 def events_at_scale(
-    events: EventParams, scale: float, window_cycles: int
-) -> EventParams:
-    """Event counts of one trace window at a given activity scale.
+    events: EventParams, scale, window_cycles: int
+):
+    """Event counts of trace windows at given activity scales.
 
     Window rates are the run-average rates times ``scale``; the window is
-    ``window_cycles`` long.
+    ``window_cycles`` long.  A scalar ``scale`` returns one
+    :class:`EventParams`; an array of scales returns an
+    :class:`EventBatch` whose rows are the per-scale event vectors (one
+    vectorized expression — no per-anchor dict rebuilds).
     """
-    if scale <= 0:
-        raise ValueError("scale must be positive")
     if window_cycles <= 0:
         raise ValueError("window_cycles must be positive")
+    if np.ndim(scale) == 0:
+        if scale <= 0:
+            raise ValueError("scale must be positive")
+        cycles = events.cycles
+        counts = {
+            name: events.counts[name] / cycles * scale * window_cycles
+            for name in EVENT_NAMES
+        }
+        counts["cycles"] = float(window_cycles)
+        return EventParams(counts)
+    scales = np.asarray(scale, dtype=float).ravel()
+    if scales.size == 0:
+        raise ValueError("scale array must be non-empty")
+    if np.any(scales <= 0):
+        raise ValueError("scale must be positive")
     cycles = events.cycles
-    counts = {
-        name: events.counts[name] / cycles * scale * window_cycles
-        for name in EVENT_NAMES
-    }
-    counts["cycles"] = float(window_cycles)
-    return EventParams(counts)
+    base = np.array(
+        [events.counts[name] / cycles for name in EVENT_NAMES], dtype=float
+    )
+    matrix = base[None, :] * scales[:, None] * window_cycles
+    matrix[:, EVENT_NAMES.index("cycles")] = float(window_cycles)
+    return EventBatch(matrix)
 
 
 class AutoPower:
@@ -152,6 +168,71 @@ class AutoPower:
         """Predicted total power, in mW."""
         return self.predict_report(config, events, workload).total
 
+    # -- batched prediction ----------------------------------------------
+    def predict_reports(
+        self, config: BoomConfig, events, workload
+    ) -> list[PowerReport]:
+        """Power reports for a whole batch of event intervals.
+
+        ``events`` is an :class:`EventBatch` or a sequence of
+        :class:`EventParams`; ``workload`` is a single workload or one per
+        interval.  Every sub-model evaluates the full feature matrix in
+        one pass — hardware-only sub-models once per component — instead
+        of intervals x components x groups scalar calls.
+        """
+        self._require_fit()
+        batch = EventBatch.from_events(events)
+        n = len(batch)
+        clock = self.clock_model.predict_batch(config, batch)
+        sram = self.sram_model.predict_batch(config, batch, workload)
+        logic = self.logic_model.predict_batch(config, batch)
+        if isinstance(workload, Workload):
+            workload_names = [workload.name] * n
+        else:
+            workload_names = [w.name for w in workload]
+            if len(workload_names) != n:
+                raise ValueError(
+                    f"got {len(workload_names)} workloads for {n} intervals"
+                )
+        reports = []
+        for i in range(n):
+            components = tuple(
+                ComponentPower(
+                    name=comp.name,
+                    clock=float(clock[comp.name][i]),
+                    sram=float(sram[comp.name][i]) if comp.name in sram else 0.0,
+                    register=float(logic[comp.name][0][i]),
+                    comb=float(logic[comp.name][1][i]),
+                )
+                for comp in COMPONENTS
+            )
+            reports.append(
+                PowerReport(
+                    config_name=config.name,
+                    workload_name=workload_names[i],
+                    components=components,
+                )
+            )
+        return reports
+
+    def predict_totals(
+        self, config: BoomConfig, events, workload
+    ) -> np.ndarray:
+        """Predicted total power per interval of a batch, in mW."""
+        self._require_fit()
+        batch = EventBatch.from_events(events)
+        clock = self.clock_model.predict_batch(config, batch)
+        sram = self.sram_model.predict_batch(config, batch, workload)
+        logic = self.logic_model.predict_batch(config, batch)
+        total = np.zeros(len(batch))
+        for comp in COMPONENTS:
+            name = comp.name
+            register, comb = logic[name]
+            total += clock[name] + register + comb
+            if name in sram:
+                total += sram[name]
+        return total
+
     def predict_group(
         self, config: BoomConfig, events: EventParams, workload: Workload, group: str
     ) -> float:
@@ -185,22 +266,13 @@ class AutoPower:
         if lo <= 0:
             raise ValueError("scales must be positive")
         if hi - lo < 1e-12:
-            anchors = np.array([lo])
-            powers = np.array(
-                [
-                    self.predict_total(
-                        config, events_at_scale(events, lo, window_cycles), workload
-                    )
-                ]
+            power = self.predict_total(
+                config, events_at_scale(events, lo, window_cycles), workload
             )
-            return np.full(scales.shape, powers[0])
+            return np.full(scales.shape, power)
         anchors = np.linspace(lo, hi, n_anchors)
-        powers = np.array(
-            [
-                self.predict_total(
-                    config, events_at_scale(events, float(s), window_cycles), workload
-                )
-                for s in anchors
-            ]
-        )
+        # One stacked event matrix and one batched model pass cover every
+        # anchor; no per-anchor event dicts or scalar sub-model calls.
+        batch = events_at_scale(events, anchors, window_cycles)
+        powers = self.predict_totals(config, batch, workload)
         return np.interp(scales, anchors, powers)

@@ -17,16 +17,18 @@ import numpy as np
 
 from repro.arch.components import component_by_name
 from repro.arch.config import BoomConfig
-from repro.arch.events import COMPONENT_EVENTS, EventParams
+from repro.arch.events import COMPONENT_EVENTS, EventBatch, EventParams
 from repro.arch.workloads import Workload
 
 __all__ = [
     "event_feature_names",
     "event_features",
+    "event_features_batch",
     "hardware_feature_names",
     "hardware_features",
     "program_feature_names",
     "program_features",
+    "program_features_matrix",
 ]
 
 _PROGRAM_FEATURE_NAMES: tuple[str, ...] = (
@@ -132,6 +134,34 @@ def event_features(
     return np.array(values, dtype=float)
 
 
+def event_features_batch(
+    events: EventBatch,
+    component: str,
+    config: BoomConfig | None = None,
+    include_raw: bool = True,
+) -> np.ndarray:
+    """Batched :func:`event_features`: one row per interval.
+
+    Column order (and the per-element arithmetic) matches the scalar
+    extractor exactly, so batch predictions reproduce per-interval
+    predictions bit for bit.
+    """
+    rates = events.rates_for_component(component)
+    event_names = COMPONENT_EVENTS[component]
+    if config is None and not include_raw:
+        raise ValueError("normalized-only features require a config")
+    columns: list[np.ndarray] = []
+    if include_raw or config is None:
+        columns.extend(rates[n] for n in event_names)
+    if config is not None:
+        params = hardware_feature_names(component)
+        for n in event_names:
+            for p in params:
+                columns.append(rates[n] / max(float(config[p]), 1.0))
+    columns.append(events.ipc)
+    return np.column_stack(columns)
+
+
 def program_feature_names() -> tuple[str, ...]:
     return _PROGRAM_FEATURE_NAMES
 
@@ -140,3 +170,15 @@ def program_features(workload: Workload) -> np.ndarray:
     """Program-level feature vector (immune to perf-simulator error)."""
     feats = workload.program_features()
     return np.array([feats[n] for n in _PROGRAM_FEATURE_NAMES], dtype=float)
+
+
+def program_features_matrix(workload, n_rows: int) -> np.ndarray:
+    """Program features for a batch: one workload (tiled) or one per row."""
+    if isinstance(workload, Workload):
+        return np.tile(program_features(workload), (n_rows, 1))
+    workloads = list(workload)
+    if len(workloads) != n_rows:
+        raise ValueError(
+            f"got {len(workloads)} workloads for a batch of {n_rows} intervals"
+        )
+    return np.stack([program_features(w) for w in workloads])

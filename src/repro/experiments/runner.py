@@ -134,6 +134,20 @@ def _predict_total(model, config: BoomConfig, events, workload: Workload) -> flo
     return model.predict_total(config, events)
 
 
+def _predict_totals(model, config: BoomConfig, events_list, workloads) -> np.ndarray:
+    """Totals over one test config's workloads, batched when supported."""
+    if hasattr(model, "predict_totals"):
+        return np.asarray(
+            model.predict_totals(config, events_list, list(workloads)), dtype=float
+        )
+    return np.array(
+        [
+            _predict_total(model, config, events, w)
+            for events, w in zip(events_list, workloads)
+        ]
+    )
+
+
 def evaluate_methods(
     flow: VlsiFlow | None = None,
     n_train: int = 2,
@@ -158,12 +172,14 @@ def evaluate_methods(
     y_true = np.array(
         [flow.run(c, w).power.total for c in test for w in workloads]
     )
+    events_by_config = {
+        c.name: [flow.run(c, w).events for w in workloads] for c in test
+    }
     for name, model in fitted.items():
-        y_pred = np.array(
+        y_pred = np.concatenate(
             [
-                _predict_total(model, c, flow.run(c, w).events, w)
+                _predict_totals(model, c, events_by_config[c.name], workloads)
                 for c in test
-                for w in workloads
             ]
         )
         results[name] = MethodAccuracy(

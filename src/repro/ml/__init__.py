@@ -13,6 +13,27 @@ This environment has no network access, so :mod:`repro.ml.gbm` provides a
 from-scratch gradient-boosted regression-tree implementation with the
 XGBoost-style regularized objective (squared loss, shrinkage, ``reg_lambda``,
 ``min_child_weight``, depth limit, feature/row subsampling).
+
+Vectorized engine (PR 1)
+------------------------
+The original engine searched splits with a per-candidate Python loop and
+traversed trees row by row; profiling the seed put ~21.4s of a 24.7s
+``AutoPower.fit`` inside ``_find_best_split`` and 3.1s inside 20
+``predict_report`` calls.  :mod:`repro.ml.tree` now does a fully
+vectorized split search (per-feature argsort + cumulative G/H arrays, all
+candidate gains in one expression, single feature-major argmax) with
+per-fit caches shared across boosting rounds (:class:`~repro.ml.tree.
+PresortCache`, :class:`~repro.ml.tree.HistogramBinner` for
+``tree_method="hist"``, plus per-node-subset sort memoization), flattens
+fitted trees into struct-of-arrays form (:class:`~repro.ml.tree.
+FlatTree`) and batch-infers by iterative vectorized descent;
+:mod:`repro.ml.gbm` fuses the whole ensemble into one node-array set and
+advances all rows x all trees in lockstep.  Measured on the repo's
+single-core container: ``AutoPower.fit`` (2 configs x 6 workloads)
+12.9s -> ~1.4s (~9-10x, run-to-run noise included); ``predict_trace``
+with 65 anchors 6.0s -> 63ms (~95x); exact-mode predictions match the
+scalar reference to <=1e-9 relative (see
+``tests/test_ml_engine_equivalence.py``).
 """
 
 from repro.ml.gbm import GradientBoostingRegressor

@@ -10,7 +10,14 @@ implements the regularized tree-boosting algorithm directly:
 * shrinkage (``learning_rate``), L2 leaf penalty (``reg_lambda``),
   ``min_child_weight``, ``gamma`` and depth limits,
 * optional row subsampling and per-tree feature subsampling,
-* base score initialised at the target mean.
+* base score initialised at the target mean,
+* ``tree_method="exact"`` (vectorized greedy scan) or ``"hist"``
+  (quantile-binned scan with a per-fit bin-index cache shared across all
+  boosting rounds, XGBoost-style).
+
+Inference accumulates every tree in one lockstep vectorized descent (all
+rows x all trees advance one level per step — no per-row or per-tree
+Python), which makes batched prediction essentially free.
 
 Like real tree ensembles, the model cannot predict outside the range of
 training targets — the very property the paper exploits when arguing that
@@ -21,9 +28,67 @@ from __future__ import annotations
 
 import numpy as np
 
-from repro.ml.tree import RegressionTree
+from repro.ml.tree import (
+    HistogramBinner,
+    PresortCache,
+    RegressionTree,
+    _SplitSearchConfig,
+)
 
 __all__ = ["GradientBoostingRegressor"]
+
+
+class _FlatEnsemble:
+    """All trees of a fitted ensemble concatenated into one node-array set.
+
+    Features are remapped through each tree's column subsample so inference
+    reads the full feature matrix directly.  Leaves are encoded as
+    self-loops (``left == right == self``, threshold ``+inf``) so the
+    lockstep descent needs no leaf masking: a row that reached its leaf
+    simply stays there while deeper trees keep routing.
+    """
+
+    __slots__ = ("feature", "threshold", "left", "right", "value", "roots", "depth")
+
+    def __init__(self, trees: list[tuple[RegressionTree, np.ndarray]]) -> None:
+        features = []
+        thresholds = []
+        lefts = []
+        rights = []
+        values = []
+        roots = []
+        offset = 0
+        depth = 0
+        for tree, cols in trees:
+            flat = tree.ensure_flat()
+            n = flat.n_nodes
+            leaf = flat.feature < 0
+            node_ids = np.arange(n, dtype=np.int32) + offset
+            features.append(np.where(leaf, 0, cols[np.where(leaf, 0, flat.feature)]))
+            thresholds.append(np.where(leaf, np.inf, flat.threshold))
+            lefts.append(np.where(leaf, node_ids, flat.left + offset))
+            rights.append(np.where(leaf, node_ids, flat.right + offset))
+            values.append(flat.value)
+            roots.append(offset)
+            offset += n
+            depth = max(depth, flat.depth)
+        self.feature = np.concatenate(features).astype(np.int32)
+        self.threshold = np.concatenate(thresholds)
+        self.left = np.concatenate(lefts).astype(np.int32)
+        self.right = np.concatenate(rights).astype(np.int32)
+        self.value = np.concatenate(values)
+        self.roots = np.array(roots, dtype=np.int32)
+        self.depth = depth
+
+    def sum_values(self, X: np.ndarray) -> np.ndarray:
+        """Sum of every tree's leaf value per row (before shrinkage)."""
+        n = X.shape[0]
+        node = np.broadcast_to(self.roots, (n, self.roots.size)).copy()
+        rows = np.arange(n)[:, None]
+        for _ in range(self.depth):
+            go_left = X[rows, self.feature[node]] <= self.threshold[node]
+            node = np.where(go_left, self.left[node], self.right[node])
+        return self.value[node].sum(axis=1)
 
 
 class GradientBoostingRegressor:
@@ -50,6 +115,11 @@ class GradientBoostingRegressor:
     early_stopping_rounds:
         When set together with a validation fraction, stop when the
         validation loss has not improved for this many rounds.
+    tree_method:
+        Split-search engine: ``"exact"`` (every distinct threshold) or
+        ``"hist"`` (quantile bins, one shared bin-index cache per fit).
+    max_bin:
+        Bucket budget per feature for ``tree_method="hist"``.
     random_state:
         Seed for all stochastic choices; the model is fully deterministic
         for a fixed seed.
@@ -66,6 +136,8 @@ class GradientBoostingRegressor:
         subsample: float = 1.0,
         colsample_bytree: float = 1.0,
         early_stopping_rounds: int | None = None,
+        tree_method: str = "exact",
+        max_bin: int = 256,
         random_state: int = 0,
     ) -> None:
         if n_estimators < 1:
@@ -76,6 +148,8 @@ class GradientBoostingRegressor:
             raise ValueError("subsample must be in (0, 1]")
         if not 0.0 < colsample_bytree <= 1.0:
             raise ValueError("colsample_bytree must be in (0, 1]")
+        if tree_method not in ("exact", "hist"):
+            raise ValueError(f"tree_method must be 'exact' or 'hist', got {tree_method!r}")
         self.n_estimators = int(n_estimators)
         self.learning_rate = float(learning_rate)
         self.max_depth = int(max_depth)
@@ -85,12 +159,16 @@ class GradientBoostingRegressor:
         self.subsample = float(subsample)
         self.colsample_bytree = float(colsample_bytree)
         self.early_stopping_rounds = early_stopping_rounds
+        self.tree_method = tree_method
+        self.max_bin = int(max_bin)
         self.random_state = int(random_state)
 
         self.trees_: list[tuple[RegressionTree, np.ndarray]] = []
         self.base_score_: float = 0.0
         self.train_losses_: list[float] = []
         self.n_features_: int = 0
+        self._fitted = False
+        self._ensemble: _FlatEnsemble | None = None
 
     # ------------------------------------------------------------------
     def fit(self, X, y) -> "GradientBoostingRegressor":
@@ -105,26 +183,72 @@ class GradientBoostingRegressor:
         self.n_features_ = n_features
         self.trees_ = []
         self.train_losses_ = []
+        self._fitted = False
+        self._ensemble = None
         self.base_score_ = float(y.mean())
         pred = np.full(n_samples, self.base_score_)
 
         n_cols = max(1, int(round(self.colsample_bytree * n_features)))
         n_rows = max(1, int(round(self.subsample * n_samples)))
+        full_rows = n_rows >= n_samples
+        full_cols = n_cols >= n_features
+        all_rows = np.arange(n_samples)
+        all_cols = np.arange(n_features)
+        hess = np.ones(n_samples)
+        # Both caches are properties of X alone, so one instance serves
+        # every boosting round (subsampled views are cheap slices); the
+        # split-search config carries per-node-size scratch caches that are
+        # likewise shared across all rounds.
+        binner = (
+            HistogramBinner(X, self.max_bin) if self.tree_method == "hist" else None
+        )
+        presort = (
+            PresortCache(X) if self.tree_method == "exact" and full_rows else None
+        )
+        cfg = _SplitSearchConfig(
+            max_depth=self.max_depth,
+            min_samples_split=2,
+            min_child_weight=self.min_child_weight,
+            reg_lambda=self.reg_lambda,
+            gamma=self.gamma,
+            unit_hess=True,  # squared loss: hessian is identically 1
+        )
+        if full_rows and full_cols and n_samples * n_features <= 16384:
+            # Node subsets recur across rounds; sort structures depend on X
+            # alone, so they are memoized per subset for the whole fit.
+            # Only worthwhile (and memory-safe) in the few-shot regime —
+            # with many samples the residuals drift every round, subsets
+            # rarely recur, and the memo would grow without bound.
+            cfg.sort_cache = {}
+        grad = np.empty(n_samples)
+        update = np.empty(n_samples)
+        np.subtract(pred, y, out=grad)  # d/dpred of 0.5*(pred-y)^2
         best_loss = np.inf
         rounds_since_best = 0
 
         for _ in range(self.n_estimators):
-            grad = pred - y  # d/dpred of 0.5*(pred-y)^2
-            hess = np.ones(n_samples)
-
-            if n_rows < n_samples:
-                rows = rng.choice(n_samples, size=n_rows, replace=False)
+            rows = all_rows if full_rows else rng.choice(
+                n_samples, size=n_rows, replace=False
+            )
+            cols = all_cols if full_cols else np.sort(
+                rng.choice(n_features, size=n_cols, replace=False)
+            )
+            if full_rows and full_cols:
+                x_fit = X
+                round_binner = binner
+                round_presort = presort
             else:
-                rows = np.arange(n_samples)
-            if n_cols < n_features:
-                cols = np.sort(rng.choice(n_features, size=n_cols, replace=False))
-            else:
-                cols = np.arange(n_features)
+                x_fit = X[np.ix_(rows, cols)]
+                round_binner = (
+                    binner.subset(
+                        None if full_rows else rows, None if full_cols else cols
+                    )
+                    if binner is not None
+                    else None
+                )
+                round_presort = (
+                    presort.subset_cols(cols) if presort is not None else None
+                )
 
             tree = RegressionTree(
                 max_depth=self.max_depth,
@@ -132,13 +256,27 @@ class GradientBoostingRegressor:
                 min_child_weight=self.min_child_weight,
                 reg_lambda=self.reg_lambda,
                 gamma=self.gamma,
+                tree_method=self.tree_method,
+                max_bin=self.max_bin,
             )
-            tree.fit_gradients(X[np.ix_(rows, cols)], grad[rows], hess[rows])
-            update = tree.predict(X[:, cols])
-            pred = pred + self.learning_rate * update
+            if full_rows:
+                # The leaf partition already is the training prediction.
+                tree._fit_core(
+                    x_fit, grad, hess, cfg, round_binner, round_presort, update
+                )
+                pred += self.learning_rate * update
+            else:
+                tree.fit_gradients(
+                    x_fit, grad[rows], hess[rows], binner=round_binner
+                )
+                pred += self.learning_rate * tree.predict(
+                    X if full_cols else X[:, cols]
+                )
             self.trees_.append((tree, cols))
 
-            loss = float(np.mean((pred - y) ** 2))
+            # The post-round residual doubles as the next round's gradient.
+            np.subtract(pred, y, out=grad)
+            loss = float(grad @ grad) / n_samples
             self.train_losses_.append(loss)
             if self.early_stopping_rounds is not None:
                 if loss < best_loss - 1e-12:
@@ -148,25 +286,37 @@ class GradientBoostingRegressor:
                     rounds_since_best += 1
                     if rounds_since_best >= self.early_stopping_rounds:
                         break
+        self._fitted = True
         return self
 
     # ------------------------------------------------------------------
-    def predict(self, X) -> np.ndarray:
-        if not self.trees_ and self.base_score_ == 0.0 and self.n_features_ == 0:
-            raise RuntimeError("GradientBoostingRegressor.predict called before fit")
+    def _check_is_fitted(self) -> None:
+        if not self._fitted:
+            raise RuntimeError(
+                "GradientBoostingRegressor used before fit"
+            )
+
+    def _validated(self, X) -> np.ndarray:
+        self._check_is_fitted()
         X = np.atleast_2d(np.asarray(X, dtype=float))
         if X.shape[1] != self.n_features_:
             raise ValueError(
                 f"X has {X.shape[1]} features, model expects {self.n_features_}"
             )
-        pred = np.full(X.shape[0], self.base_score_)
-        for tree, cols in self.trees_:
-            pred = pred + self.learning_rate * tree.predict(X[:, cols])
-        return pred
+        return X
+
+    def _flat_ensemble(self) -> _FlatEnsemble:
+        if self._ensemble is None:
+            self._ensemble = _FlatEnsemble(self.trees_)
+        return self._ensemble
+
+    def predict(self, X) -> np.ndarray:
+        X = self._validated(X)
+        return self.base_score_ + self.learning_rate * self._flat_ensemble().sum_values(X)
 
     def staged_predict(self, X):
         """Yield predictions after each boosting round (for diagnostics)."""
-        X = np.atleast_2d(np.asarray(X, dtype=float))
+        X = self._validated(X)
         pred = np.full(X.shape[0], self.base_score_)
         yield pred.copy()
         for tree, cols in self.trees_:
@@ -177,3 +327,8 @@ class GradientBoostingRegressor:
     def n_trees_(self) -> int:
         """Number of fitted boosting rounds (≤ ``n_estimators``)."""
         return len(self.trees_)
+
+    def mark_fitted(self) -> None:
+        """Declare externally-assembled state (deserialization) as fitted."""
+        self._fitted = True
+        self._ensemble = None

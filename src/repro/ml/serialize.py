@@ -4,6 +4,11 @@ A fitted AutoPower instance embeds dozens of small models; persisting it
 lets a team train once against the (slow, licensed) EDA flow and ship the
 fitted model to architects who only have the performance simulator.  All
 formats are plain dicts of JSON types — no pickle.
+
+Trees serialize in their flattened struct-of-arrays form (``feature[]``,
+``threshold[]``, ``left[]``, ``right[]``, ``value[]`` — the exact arrays
+the vectorized inference engine runs on); the legacy nested ``root``
+format from earlier releases is still accepted on load.
 """
 
 from __future__ import annotations
@@ -12,7 +17,7 @@ import numpy as np
 
 from repro.ml.gbm import GradientBoostingRegressor
 from repro.ml.linear import RidgeRegression
-from repro.ml.tree import RegressionTree, TreeNode
+from repro.ml.tree import FlatTree, RegressionTree, TreeNode
 
 __all__ = [
     "gbm_from_dict",
@@ -54,17 +59,8 @@ def ridge_from_dict(state: dict) -> RidgeRegression:
 
 
 # -- tree -------------------------------------------------------------------
-def _node_to_dict(node: TreeNode) -> dict:
-    out = {"value": node.value, "n_samples": node.n_samples}
-    if not node.is_leaf:
-        out["feature"] = node.feature
-        out["threshold"] = node.threshold
-        out["left"] = _node_to_dict(node.left)
-        out["right"] = _node_to_dict(node.right)
-    return out
-
-
 def _node_from_dict(state: dict, depth: int = 0) -> TreeNode:
+    """Legacy nested-``root`` reader (pre-flattened format)."""
     node = TreeNode(
         value=float(state["value"]),
         n_samples=int(state.get("n_samples", 0)),
@@ -79,14 +75,23 @@ def _node_from_dict(state: dict, depth: int = 0) -> TreeNode:
 
 
 def tree_to_dict(tree: RegressionTree) -> dict:
-    if tree.root_ is None:
+    if tree.flat_ is None and tree._root is None:
         raise ValueError("cannot serialize an unfitted RegressionTree")
+    flat = tree.ensure_flat()
     return {
         "kind": "tree",
         "n_features": tree.n_features_,
         "max_depth": tree.max_depth,
         "reg_lambda": tree.reg_lambda,
-        "root": _node_to_dict(tree.root_),
+        "tree_method": tree.tree_method,
+        "nodes": {
+            "feature": flat.feature.tolist(),
+            "threshold": flat.threshold.tolist(),
+            "left": flat.left.tolist(),
+            "right": flat.right.tolist(),
+            "value": flat.value.tolist(),
+            "n_samples": flat.n_samples.tolist(),
+        },
     }
 
 
@@ -94,10 +99,25 @@ def tree_from_dict(state: dict) -> RegressionTree:
     if state.get("kind") != "tree":
         raise ValueError(f"not a tree state: {state.get('kind')!r}")
     tree = RegressionTree(
-        max_depth=int(state["max_depth"]), reg_lambda=float(state["reg_lambda"])
+        max_depth=int(state["max_depth"]),
+        reg_lambda=float(state["reg_lambda"]),
+        tree_method=str(state.get("tree_method", "exact")),
     )
     tree.n_features_ = int(state["n_features"])
-    tree.root_ = _node_from_dict(state["root"])
+    if "nodes" in state:
+        nodes = state["nodes"]
+        tree.flat_ = FlatTree(
+            np.asarray(nodes["feature"], dtype=np.int32),
+            np.asarray(nodes["threshold"], dtype=float),
+            np.asarray(nodes["left"], dtype=np.int32),
+            np.asarray(nodes["right"], dtype=np.int32),
+            np.asarray(nodes["value"], dtype=float),
+            np.asarray(nodes["n_samples"], dtype=np.int64),
+        )
+        # root_ materializes lazily from flat_ on first introspection.
+    else:  # legacy nested format
+        tree.root_ = _node_from_dict(state["root"])
+        tree.flat_ = FlatTree.from_node(tree.root_)
     return tree
 
 
@@ -116,6 +136,8 @@ def gbm_to_dict(model: GradientBoostingRegressor) -> dict:
             "gamma": model.gamma,
             "subsample": model.subsample,
             "colsample_bytree": model.colsample_bytree,
+            "tree_method": model.tree_method,
+            "max_bin": model.max_bin,
             "random_state": model.random_state,
         },
         "trees": [
@@ -138,6 +160,8 @@ def gbm_from_dict(state: dict) -> GradientBoostingRegressor:
         gamma=params["gamma"],
         subsample=params["subsample"],
         colsample_bytree=params["colsample_bytree"],
+        tree_method=params.get("tree_method", "exact"),
+        max_bin=params.get("max_bin", 256),
         random_state=params["random_state"],
     )
     model.base_score_ = float(state["base_score"])
@@ -146,4 +170,5 @@ def gbm_from_dict(state: dict) -> GradientBoostingRegressor:
         (tree_from_dict(entry["tree"]), np.asarray(entry["columns"], dtype=int))
         for entry in state["trees"]
     ]
+    model.mark_fitted()
     return model

@@ -10,18 +10,63 @@ and the split gain is the standard
 A standalone tree (``RegressionTree.fit(X, y)``) simply boosts a single
 round from a zero prediction, which reduces to ordinary variance-minimizing
 CART with L2 leaf shrinkage.
+
+Vectorized engine
+-----------------
+Split search is fully vectorized: each node sorts its rows for *all*
+features at once (one 2-D argsort), builds cumulative gradient/hessian
+arrays, evaluates every candidate threshold in one array expression (tie
+candidates masked, ``min_child_weight`` bounds applied as a slice in the
+unit-hessian case), and picks the winner with a single feature-major
+argmax.  Because the split gain is a monotone affine function of the
+left/right score sum, the argmax runs on the raw score and the gain is
+materialized once, for the winner only.
+
+Two per-fit caches let a boosting loop amortize work that depends on ``X``
+alone across all rounds: :class:`PresortCache` (feature-sorted root order,
+used by ``tree_method="exact"``) and :class:`HistogramBinner`
+(quantile-bin indices, used by ``tree_method="hist"`` — at most
+``max_bin`` buckets per feature, XGBoost-style).  Child G/H sums are read
+off the parent's cumulative arrays instead of being re-reduced, and the
+few-shot regime (dozens of tiny nodes per tree, thousands of trees per
+AutoPower fit) is dominated by numpy dispatch, so the hot path also caches
+per-node-size denominator vectors in the search config.
+
+Fitted trees are flattened into struct-of-arrays form (:class:`FlatTree`:
+``feature[]``, ``threshold[]``, ``left[]``, ``right[]``, ``value[]``) and
+inference is an iterative vectorized descent over all rows at once — no
+per-row Python.  The :class:`TreeNode` object graph is kept for
+introspection and serialization.
 """
 
 from __future__ import annotations
 
+import math
 from dataclasses import dataclass, field
 
 import numpy as np
 
-__all__ = ["RegressionTree", "TreeNode"]
+__all__ = ["FlatTree", "HistogramBinner", "PresortCache", "RegressionTree", "TreeNode"]
+
+_TREE_METHODS = ("exact", "hist")
+
+# Minimum gain (beyond zero) for a split to be kept; also the tolerance the
+# historical scalar engine used when comparing candidate gains.
+_GAIN_EPS = 1e-12
+
+# (f, 1) index columns for take-along-axis-style gathers, cached per width.
+_ROW_INDEX_CACHE: dict[int, np.ndarray] = {}
 
 
-@dataclass
+def _row_index(f: int) -> np.ndarray:
+    rows = _ROW_INDEX_CACHE.get(f)
+    if rows is None:
+        rows = np.arange(f)[:, None]
+        _ROW_INDEX_CACHE[f] = rows
+    return rows
+
+
+@dataclass(slots=True)
 class TreeNode:
     """A node in the fitted tree.
 
@@ -50,13 +95,258 @@ class TreeNode:
         return self.left.count_leaves() + self.right.count_leaves()
 
 
+class FlatTree:
+    """Struct-of-arrays form of a fitted tree for vectorized inference.
+
+    ``feature[i] == -1`` marks node ``i`` as a leaf (its ``left``/``right``
+    are ``-1`` and its ``threshold`` is ``0.0``); internal nodes route row
+    ``x`` to ``left[i]`` when ``x[feature[i]] <= threshold[i]`` and to
+    ``right[i]`` otherwise.  Nodes are stored in preorder, so node 0 is the
+    root.
+    """
+
+    __slots__ = ("feature", "threshold", "left", "right", "value", "n_samples", "depth")
+
+    def __init__(
+        self,
+        feature: np.ndarray,
+        threshold: np.ndarray,
+        left: np.ndarray,
+        right: np.ndarray,
+        value: np.ndarray,
+        n_samples: np.ndarray,
+    ) -> None:
+        self.feature = np.asarray(feature, dtype=np.int32)
+        self.threshold = np.asarray(threshold, dtype=float)
+        self.left = np.asarray(left, dtype=np.int32)
+        self.right = np.asarray(right, dtype=np.int32)
+        self.value = np.asarray(value, dtype=float)
+        self.n_samples = np.asarray(n_samples, dtype=np.int64)
+        self.depth = _flat_depth(self.feature, self.left, self.right)
+
+    @property
+    def n_nodes(self) -> int:
+        return int(self.feature.size)
+
+    # ------------------------------------------------------------------
+    @classmethod
+    def from_node(cls, root: TreeNode) -> "FlatTree":
+        """Flatten a :class:`TreeNode` graph (preorder)."""
+        feature: list[int] = []
+        threshold: list[float] = []
+        left: list[int] = []
+        right: list[int] = []
+        value: list[float] = []
+        n_samples: list[int] = []
+
+        def visit(node: TreeNode) -> int:
+            i = len(feature)
+            feature.append(node.feature if not node.is_leaf else -1)
+            threshold.append(node.threshold if not node.is_leaf else 0.0)
+            left.append(-1)
+            right.append(-1)
+            value.append(node.value)
+            n_samples.append(node.n_samples)
+            if not node.is_leaf:
+                assert node.left is not None and node.right is not None
+                left[i] = visit(node.left)
+                right[i] = visit(node.right)
+            return i
+
+        visit(root)
+        return cls(
+            np.array(feature, dtype=np.int32),
+            np.array(threshold, dtype=float),
+            np.array(left, dtype=np.int32),
+            np.array(right, dtype=np.int32),
+            np.array(value, dtype=float),
+            np.array(n_samples, dtype=np.int64),
+        )
+
+    def to_node(self) -> TreeNode:
+        """Rebuild the :class:`TreeNode` graph (for introspection)."""
+
+        def build(i: int, depth: int) -> TreeNode:
+            node = TreeNode(
+                value=float(self.value[i]),
+                n_samples=int(self.n_samples[i]),
+                depth=depth,
+            )
+            if self.feature[i] >= 0:
+                node.feature = int(self.feature[i])
+                node.threshold = float(self.threshold[i])
+                node.left = build(int(self.left[i]), depth + 1)
+                node.right = build(int(self.right[i]), depth + 1)
+            return node
+
+        return build(0, 0)
+
+    # ------------------------------------------------------------------
+    def predict(self, X: np.ndarray) -> np.ndarray:
+        """Leaf values for every row — iterative vectorized descent."""
+        node = np.zeros(X.shape[0], dtype=np.int32)
+        for _ in range(self.depth):
+            feat = self.feature[node]
+            active = feat >= 0
+            if not active.any():
+                break
+            rows = np.nonzero(active)[0]
+            sub = node[rows]
+            go_left = X[rows, feat[rows]] <= self.threshold[sub]
+            node[rows] = np.where(go_left, self.left[sub], self.right[sub])
+        return self.value[node]
+
+
+def _flat_depth(feature: np.ndarray, left: np.ndarray, right: np.ndarray) -> int:
+    """Depth of a flattened tree (0 for a stump leaf)."""
+    depth = np.zeros(feature.size, dtype=np.int64)
+    best = 0
+    # Preorder guarantees children have larger indices than their parent,
+    # so one forward pass settles every node's depth.
+    for i in range(feature.size):
+        if feature[i] >= 0:
+            child = depth[i] + 1
+            depth[left[i]] = child
+            depth[right[i]] = child
+            if child > best:
+                best = int(child)
+    return best
+
+
+class PresortCache:
+    """Per-fit cache of the feature-sorted root order (exact mode).
+
+    The sort order, sorted values, and tie mask of the *root* node depend
+    on ``X`` alone, so a boosting loop computes them once and reuses them
+    for the root split of every round; child nodes re-sort their (smaller)
+    subsets.  Arrays are stored transposed — ``(n_features, n_samples)`` —
+    so the feature-major argmax of the split search runs on contiguous
+    memory.  Column subsampling slices the cache (row subsampling
+    invalidates it — the caller must drop it then).
+    """
+
+    __slots__ = ("xt", "order", "sv", "untie")
+
+    def __init__(self, X: np.ndarray) -> None:
+        XT = np.ascontiguousarray(np.atleast_2d(np.asarray(X, dtype=float)).T)
+        self.xt = XT  # child nodes gather their columns from this
+        self.order = XT.argsort(axis=1, kind="stable")
+        self.sv = XT[_row_index(XT.shape[0]), self.order]
+        self.untie = self.sv[:, 1:] == self.sv[:, :-1]
+
+    def subset_cols(self, cols: np.ndarray) -> "PresortCache":
+        sub = object.__new__(PresortCache)
+        sub.xt = self.xt[cols]
+        sub.order = self.order[cols]
+        sub.sv = self.sv[cols]
+        sub.untie = self.untie[cols]
+        return sub
+
+
+class HistogramBinner:
+    """Per-fit quantile-bin index cache for ``tree_method="hist"``.
+
+    Each feature gets at most ``max_bin`` buckets.  When a feature has few
+    distinct values the bucket boundaries are the midpoints between
+    consecutive unique values — in that regime the histogram search is
+    exactly the exact greedy search.  Otherwise boundaries are quantile cut
+    points of the training distribution.  The binned index matrix is
+    computed once and shared by every boosting round (the GBM fits dozens
+    of trees on the same ``X``), which is the main point of the cache.
+    """
+
+    __slots__ = ("binned", "edges", "n_edges", "max_bin", "n_features")
+
+    def __init__(self, X: np.ndarray, max_bin: int = 256) -> None:
+        if max_bin < 2:
+            raise ValueError("max_bin must be >= 2")
+        X = np.atleast_2d(np.asarray(X, dtype=float))
+        n, f = X.shape
+        self.max_bin = int(max_bin)
+        self.n_features = f
+        edge_list: list[np.ndarray] = []
+        for j in range(f):
+            col = X[:, j]
+            uniq = np.unique(col)
+            if uniq.size <= 1:
+                edges = np.empty(0, dtype=float)
+            elif uniq.size <= max_bin:
+                edges = 0.5 * (uniq[:-1] + uniq[1:])
+            else:
+                qs = np.quantile(col, np.linspace(0.0, 1.0, max_bin + 1)[1:-1])
+                edges = np.unique(qs)
+            edge_list.append(edges)
+        self.n_edges = np.array([e.size for e in edge_list], dtype=np.int64)
+        width = max(int(self.n_edges.max(initial=0)), 1)
+        self.edges = np.full((f, width), np.inf)
+        binned = np.empty((n, f), dtype=np.int32)
+        for j, edges in enumerate(edge_list):
+            self.edges[j, : edges.size] = edges
+            # bin b holds values <= edges[b]; the last bin holds the rest.
+            binned[:, j] = np.searchsorted(edges, X[:, j], side="left")
+        self.binned = binned
+
+    def subset(self, rows: np.ndarray | None, cols: np.ndarray | None) -> "HistogramBinner":
+        """A view of the cache restricted to a row/column subsample."""
+        sub = object.__new__(HistogramBinner)
+        binned = self.binned
+        edges = self.edges
+        n_edges = self.n_edges
+        if cols is not None:
+            binned = binned[:, cols]
+            edges = edges[cols]
+            n_edges = n_edges[cols]
+        if rows is not None:
+            binned = binned[rows]
+        sub.binned = binned
+        sub.edges = edges
+        sub.n_edges = n_edges
+        sub.max_bin = self.max_bin
+        sub.n_features = binned.shape[1]
+        return sub
+
+
 @dataclass
 class _SplitSearchConfig:
+    """Hyper-parameters plus per-fit scratch caches for the split search.
+
+    ``size_cache`` maps a node size ``n`` to its candidate bounds and
+    regularized denominator vectors (unit-hessian case) — node sizes repeat
+    endlessly across boosting rounds, so these tiny arrays are shared.
+    """
+
     max_depth: int
     min_samples_split: int
     min_child_weight: float
     reg_lambda: float
     gamma: float
+    unit_hess: bool = False
+    size_cache: dict = field(default_factory=dict)
+    # idx.tobytes() -> (sorted_rows, sv, untie); sort structures depend on X
+    # alone, and the same node subsets recur across boosting rounds.  Only
+    # valid while X (rows *and* columns) is fixed; None disables.
+    sort_cache: dict | None = None
+    # node size -> scratch arrays for the allocation-free score pipeline.
+    buffers: dict = field(default_factory=dict)
+    # Tie-masked denominators of the root node (valid with sort_cache).
+    root_dens: tuple | None = None
+
+    def bounds_for(self, n: int):
+        entry = self.size_cache.get(n)
+        if entry is None:
+            lo = max(math.ceil(self.min_child_weight) - 1, 0)
+            # Candidates sit between sorted positions, so cap at n-1 even
+            # when min_child_weight imposes no bound of its own (mcw <= 1).
+            hi = min(math.floor(n - 1 - self.min_child_weight) + 1, n - 1)
+            if hi > lo:
+                hl = np.arange(lo + 1.0, hi + 1.0)
+                den_l = hl + self.reg_lambda
+                den_r = (n - hl) + self.reg_lambda
+            else:
+                den_l = den_r = None
+            entry = (lo, hi, den_l, den_r)
+            self.size_cache[n] = entry
+        return entry
 
 
 class RegressionTree:
@@ -77,6 +367,11 @@ class RegressionTree:
         L2 penalty on leaf weights.
     gamma:
         Minimum gain required to make a split.
+    tree_method:
+        ``"exact"`` scans every distinct threshold; ``"hist"`` scans at
+        most ``max_bin`` quantile-bin boundaries per feature.
+    max_bin:
+        Bucket budget per feature for ``tree_method="hist"``.
     """
 
     def __init__(
@@ -86,18 +381,41 @@ class RegressionTree:
         min_child_weight: float = 1.0,
         reg_lambda: float = 1.0,
         gamma: float = 0.0,
+        tree_method: str = "exact",
+        max_bin: int = 256,
     ) -> None:
         if max_depth < 0:
             raise ValueError("max_depth must be >= 0")
         if min_samples_split < 2:
             raise ValueError("min_samples_split must be >= 2")
+        if tree_method not in _TREE_METHODS:
+            raise ValueError(
+                f"tree_method must be one of {_TREE_METHODS}, got {tree_method!r}"
+            )
+        if max_bin < 2:
+            raise ValueError("max_bin must be >= 2")
         self.max_depth = int(max_depth)
         self.min_samples_split = int(min_samples_split)
         self.min_child_weight = float(min_child_weight)
         self.reg_lambda = float(reg_lambda)
         self.gamma = float(gamma)
-        self.root_: TreeNode | None = None
+        self.tree_method = tree_method
+        self.max_bin = int(max_bin)
+        self._root: TreeNode | None = None
+        self.flat_: FlatTree | None = None
         self.n_features_: int = 0
+
+    @property
+    def root_(self) -> TreeNode | None:
+        """The introspectable node graph (materialized lazily from the
+        flattened arrays; ``None`` when unfitted)."""
+        if self._root is None and self.flat_ is not None:
+            self._root = self.flat_.to_node()
+        return self._root
+
+    @root_.setter
+    def root_(self, node: TreeNode | None) -> None:
+        self._root = node
 
     # ------------------------------------------------------------------
     def fit(self, X, y) -> "RegressionTree":
@@ -110,8 +428,24 @@ class RegressionTree:
         hess = np.ones_like(y)
         return self.fit_gradients(X, grad, hess)
 
-    def fit_gradients(self, X, grad, hess) -> "RegressionTree":
-        """Fit on explicit first/second-order statistics (boosting path)."""
+    def fit_gradients(
+        self,
+        X,
+        grad,
+        hess,
+        binner: HistogramBinner | None = None,
+        presort: PresortCache | None = None,
+        train_pred: np.ndarray | None = None,
+    ) -> "RegressionTree":
+        """Fit on explicit first/second-order statistics (boosting path).
+
+        ``binner``/``presort`` supply precomputed per-``X`` caches (a
+        boosting loop shares one across rounds); when omitted they are
+        built on demand.  ``train_pred``, when given, is filled in place
+        with the tree's predictions on the training rows — a free
+        by-product of the leaf partition that saves the boosting loop a
+        full ``predict`` pass.
+        """
         X = np.atleast_2d(np.asarray(X, dtype=float))
         grad = np.asarray(grad, dtype=float).ravel()
         hess = np.asarray(hess, dtype=float).ravel()
@@ -119,42 +453,81 @@ class RegressionTree:
             raise ValueError("X, grad, hess disagree on the number of samples")
         if X.shape[0] == 0:
             raise ValueError("cannot fit a tree on zero samples")
-        self.n_features_ = X.shape[1]
         cfg = _SplitSearchConfig(
             max_depth=self.max_depth,
             min_samples_split=self.min_samples_split,
             min_child_weight=self.min_child_weight,
             reg_lambda=self.reg_lambda,
             gamma=self.gamma,
+            unit_hess=bool(np.all(hess == 1.0)),
         )
-        idx = np.arange(X.shape[0])
-        self.root_ = _build_node(X, grad, hess, idx, depth=0, cfg=cfg)
+        if self.tree_method == "hist":
+            if binner is None:
+                binner = HistogramBinner(X, self.max_bin)
+            elif binner.n_features != X.shape[1]:
+                raise ValueError("binner does not match the feature count of X")
+        else:
+            binner = None
+        return self._fit_core(X, grad, hess, cfg, binner, presort, train_pred)
+
+    def _fit_core(
+        self,
+        X: np.ndarray,
+        grad: np.ndarray,
+        hess: np.ndarray,
+        cfg: _SplitSearchConfig,
+        binner: HistogramBinner | None,
+        presort: PresortCache | None,
+        train_pred: np.ndarray | None,
+    ) -> "RegressionTree":
+        """Validation-free fit used by the boosting loop (caches prebuilt)."""
+        self.n_features_ = X.shape[1]
+        gsum = float(grad.sum())
+        hsum = float(grad.size) if cfg.unit_hess else float(hess.sum())
+        # Nodes are appended straight into struct-of-arrays buffers; the
+        # TreeNode graph is only materialized on introspection.
+        out: tuple[list, ...] = ([], [], [], [], [], [])
+        _build_flat(
+            X, grad, hess, None, 0, cfg, binner, gsum, hsum, train_pred, presort, out
+        )
+        self.flat_ = FlatTree(
+            np.array(out[0], dtype=np.int32),
+            np.array(out[1], dtype=float),
+            np.array(out[2], dtype=np.int32),
+            np.array(out[3], dtype=np.int32),
+            np.array(out[4], dtype=float),
+            np.array(out[5], dtype=np.int64),
+        )
+        self._root = None
         return self
+
+    def ensure_flat(self) -> FlatTree:
+        """The struct-of-arrays form of the fitted tree."""
+        if self.flat_ is None:
+            if self._root is None:
+                raise RuntimeError("tree is not fitted")
+            self.flat_ = FlatTree.from_node(self._root)
+        return self.flat_
 
     # ------------------------------------------------------------------
     def predict(self, X) -> np.ndarray:
-        if self.root_ is None:
+        if self.flat_ is None and self._root is None:
             raise RuntimeError("RegressionTree.predict called before fit")
         X = np.atleast_2d(np.asarray(X, dtype=float))
         if X.shape[1] != self.n_features_:
             raise ValueError(
                 f"X has {X.shape[1]} features, tree expects {self.n_features_}"
             )
-        out = np.empty(X.shape[0], dtype=float)
-        for i, row in enumerate(X):
-            node = self.root_
-            while not node.is_leaf:
-                assert node.left is not None and node.right is not None
-                node = node.left if row[node.feature] <= node.threshold else node.right
-            out[i] = node.value
-        return out
+        return self.ensure_flat().predict(X)
 
     @property
     def depth_(self) -> int:
         """Depth of the fitted tree (0 for a stump leaf)."""
-        if self.root_ is None:
+        if self.flat_ is not None:
+            return self.flat_.depth
+        if self._root is None:
             raise RuntimeError("tree is not fitted")
-        return _max_depth(self.root_)
+        return _max_depth(self._root)
 
 
 def _max_depth(node: TreeNode) -> int:
@@ -164,85 +537,295 @@ def _max_depth(node: TreeNode) -> int:
     return 1 + max(_max_depth(node.left), _max_depth(node.right))
 
 
-def _leaf_value(gsum: float, hsum: float, reg_lambda: float) -> float:
-    return -gsum / (hsum + reg_lambda)
-
-
-def _build_node(
+def _build_flat(
     X: np.ndarray,
     grad: np.ndarray,
     hess: np.ndarray,
-    idx: np.ndarray,
+    idx: np.ndarray | None,
     depth: int,
     cfg: _SplitSearchConfig,
-) -> TreeNode:
-    gsum = float(grad[idx].sum())
-    hsum = float(hess[idx].sum())
-    node = TreeNode(
-        value=_leaf_value(gsum, hsum, cfg.reg_lambda),
-        n_samples=int(idx.size),
-        depth=depth,
-    )
-    if depth >= cfg.max_depth or idx.size < cfg.min_samples_split:
-        return node
+    binner: HistogramBinner | None,
+    gsum: float,
+    hsum: float,
+    train_pred: np.ndarray | None,
+    presort: PresortCache | None,
+    out: tuple[list, ...],
+) -> int:
+    """Recursive builder appending preorder struct-of-arrays rows.
 
-    best = _find_best_split(X, grad, hess, idx, gsum, hsum, cfg)
+    ``idx is None`` denotes the root (all rows).  Returns the node index.
+    """
+    features, thresholds, lefts, rights, values, n_samples = out
+    size = X.shape[0] if idx is None else idx.size
+    value = -gsum / (hsum + cfg.reg_lambda)
+    best = None
+    if depth < cfg.max_depth and size >= cfg.min_samples_split:
+        if binner is not None:
+            best = _find_best_split_hist(binner, grad, hess, idx, gsum, hsum, cfg)
+        else:
+            best = _find_best_split_exact(X, grad, hess, idx, gsum, hsum, cfg, presort)
+    i = len(features)
     if best is None:
-        return node
+        features.append(-1)
+        thresholds.append(0.0)
+        lefts.append(-1)
+        rights.append(-1)
+        values.append(value)
+        n_samples.append(size)
+        if train_pred is not None:
+            if idx is None:
+                train_pred[:] = value
+            else:
+                train_pred[idx] = value
+        return i
 
-    feature, threshold, gain, left_idx, right_idx = best
-    node.feature = feature
-    node.threshold = threshold
-    node.gain = gain
-    node.left = _build_node(X, grad, hess, left_idx, depth + 1, cfg)
-    node.right = _build_node(X, grad, hess, right_idx, depth + 1, cfg)
-    return node
+    feature, threshold, _gain, left_idx, right_idx, gl, hl = best
+    features.append(feature)
+    thresholds.append(threshold)
+    lefts.append(-1)
+    rights.append(-1)
+    values.append(value)
+    n_samples.append(size)
+    lefts[i] = _build_flat(
+        X, grad, hess, left_idx, depth + 1, cfg, binner, gl, hl, train_pred, presort, out
+    )
+    rights[i] = _build_flat(
+        X,
+        grad,
+        hess,
+        right_idx,
+        depth + 1,
+        cfg,
+        binner,
+        gsum - gl,
+        hsum - hl,
+        train_pred,
+        presort,
+        out,
+    )
+    return i
 
 
-def _find_best_split(
+def _masked_dens(cfg: _SplitSearchConfig, n: int, untie: np.ndarray):
+    """Per-subset denominators with ``+inf`` at tie candidates.
+
+    A tie candidate then scores ``0``; since scores are non-negative and a
+    zero-score winner implies non-positive gain, the gain check rejects it
+    — no per-round masking pass is needed.
+    """
+    lo, hi, den_l, den_r = cfg.bounds_for(n)
+    if hi <= lo:
+        return (None, None)
+    u = untie[:, lo:hi]
+    return (np.where(u, np.inf, den_l), np.where(u, np.inf, den_r))
+
+
+def _find_best_split_exact(
     X: np.ndarray,
     grad: np.ndarray,
     hess: np.ndarray,
-    idx: np.ndarray,
+    idx: np.ndarray | None,
+    gsum: float,
+    hsum: float,
+    cfg: _SplitSearchConfig,
+    presort: PresortCache | None,
+):
+    """Exact greedy split search, vectorized over features and thresholds.
+
+    Works in transposed ``(n_features, n_candidates)`` layout so the final
+    feature-major argmax scans contiguous memory.  Ties resolve to the
+    lowest (feature, position) pair, matching the historical scalar scan
+    order.
+    """
+    n = X.shape[0] if idx is None else idx.size
+    if n < 2:
+        return None
+    lam = cfg.reg_lambda
+    untie = None
+    if presort is not None and idx is None:
+        # sorted_rows carries *original* row indices per feature, so one
+        # gather sorts the gradients and partition slices are free views.
+        sorted_rows, sv, untie = presort.order, presort.sv, presort.untie
+        dens = cfg.root_dens if cfg.sort_cache is not None else None
+    else:
+        cache = cfg.sort_cache if idx is not None else None
+        key = idx.tobytes() if cache is not None else None
+        entry = cache.get(key) if cache is not None else None
+        if entry is None:
+            if presort is not None and idx is not None:
+                XnT = presort.xt[:, idx]  # contiguous (f, n) gather
+            else:
+                XnT = (X if idx is None else X[idx]).T
+            # No stability needed: equal values never straddle a threshold.
+            order = XnT.argsort(axis=1)
+            sv = XnT[_row_index(XnT.shape[0]), order]
+            untie = sv[:, 1:] == sv[:, :-1]
+            sorted_rows = order if idx is None else idx[order]
+            dens = None
+            if cache is not None:
+                dens = _masked_dens(cfg, n, untie)
+                cache[key] = (sorted_rows, sv, dens)
+        else:
+            sorted_rows, sv, dens = entry
+
+    if cfg.unit_hess:
+        # Hessian == sample count: min_child_weight is a candidate slice
+        # and the denominators depend on the node size alone (cached).
+        lo, hi, den_l, den_r = cfg.bounds_for(n)
+        if hi <= lo:
+            return None
+        if dens is not None:
+            # Tie candidates carry +inf denominators, so they score 0 and
+            # are rejected by the gain check — no separate masking pass.
+            den_l, den_r = dens
+            untie = None
+        elif presort is not None and idx is None and cfg.sort_cache is not None:
+            dens = cfg.root_dens = _masked_dens(cfg, n, untie)
+            den_l, den_r = dens
+            untie = None
+        if den_l is None:
+            return None
+        # Scratch buffers per node size: the score pipeline allocates
+        # nothing, which matters when thousands of tiny nodes stream by.
+        f = sorted_rows.shape[0]
+        bufs = cfg.buffers.get(n)
+        if bufs is None or bufs[0].shape[0] != f:
+            bufs = (
+                np.empty((f, n)),
+                np.empty((f, n)),
+                np.empty((f, hi - lo)),
+                np.empty((f, hi - lo)),
+            )
+            cfg.buffers[n] = bufs
+        g_buf, cs_buf, gr_buf, sq_buf = bufs
+        np.take(grad, sorted_rows, out=g_buf)
+        np.cumsum(g_buf, axis=1, out=cs_buf)
+        gl = cs_buf[:, lo:hi]
+        np.subtract(gsum, gl, out=gr_buf)
+        np.multiply(gr_buf, gr_buf, out=gr_buf)
+        np.divide(gr_buf, den_r, out=gr_buf)
+        np.multiply(gl, gl, out=sq_buf)
+        np.divide(sq_buf, den_l, out=sq_buf)
+        score = np.add(sq_buf, gr_buf, out=sq_buf)
+        if untie is not None:
+            np.copyto(score, -np.inf, where=untie[:, lo:hi])
+    else:
+        lo = 0
+        hi = n - 1
+        gl = grad[sorted_rows].cumsum(axis=1)[:, :-1]
+        hl = hess[sorted_rows].cumsum(axis=1)[:, :-1]
+        gr = gsum - gl
+        hr = hsum - hl
+        with np.errstate(divide="ignore", invalid="ignore"):
+            score = gl * gl / (hl + lam) + gr * gr / (hr + lam)
+        score[
+            untie
+            | (hl < cfg.min_child_weight)
+            | (hr < cfg.min_child_weight)
+            | np.isnan(score)
+        ] = -np.inf
+
+    best = int(score.argmax())
+    feature, pos_rel = divmod(best, hi - lo)
+    best_score = score[feature, pos_rel]
+    if best_score == -np.inf:
+        return None
+    parent_score = gsum * gsum / (hsum + lam)
+    gain = 0.5 * (float(best_score) - parent_score) - cfg.gamma
+    if not gain > _GAIN_EPS:
+        return None
+    pos = lo + pos_rel
+    threshold = 0.5 * (sv[feature, pos] + sv[feature, pos + 1])
+    rows_f = sorted_rows[feature]
+    left_idx = rows_f[: pos + 1]
+    right_idx = rows_f[pos + 1 :]
+    left_gsum = float(gl[feature, pos_rel])
+    left_hsum = float(pos + 1) if cfg.unit_hess else float(hl[feature, pos_rel])
+    return (
+        int(feature),
+        float(threshold),
+        gain,
+        left_idx,
+        right_idx,
+        left_gsum,
+        left_hsum,
+    )
+
+
+def _find_best_split_hist(
+    binner: HistogramBinner,
+    grad: np.ndarray,
+    hess: np.ndarray,
+    idx: np.ndarray | None,
     gsum: float,
     hsum: float,
     cfg: _SplitSearchConfig,
 ):
-    """Exact greedy split search over every feature and threshold."""
-    parent_score = gsum * gsum / (hsum + cfg.reg_lambda)
-    best_gain = 0.0
-    best = None
-    for feature in range(X.shape[1]):
-        values = X[idx, feature]
-        order = np.argsort(values, kind="stable")
-        sv = values[order]
-        sg = grad[idx][order]
-        sh = hess[idx][order]
-        gl = np.cumsum(sg)
-        hl = np.cumsum(sh)
-        # Candidate split after position i (0-based); skip ties where the
-        # next value equals the current one (no threshold separates them).
-        for i in range(idx.size - 1):
-            if sv[i + 1] == sv[i]:
-                continue
-            hl_i = float(hl[i])
-            hr_i = hsum - hl_i
-            if hl_i < cfg.min_child_weight or hr_i < cfg.min_child_weight:
-                continue
-            gl_i = float(gl[i])
-            gr_i = gsum - gl_i
-            score = (
-                gl_i * gl_i / (hl_i + cfg.reg_lambda)
-                + gr_i * gr_i / (hr_i + cfg.reg_lambda)
-            )
-            gain = 0.5 * (score - parent_score) - cfg.gamma
-            if gain > best_gain + 1e-12:
-                best_gain = gain
-                threshold = 0.5 * (sv[i] + sv[i + 1])
-                best = (feature, float(threshold), float(gain), i, order)
-    if best is None:
+    """Histogram split search over precomputed quantile bins.
+
+    Gradient/hessian/count histograms for every feature come from one
+    flattened ``bincount`` triple; candidate boundaries are bin upper
+    edges.
+    """
+    b = binner.binned if idx is None else binner.binned[idx]  # (n, f)
+    n = b.shape[0]
+    f = b.shape[1]
+    width = binner.edges.shape[1] + 1  # bins per feature, padded
+    flat_bins = (b + np.arange(f, dtype=np.int32) * width).ravel()
+    g_node = grad if idx is None else grad[idx]
+    gw = np.repeat(g_node, f)
+    ghist = np.bincount(flat_bins, weights=gw, minlength=f * width).reshape(f, width)
+    chist = np.bincount(flat_bins, minlength=f * width).reshape(f, width)
+    nl = chist.cumsum(axis=1)[:, :-1]
+    gl = ghist.cumsum(axis=1)[:, :-1]
+    if cfg.unit_hess:
+        hl = nl.astype(float)
+    else:
+        h_node = hess if idx is None else hess[idx]
+        hw = np.repeat(h_node, f)
+        hhist = np.bincount(flat_bins, weights=hw, minlength=f * width).reshape(
+            f, width
+        )
+        hl = hhist.cumsum(axis=1)[:, :-1]
+    gr = gsum - gl
+    hr = hsum - hl
+    lam = cfg.reg_lambda
+    cand = np.arange(width - 1)[None, :] < binner.n_edges[:, None]
+    valid = (
+        cand
+        & (nl >= 1)  # a node may occupy few bins: never produce empty children
+        & (nl <= n - 1)
+        & (hl >= cfg.min_child_weight)
+        & (hr >= cfg.min_child_weight)
+    )
+    with np.errstate(divide="ignore", invalid="ignore"):
+        score = gl * gl / (hl + lam) + gr * gr / (hr + lam)
+    masked = np.where(valid & ~np.isnan(score), score, -np.inf)
+    best = int(np.argmax(masked))  # (f, width-1) C-order is feature-major
+    feature, k = divmod(best, width - 1)
+    best_score = masked[feature, k]
+    if best_score == -np.inf:
         return None
-    feature, threshold, gain, pos, order = best
-    left_idx = idx[order[: pos + 1]]
-    right_idx = idx[order[pos + 1 :]]
-    return feature, threshold, gain, left_idx, right_idx
+    parent_score = gsum * gsum / (hsum + lam)
+    gain = 0.5 * (float(best_score) - parent_score) - cfg.gamma
+    if not gain > _GAIN_EPS:
+        return None
+    threshold = float(binner.edges[feature, k])
+    left_mask = b[:, feature] <= k
+    if idx is None:
+        left_idx = np.nonzero(left_mask)[0]
+        right_idx = np.nonzero(~left_mask)[0]
+    else:
+        left_idx = idx[left_mask]
+        right_idx = idx[~left_mask]
+    left_gsum = float(gl[feature, k])
+    left_hsum = float(hl[feature, k])
+    return (
+        int(feature),
+        threshold,
+        gain,
+        left_idx,
+        right_idx,
+        left_gsum,
+        left_hsum,
+    )

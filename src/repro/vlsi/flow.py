@@ -79,6 +79,7 @@ class VlsiFlow:
         self._designs: dict[str, RtlDesign] = {}
         self._netlists: dict[str, Netlist] = {}
         self._runs: dict[tuple[str, str], FlowResult] = {}
+        self._executions: dict[tuple[str, str], TrueExecution] = {}
 
     # ------------------------------------------------------------------
     def design(self, config: BoomConfig) -> RtlDesign:
@@ -95,13 +96,24 @@ class VlsiFlow:
             )
         return self._netlists[config.name]
 
+    def true_execution(self, config: BoomConfig, workload: Workload) -> TrueExecution:
+        """True execution for a (config, workload) pair (cached).
+
+        ``execute`` is deterministic in its inputs, so one run serves both
+        the full flow and every scale point of a windowed-trace sweep.
+        """
+        key = (config.name, workload.name)
+        if key not in self._executions:
+            self._executions[key] = execute(config, workload)
+        return self._executions[key]
+
     def run(self, config: BoomConfig, workload: Workload) -> FlowResult:
         """Full flow for one (config, workload) pair (cached)."""
         key = (config.name, workload.name)
         if key not in self._runs:
             design = self.design(config)
             netlist = self.netlist(config)
-            true = execute(config, workload)
+            true = self.true_execution(config, workload)
             events = self.perf.distort(true, config)
             activity = self.activity_sim.simulate(design, config, workload, true=true)
             power = self.analyzer.analyze(netlist, activity)
@@ -130,7 +142,7 @@ class VlsiFlow:
         """Golden power with all activity scaled (windowed-trace support)."""
         design = self.design(config)
         netlist = self.netlist(config)
-        true = execute(config, workload)
+        true = self.true_execution(config, workload)
         activity = self.activity_sim.simulate(
             design, config, workload, true=true, scale=scale
         )
