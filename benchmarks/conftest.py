@@ -1,10 +1,32 @@
-"""Benchmark fixtures: one shared flow so label generation is cached."""
+"""Benchmark fixtures: one shared flow so label generation is cached.
+
+``--jobs N`` (benchmarks only) sets the worker count the fit-scaling
+benchmarks run with, so CI can exercise the serial and parallel paths
+from the same test file:
+
+    PYTHONPATH=src python -m pytest benchmarks -m perf_smoke
+    PYTHONPATH=src python -m pytest benchmarks -m perf_smoke --jobs 2
+"""
 
 from __future__ import annotations
 
 import pytest
 
 from repro.vlsi.flow import VlsiFlow
+
+
+def pytest_addoption(parser):
+    parser.addoption(
+        "--jobs",
+        type=int,
+        default=1,
+        help="worker count for the parallel fit-scaling benchmarks",
+    )
+
+
+@pytest.fixture(scope="session")
+def bench_jobs(request) -> int:
+    return request.config.getoption("--jobs")
 
 
 @pytest.fixture(scope="session")

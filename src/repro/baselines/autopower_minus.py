@@ -25,9 +25,19 @@ from repro.core.features import (
     program_features_matrix,
 )
 from repro.ml.gbm import GradientBoostingRegressor
+from repro.parallel import get_executor
 from repro.power.report import POWER_GROUPS
 
 __all__ = ["AutoPowerMinus"]
+
+
+def _fit_group_gbm(payload: dict) -> GradientBoostingRegressor:
+    """Fit one (component, group) GBM — the picklable executor task."""
+    model = GradientBoostingRegressor(
+        random_state=payload["random_state"], **payload["gbm_params"]
+    )
+    model.fit(payload["x"], payload["y"])
+    return model
 
 _DEFAULT_GBM = {
     "n_estimators": 200,
@@ -45,10 +55,14 @@ class AutoPowerMinus:
         use_program_features: bool = True,
         gbm_params: dict | None = None,
         random_state: int = 0,
+        n_jobs: int | None = None,
+        executor_backend: str | None = None,
     ) -> None:
         self.use_program_features = use_program_features
         self.gbm_params = dict(_DEFAULT_GBM if gbm_params is None else gbm_params)
         self.random_state = random_state
+        self.n_jobs = n_jobs
+        self.executor_backend = executor_backend
         self._models: dict[tuple[str, str], GradientBoostingRegressor] = {}
 
     # ------------------------------------------------------------------
@@ -64,13 +78,39 @@ class AutoPowerMinus:
         return np.concatenate(parts)
 
     # ------------------------------------------------------------------
-    def fit(self, flow, train_configs, workloads) -> "AutoPowerMinus":
-        results = flow.run_many(list(train_configs), list(workloads))
-        return self.fit_results(results)
+    def fit(
+        self,
+        flow,
+        train_configs,
+        workloads,
+        n_jobs: int | None = None,
+        backend: str | None = None,
+    ) -> "AutoPowerMinus":
+        executor = self._executor(n_jobs, backend)
+        results = flow.run_many(
+            list(train_configs), list(workloads), executor=executor
+        )
+        return self.fit_results(results, executor=executor)
 
-    def fit_results(self, results: list) -> "AutoPowerMinus":
+    def _executor(self, n_jobs: int | None, backend: str | None):
+        return get_executor(
+            self.n_jobs if n_jobs is None else n_jobs,
+            self.executor_backend if backend is None else backend,
+        )
+
+    def fit_results(
+        self,
+        results: list,
+        n_jobs: int | None = None,
+        backend: str | None = None,
+        executor=None,
+    ) -> "AutoPowerMinus":
         if not results:
             raise ValueError("cannot fit on an empty result list")
+        if executor is None:
+            executor = self._executor(n_jobs, backend)
+        keys: list[tuple[str, str]] = []
+        payloads: list[dict] = []
         for comp in COMPONENTS:
             x = np.stack(
                 [
@@ -82,11 +122,17 @@ class AutoPowerMinus:
                 y = np.array(
                     [r.power.component(comp.name).group(group) for r in results]
                 )
-                model = GradientBoostingRegressor(
-                    random_state=self.random_state, **self.gbm_params
+                keys.append((comp.name, group))
+                payloads.append(
+                    {
+                        "gbm_params": self.gbm_params,
+                        "random_state": self.random_state,
+                        "x": x,
+                        "y": y,
+                    }
                 )
-                model.fit(x, y)
-                self._models[(comp.name, group)] = model
+        models = executor.map(_fit_group_gbm, payloads)
+        self._models = dict(zip(keys, models))
         return self
 
     # ------------------------------------------------------------------

@@ -19,7 +19,7 @@ import numpy as np
 
 from repro.arch.components import COMPONENTS
 from repro.arch.config import BoomConfig
-from repro.arch.events import COMPONENT_EVENTS, EventParams
+from repro.arch.events import EventParams
 from repro.sim.perf import stable_seed
 
 __all__ = ["McPatAnalytical"]

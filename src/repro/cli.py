@@ -22,6 +22,7 @@ from repro.experiments import (
     table1_example,
     table4_trace,
 )
+from repro.parallel import get_default_jobs, set_default_jobs
 
 __all__ = ["EXPERIMENTS", "main"]
 
@@ -54,8 +55,18 @@ def main(argv: list[str] | None = None) -> int:
     parser.add_argument(
         "experiment",
         nargs="?",
-        choices=sorted(EXPERIMENTS) + ["all"],
         help="experiment to run (omit to list)",
+    )
+    parser.add_argument(
+        "--jobs",
+        type=int,
+        default=None,
+        metavar="N",
+        help=(
+            "parallel workers for flow runs and sub-model fits "
+            "(0 or negative = all cores; overrides REPRO_JOBS; "
+            "results are identical regardless of worker count)"
+        ),
     )
     args = parser.parse_args(argv)
 
@@ -65,13 +76,29 @@ def main(argv: list[str] | None = None) -> int:
             print(f"  {name:10s} {EXPERIMENTS[name][1]}")
         return 0
 
+    if args.experiment != "all" and args.experiment not in EXPERIMENTS:
+        known = ", ".join(sorted(EXPERIMENTS) + ["all"])
+        print(
+            f"error: unknown experiment {args.experiment!r} "
+            f"(choose from: {known})",
+            file=sys.stderr,
+        )
+        return 2
+
     names = sorted(set(EXPERIMENTS) - {"fig5"}) if args.experiment == "all" else [args.experiment]
-    for name in names:
-        runner, description = EXPERIMENTS[name]
-        print(f"=== {name}: {description} ===")
-        start = time.time()
-        runner()
-        print(f"[{name} finished in {time.time() - start:.1f}s]\n")
+    previous_jobs = get_default_jobs()
+    if args.jobs is not None:
+        set_default_jobs(args.jobs)
+    try:
+        for name in names:
+            runner, description = EXPERIMENTS[name]
+            print(f"=== {name}: {description} ===")
+            start = time.time()
+            runner()
+            print(f"[{name} finished in {time.time() - start:.1f}s]\n")
+    finally:
+        if args.jobs is not None:
+            set_default_jobs(previous_jobs)
     return 0
 
 

@@ -21,6 +21,7 @@ from repro.core.clock import ClockPowerModel
 from repro.core.logic import LogicPowerModel
 from repro.core.sram import SramPowerModel
 from repro.library.stdcell import TechLibrary, default_library
+from repro.parallel import Executor, get_executor
 from repro.power.report import ComponentPower, PowerReport
 from repro.vlsi.macro_mapping import MacroMapper
 
@@ -76,6 +77,12 @@ class AutoPower:
         activity model (paper default: on).
     ridge_alpha / gbm_params / random_state:
         Shared hyper-parameters for the linear and boosted sub-models.
+    n_jobs / executor_backend:
+        Default parallelism of ``fit``: worker count (``None`` defers to
+        the CLI ``--jobs`` / ``REPRO_JOBS`` setting, ``<= 0`` means all
+        cores) and backend (``auto``/``serial``/``thread``/``process``).
+        The ~90 per-component sub-model fits are independent; results are
+        numerically identical on every backend.
     """
 
     def __init__(
@@ -86,8 +93,12 @@ class AutoPower:
         ridge_alpha: float = 1e-3,
         gbm_params: dict | None = None,
         random_state: int = 0,
+        n_jobs: int | None = None,
+        executor_backend: str | None = None,
     ) -> None:
         self.library = library if library is not None else default_library()
+        self.n_jobs = n_jobs
+        self.executor_backend = executor_backend
         self.mapper = mapper if mapper is not None else MacroMapper(self.library.sram)
         self.clock_model = ClockPowerModel(
             self.library, ridge_alpha, gbm_params, random_state
@@ -104,22 +115,51 @@ class AutoPower:
         self._fitted = False
 
     # ------------------------------------------------------------------
-    def fit(self, flow, train_configs, workloads) -> "AutoPower":
+    def _executor(
+        self, n_jobs: int | None = None, backend: str | None = None
+    ) -> Executor:
+        """The fit executor for an (optional) per-call override."""
+        return get_executor(
+            self.n_jobs if n_jobs is None else n_jobs,
+            self.executor_backend if backend is None else backend,
+        )
+
+    def fit(
+        self,
+        flow,
+        train_configs,
+        workloads,
+        n_jobs: int | None = None,
+        backend: str | None = None,
+    ) -> "AutoPower":
         """Train all sub-models from the flow outputs of known configs.
 
         ``flow`` is a :class:`repro.vlsi.flow.VlsiFlow`; it is only ever
-        invoked on the *training* configurations.
+        invoked on the *training* configurations.  ``n_jobs``/``backend``
+        override the instance-level parallelism for both the ground-truth
+        flow runs and the sub-model fits.
         """
-        results = flow.run_many(list(train_configs), list(workloads))
-        return self.fit_results(results)
+        executor = self._executor(n_jobs, backend)
+        results = flow.run_many(
+            list(train_configs), list(workloads), executor=executor
+        )
+        return self.fit_results(results, executor=executor)
 
-    def fit_results(self, results: list) -> "AutoPower":
+    def fit_results(
+        self,
+        results: list,
+        n_jobs: int | None = None,
+        backend: str | None = None,
+        executor: Executor | None = None,
+    ) -> "AutoPower":
         """Train from precomputed flow results (train configs only)."""
         if not results:
             raise ValueError("cannot fit on an empty result list")
-        self.clock_model.fit(results)
-        self.sram_model.fit(results)
-        self.logic_model.fit(results)
+        if executor is None:
+            executor = self._executor(n_jobs, backend)
+        self.clock_model.fit(results, executor=executor)
+        self.sram_model.fit(results, executor=executor)
+        self.logic_model.fit(results, executor=executor)
         seen: list[str] = []
         for res in results:
             if res.config.name not in seen:

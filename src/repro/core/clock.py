@@ -35,6 +35,7 @@ from repro.core.features import (
 from repro.library.stdcell import TechLibrary
 from repro.ml.gbm import GradientBoostingRegressor
 from repro.ml.linear import RidgeRegression
+from repro.parallel import Executor, SerialExecutor
 
 __all__ = ["ClockPowerModel"]
 
@@ -55,6 +56,22 @@ class _ComponentClockModel:
         self.f_alpha = GradientBoostingRegressor(
             random_state=random_state, **gbm_params
         )
+
+
+def _fit_clock_component(payload: dict) -> _ComponentClockModel:
+    """Fit one component's three clock sub-models from a pure payload.
+
+    A module-level function of plain arrays and hyper-parameters — the
+    picklable task the executor fans out; the payload carries its own
+    ``random_state``, so the result is backend-independent.
+    """
+    model = _ComponentClockModel(
+        payload["ridge_alpha"], payload["gbm_params"], payload["random_state"]
+    )
+    model.f_reg.fit(payload["h"], payload["r_labels"])
+    model.f_gate.fit(payload["h"], payload["g_labels"])
+    model.f_alpha.fit(payload["x"], payload["a_labels"])
+    return model
 
 
 class ClockPowerModel:
@@ -85,15 +102,34 @@ class ClockPowerModel:
         self._fitted = False
 
     # ------------------------------------------------------------------
-    def fit(self, results: list) -> "ClockPowerModel":
+    def fit(
+        self, results: list, executor: Executor | None = None
+    ) -> "ClockPowerModel":
         """Train from flow results of the known configurations.
 
         ``results`` is a list of :class:`repro.vlsi.flow.FlowResult`
         covering (train configs) x (workloads).  Register-count and
         gating-rate labels come from the netlists (one sample per config);
         effective-active-rate labels come from inverting Eq. 7 on golden
-        clock power (one sample per config x workload).
+        clock power (one sample per config x workload).  The per-component
+        fits are independent and run through ``executor`` (serial by
+        default) with numerically identical results on every backend.
         """
+        if executor is None:
+            executor = SerialExecutor()
+        payloads = [
+            self._component_payload(component.name, results)
+            for component in COMPONENTS
+        ]
+        models = executor.map(_fit_clock_component, payloads)
+        self._models = {
+            component.name: model for component, model in zip(COMPONENTS, models)
+        }
+        self._fitted = True
+        return self
+
+    def _component_payload(self, name: str, results: list) -> dict:
+        """Feature matrices and labels of one component's fit task."""
         if not results:
             raise ValueError("cannot fit on an empty result list")
         by_config: dict[str, object] = {}
@@ -102,42 +138,41 @@ class ClockPowerModel:
         config_results = list(by_config.values())
         p_reg = self.library.p_reg_mw
 
-        for component in COMPONENTS:
-            name = component.name
-            model = _ComponentClockModel(
-                self.ridge_alpha, self.gbm_params, self.random_state
-            )
-            # Per-config labels from the netlist.
-            h_rows = []
-            r_labels = []
-            g_labels = []
-            for res in config_results:
-                comp_net = res.netlist.component(name)
-                h_rows.append(polynomial_hardware_features(res.config, name))
-                r_labels.append(float(comp_net.registers))
-                g_labels.append(comp_net.gating_rate)
-            model.f_reg.fit(np.stack(h_rows), np.array(r_labels))
-            model.f_gate.fit(np.stack(h_rows), np.array(g_labels))
+        # Per-config labels from the netlist.
+        h_rows = []
+        r_labels = []
+        g_labels = []
+        for res in config_results:
+            comp_net = res.netlist.component(name)
+            h_rows.append(polynomial_hardware_features(res.config, name))
+            r_labels.append(float(comp_net.registers))
+            g_labels.append(comp_net.gating_rate)
 
-            # Per-sample effective-active-rate labels (Eq. 7 inverted).
-            x_rows = []
-            a_labels = []
-            for res in results:
-                comp_net = res.netlist.component(name)
-                r = comp_net.registers
-                g = comp_net.gating_rate
-                p_clk = res.power.component(name).clock
-                if r <= 0 or g <= 0:
-                    continue
-                alpha_eff = (p_clk - r * (1.0 - g) * p_reg) / (r * g)
-                x_rows.append(self._alpha_features(res.config, res.events, name))
-                a_labels.append(max(alpha_eff, 0.0))
-            if not x_rows:
-                raise RuntimeError(f"no effective-active-rate samples for {name}")
-            model.f_alpha.fit(np.stack(x_rows), np.array(a_labels))
-            self._models[name] = model
-        self._fitted = True
-        return self
+        # Per-sample effective-active-rate labels (Eq. 7 inverted).
+        x_rows = []
+        a_labels = []
+        for res in results:
+            comp_net = res.netlist.component(name)
+            r = comp_net.registers
+            g = comp_net.gating_rate
+            p_clk = res.power.component(name).clock
+            if r <= 0 or g <= 0:
+                continue
+            alpha_eff = (p_clk - r * (1.0 - g) * p_reg) / (r * g)
+            x_rows.append(self._alpha_features(res.config, res.events, name))
+            a_labels.append(max(alpha_eff, 0.0))
+        if not x_rows:
+            raise RuntimeError(f"no effective-active-rate samples for {name}")
+        return {
+            "ridge_alpha": self.ridge_alpha,
+            "gbm_params": self.gbm_params,
+            "random_state": self.random_state,
+            "h": np.stack(h_rows),
+            "r_labels": np.array(r_labels),
+            "g_labels": np.array(g_labels),
+            "x": np.stack(x_rows),
+            "a_labels": np.array(a_labels),
+        }
 
     # ------------------------------------------------------------------
     @staticmethod

@@ -27,6 +27,7 @@ from repro.core.features import (
 )
 from repro.ml.gbm import GradientBoostingRegressor
 from repro.ml.linear import RidgeRegression
+from repro.parallel import Executor, SerialExecutor
 
 __all__ = ["CombPowerModel", "LogicPowerModel", "RegisterPowerModel"]
 
@@ -61,6 +62,25 @@ def _he_features_batch(
     )
 
 
+def _fit_ridge_gbm_pair(
+    payload: dict,
+) -> tuple[RidgeRegression, GradientBoostingRegressor]:
+    """Fit one component's (ridge hardware model, activity GBM) pair.
+
+    Shared by the register and combinational fits — both decompose into a
+    hardware-only ridge and an activity GBM per component.  Module-level
+    and array-only, so the executor can run it in worker processes; the
+    payload carries its own ``random_state``.
+    """
+    ridge = RidgeRegression(alpha=payload["ridge_alpha"], nonnegative=True)
+    ridge.fit(payload["h"], payload["h_labels"])
+    gbm = GradientBoostingRegressor(
+        random_state=payload["random_state"], **payload["gbm_params"]
+    )
+    gbm.fit(payload["x"], payload["x_labels"])
+    return ridge, gbm
+
+
 class RegisterPowerModel:
     """Per-component register (non-clock) power: F_reg(H) * F_act(H, E)."""
 
@@ -77,42 +97,53 @@ class RegisterPowerModel:
         self._f_act: dict[str, GradientBoostingRegressor] = {}
         self._fitted = False
 
-    def fit(self, results: list) -> "RegisterPowerModel":
+    def fit(
+        self, results: list, executor: Executor | None = None
+    ) -> "RegisterPowerModel":
         if not results:
             raise ValueError("cannot fit on an empty result list")
+        if executor is None:
+            executor = SerialExecutor()
+        payloads = [
+            self._component_payload(component.name, results)
+            for component in COMPONENTS
+        ]
+        pairs = executor.map(_fit_ridge_gbm_pair, payloads)
+        for component, (f_reg, f_act) in zip(COMPONENTS, pairs):
+            self._f_reg[component.name] = f_reg
+            self._f_act[component.name] = f_act
+        self._fitted = True
+        return self
+
+    def _component_payload(self, name: str, results: list) -> dict:
         by_config: dict[str, object] = {}
         for res in results:
             by_config.setdefault(res.config.name, res)
         config_results = list(by_config.values())
 
-        for component in COMPONENTS:
-            name = component.name
-            h_rows = [
-                polynomial_hardware_features(res.config, name)
-                for res in config_results
-            ]
-            r_labels = [
-                float(res.netlist.component(name).registers) for res in config_results
-            ]
-            f_reg = RidgeRegression(alpha=self.ridge_alpha, nonnegative=True)
-            f_reg.fit(np.stack(h_rows), np.array(r_labels))
-
-            x_rows, act_labels = [], []
-            for res in results:
-                registers = res.netlist.component(name).registers
-                if registers <= 0:
-                    continue
-                p_register = res.power.component(name).register
-                x_rows.append(_he_features(res.config, res.events, name))
-                act_labels.append(p_register / registers)
-            f_act = GradientBoostingRegressor(
-                random_state=self.random_state, **self.gbm_params
-            )
-            f_act.fit(np.stack(x_rows), np.array(act_labels))
-            self._f_reg[name] = f_reg
-            self._f_act[name] = f_act
-        self._fitted = True
-        return self
+        h_rows = [
+            polynomial_hardware_features(res.config, name) for res in config_results
+        ]
+        r_labels = [
+            float(res.netlist.component(name).registers) for res in config_results
+        ]
+        x_rows, act_labels = [], []
+        for res in results:
+            registers = res.netlist.component(name).registers
+            if registers <= 0:
+                continue
+            p_register = res.power.component(name).register
+            x_rows.append(_he_features(res.config, res.events, name))
+            act_labels.append(p_register / registers)
+        return {
+            "ridge_alpha": self.ridge_alpha,
+            "gbm_params": self.gbm_params,
+            "random_state": self.random_state,
+            "h": np.stack(h_rows),
+            "h_labels": np.array(r_labels),
+            "x": np.stack(x_rows),
+            "x_labels": np.array(act_labels),
+        }
 
     def predict_component(
         self, component: str, config: BoomConfig, events: EventParams
@@ -158,46 +189,59 @@ class CombPowerModel:
         self._f_var: dict[str, GradientBoostingRegressor] = {}
         self._fitted = False
 
-    def fit(self, results: list) -> "CombPowerModel":
+    def fit(
+        self, results: list, executor: Executor | None = None
+    ) -> "CombPowerModel":
         if not results:
             raise ValueError("cannot fit on an empty result list")
+        if executor is None:
+            executor = SerialExecutor()
+        payloads = [
+            self._component_payload(component.name, results)
+            for component in COMPONENTS
+        ]
+        pairs = executor.map(_fit_ridge_gbm_pair, payloads)
+        for component, (f_sta, f_var) in zip(COMPONENTS, pairs):
+            self._f_sta[component.name] = f_sta
+            self._f_var[component.name] = f_var
+        self._fitted = True
+        return self
+
+    def _component_payload(self, name: str, results: list) -> dict:
         by_config: dict[str, list] = {}
         for res in results:
             by_config.setdefault(res.config.name, []).append(res)
 
-        for component in COMPONENTS:
-            name = component.name
-            # Stable power: average combinational power across workloads.
-            h_rows, sta_labels = [], []
-            stable_by_config: dict[str, float] = {}
-            for config_name, config_results in by_config.items():
-                powers = [r.power.component(name).comb for r in config_results]
-                stable = float(np.mean(powers))
-                stable_by_config[config_name] = stable
-                h_rows.append(
-                    polynomial_hardware_features(config_results[0].config, name)
-                )
-                sta_labels.append(stable)
-            f_sta = RidgeRegression(alpha=self.ridge_alpha, nonnegative=True)
-            f_sta.fit(np.stack(h_rows), np.array(sta_labels))
-
-            # Variation: per-workload ratio to the stable power.
-            x_rows, var_labels = [], []
-            for config_name, config_results in by_config.items():
-                stable = stable_by_config[config_name]
-                if stable <= 0:
-                    continue
-                for res in config_results:
-                    x_rows.append(_he_features(res.config, res.events, name))
-                    var_labels.append(res.power.component(name).comb / stable)
-            f_var = GradientBoostingRegressor(
-                random_state=self.random_state, **self.gbm_params
+        # Stable power: average combinational power across workloads.
+        h_rows, sta_labels = [], []
+        stable_by_config: dict[str, float] = {}
+        for config_name, config_results in by_config.items():
+            powers = [r.power.component(name).comb for r in config_results]
+            stable = float(np.mean(powers))
+            stable_by_config[config_name] = stable
+            h_rows.append(
+                polynomial_hardware_features(config_results[0].config, name)
             )
-            f_var.fit(np.stack(x_rows), np.array(var_labels))
-            self._f_sta[name] = f_sta
-            self._f_var[name] = f_var
-        self._fitted = True
-        return self
+            sta_labels.append(stable)
+
+        # Variation: per-workload ratio to the stable power.
+        x_rows, var_labels = [], []
+        for config_name, config_results in by_config.items():
+            stable = stable_by_config[config_name]
+            if stable <= 0:
+                continue
+            for res in config_results:
+                x_rows.append(_he_features(res.config, res.events, name))
+                var_labels.append(res.power.component(name).comb / stable)
+        return {
+            "ridge_alpha": self.ridge_alpha,
+            "gbm_params": self.gbm_params,
+            "random_state": self.random_state,
+            "h": np.stack(h_rows),
+            "h_labels": np.array(sta_labels),
+            "x": np.stack(x_rows),
+            "x_labels": np.array(var_labels),
+        }
 
     def predict_component(
         self, component: str, config: BoomConfig, events: EventParams
@@ -240,9 +284,11 @@ class LogicPowerModel:
         self.comb_model = CombPowerModel(ridge_alpha, gbm_params, random_state)
         self._fitted = False
 
-    def fit(self, results: list) -> "LogicPowerModel":
-        self.register_model.fit(results)
-        self.comb_model.fit(results)
+    def fit(
+        self, results: list, executor: Executor | None = None
+    ) -> "LogicPowerModel":
+        self.register_model.fit(results, executor=executor)
+        self.comb_model.fit(results, executor=executor)
         self._fitted = True
         return self
 

@@ -39,6 +39,7 @@ from repro.core.features import (
 from repro.core.scaling import FittedLaw, ScalingPatternDetector
 from repro.library.stdcell import TechLibrary
 from repro.ml.gbm import GradientBoostingRegressor
+from repro.parallel import Executor, SerialExecutor
 from repro.vlsi.macro_mapping import MacroMapper
 
 __all__ = ["PredictedBlock", "SramPowerModel"]
@@ -78,6 +79,29 @@ class _PositionModel:
         )
 
 
+def _fit_sram_position(payload: dict) -> _PositionModel:
+    """Fit one position's scaling laws and activity GBMs from a payload.
+
+    Module-level and built from plain arrays only, so the executor can
+    hand it to worker processes; the payload carries its own seeds.
+    """
+    model = _PositionModel(
+        payload["component"], payload["gbm_params"], payload["random_state"]
+    )
+    detector = ScalingPatternDetector(
+        max_combination_size=payload["max_combination_size"],
+        tolerance=payload["tolerance"],
+    )
+    params = payload["params"]
+    param_values = payload["param_values"]
+    model.capacity_law = detector.fit(payload["capacities"], param_values, params)
+    model.throughput_law = detector.fit(payload["throughputs"], param_values, params)
+    model.width_law = detector.fit(payload["widths"], param_values, params)
+    model.f_read.fit(payload["x"], payload["read_labels"])
+    model.f_write.fit(payload["x"], payload["write_labels"])
+    return model
+
+
 class SramPowerModel:
     """Hierarchy-based SRAM power with scaling-pattern hardware modeling.
 
@@ -113,10 +137,19 @@ class SramPowerModel:
         self._fitted = False
 
     # ------------------------------------------------------------------
-    def fit(self, results: list) -> "SramPowerModel":
-        """Train from flow results of the known configurations."""
+    def fit(
+        self, results: list, executor: Executor | None = None
+    ) -> "SramPowerModel":
+        """Train from flow results of the known configurations.
+
+        The per-position fits (scaling laws + read/write GBMs) are
+        independent pure tasks and run through ``executor`` (serial by
+        default) with numerically identical results on every backend.
+        """
         if not results:
             raise ValueError("cannot fit on an empty result list")
+        if executor is None:
+            executor = SerialExecutor()
         by_config: dict[str, object] = {}
         for res in results:
             by_config.setdefault(res.config.name, res)
@@ -132,28 +165,35 @@ class SramPowerModel:
             name: tuple(pos) for name, pos in comp_positions.items()
         }
 
-        for comp_name, position_names in self._component_positions.items():
+        position_names: list[str] = []
+        payloads: list[dict] = []
+        for comp_name, pos_names in self._component_positions.items():
             params = component_by_name(comp_name).hardware_parameters
-            for pos_name in position_names:
-                model = _PositionModel(comp_name, self.gbm_params, self.random_state)
-                self._fit_hardware(model, comp_name, pos_name, params, config_results)
-                self._fit_activity(model, comp_name, pos_name, results)
-                self._positions[pos_name] = model
+            for pos_name in pos_names:
+                position_names.append(pos_name)
+                payloads.append(
+                    self._position_payload(
+                        comp_name, pos_name, params, config_results, results
+                    )
+                )
+        models = executor.map(_fit_sram_position, payloads)
+        self._positions = dict(zip(position_names, models))
 
         self.c_constant_mw = self._calibrate_constant(config_results[0])
         self._fitted = True
         return self
 
     # ------------------------------------------------------------------
-    def _fit_hardware(
+    def _position_payload(
         self,
-        model: _PositionModel,
         comp_name: str,
         pos_name: str,
         params: tuple[str, ...],
         config_results: list,
-    ) -> None:
-        """Fit capacity/throughput/width scaling laws from block shapes."""
+        results: list,
+    ) -> dict:
+        """Arrays and hyper-parameters of one position's fit task."""
+        # Hardware side: block shapes per training configuration.
         capacities, throughputs, widths = [], [], []
         param_values: dict[str, list[float]] = {p: [] for p in params}
         for res in config_results:
@@ -163,23 +203,30 @@ class SramPowerModel:
             widths.append(block.width)
             for p in params:
                 param_values[p].append(float(res.config[p]))
-        model.capacity_law = self.detector.fit(capacities, param_values, params)
-        model.throughput_law = self.detector.fit(throughputs, param_values, params)
-        model.width_law = self.detector.fit(widths, param_values, params)
-
-    def _fit_activity(
-        self, model: _PositionModel, comp_name: str, pos_name: str, results: list
-    ) -> None:
-        """Fit block-level read/write frequency GBMs from golden activity."""
+        # Activity side: golden block frequencies per (config, workload).
         x_rows, read_labels, write_labels = [], [], []
         for res in results:
             act = res.activity.component(comp_name).positions[pos_name]
-            x_rows.append(self._activity_features(res.config, res.events, res.workload, comp_name))
+            x_rows.append(
+                self._activity_features(res.config, res.events, res.workload, comp_name)
+            )
             read_labels.append(act.read_per_block_cycle)
             write_labels.append(act.write_per_block_cycle)
-        x = np.stack(x_rows)
-        model.f_read.fit(x, np.array(read_labels))
-        model.f_write.fit(x, np.array(write_labels))
+        return {
+            "component": comp_name,
+            "gbm_params": self.gbm_params,
+            "random_state": self.random_state,
+            "max_combination_size": self.detector.max_combination_size,
+            "tolerance": self.detector.tolerance,
+            "params": params,
+            "param_values": param_values,
+            "capacities": capacities,
+            "throughputs": throughputs,
+            "widths": widths,
+            "x": np.stack(x_rows),
+            "read_labels": np.array(read_labels),
+            "write_labels": np.array(write_labels),
+        }
 
     def _activity_features(
         self,

@@ -12,7 +12,6 @@ from __future__ import annotations
 
 from dataclasses import dataclass
 
-import numpy as np
 
 from repro.arch.workloads import WORKLOADS
 from repro.core.autopower import AutoPower

@@ -113,16 +113,25 @@ class AccuracyResult:
         ]
 
 
-def fit_method(name: str, flow: VlsiFlow, train_configs, workloads):
-    """Construct and fit one method by registry name."""
+def fit_method(
+    name: str, flow: VlsiFlow, train_configs, workloads, n_jobs: int | None = None
+):
+    """Construct and fit one method by registry name.
+
+    ``n_jobs`` parallelizes the sub-model fits of the methods that
+    decompose into independent tasks (AutoPower and AutoPower−); the
+    McPAT-Calib baselines fit one monolithic model and ignore it.
+    """
     if name == "AutoPower":
-        return AutoPower(library=flow.library).fit(flow, train_configs, workloads)
+        return AutoPower(library=flow.library, n_jobs=n_jobs).fit(
+            flow, train_configs, workloads
+        )
     if name == "McPAT-Calib":
         return McPatCalib().fit(flow, train_configs, workloads)
     if name == "McPAT-Calib+Comp":
         return McPatCalibComponent().fit(flow, train_configs, workloads)
     if name == "AutoPower-":
-        return AutoPowerMinus().fit(flow, train_configs, workloads)
+        return AutoPowerMinus(n_jobs=n_jobs).fit(flow, train_configs, workloads)
     raise KeyError(f"unknown method {name!r}; expected one of {METHOD_NAMES}")
 
 
@@ -153,11 +162,14 @@ def evaluate_methods(
     n_train: int = 2,
     methods: tuple[str, ...] = METHOD_NAMES,
     workloads: tuple[Workload, ...] | None = None,
+    n_jobs: int | None = None,
 ) -> AccuracyResult:
     """Fit the requested methods and evaluate total-power accuracy.
 
     Returns per-method MAPE / R² / Pearson R over (test configs x
     workloads), plus the raw scatter points for figure regeneration.
+    ``n_jobs`` parallelizes ground-truth generation and the decomposed
+    sub-model fits; the numbers are backend-independent.
     """
     if flow is None:
         flow = VlsiFlow()
@@ -165,7 +177,13 @@ def evaluate_methods(
         workloads = WORKLOADS
     train = train_configs_for(n_train)
     test = test_configs_for(n_train)
-    fitted = {name: fit_method(name, flow, train, list(workloads)) for name in methods}
+    # One parallel sweep generates every flow run (train + test ground
+    # truth) the rest of this function consumes from cache.
+    flow.run_many(train + test, list(workloads), n_jobs=n_jobs)
+    fitted = {
+        name: fit_method(name, flow, train, list(workloads), n_jobs=n_jobs)
+        for name in methods
+    }
 
     results: dict[str, MethodAccuracy] = {}
     labels = [(c.name, w.name) for c in test for w in workloads]

@@ -73,13 +73,17 @@ class SubmodelResult:
         return rows
 
 
-def run(flow: VlsiFlow | None = None, n_train: int = 2) -> SubmodelResult:
+def run(
+    flow: VlsiFlow | None = None, n_train: int = 2, n_jobs: int | None = None
+) -> SubmodelResult:
     """Evaluate R, g and SRAM-block predictions on unseen configurations."""
     if flow is None:
         flow = VlsiFlow()
     train = train_configs_for(n_train)
     test = test_configs_for(n_train)
-    model = AutoPower(library=flow.library).fit(flow, train, list(WORKLOADS))
+    model = AutoPower(library=flow.library, n_jobs=n_jobs).fit(
+        flow, train, list(WORKLOADS)
+    )
 
     reg_mape: dict[str, float] = {}
     gate_mape: dict[str, float] = {}

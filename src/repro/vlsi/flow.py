@@ -15,11 +15,13 @@ paper's scripts go through their EDA flow.
 from __future__ import annotations
 
 from dataclasses import dataclass
+from functools import partial
 
 from repro.arch.config import BoomConfig
 from repro.arch.events import EventParams
 from repro.arch.workloads import Workload
 from repro.library.stdcell import TechLibrary, default_library
+from repro.parallel import Executor, get_executor
 from repro.power.analysis import PowerAnalyzer
 from repro.power.report import PowerReport
 from repro.rtl.design import RtlDesign
@@ -46,6 +48,20 @@ class FlowResult:
     events: EventParams
     activity: DesignActivity
     power: PowerReport
+
+
+def _run_config_task(
+    flow: "VlsiFlow", task: tuple[BoomConfig, tuple[Workload, ...]]
+) -> list["FlowResult"]:
+    """One configuration's flow runs over its missing workloads.
+
+    The parallel unit of :meth:`VlsiFlow.run_many`: per-config grouping
+    means each worker elaborates and synthesizes the design exactly once,
+    and every stage is a deterministic function of its inputs, so the
+    results are identical to the serial path.
+    """
+    config, workloads = task
+    return [flow.run(config, workload) for workload in workloads]
 
 
 class VlsiFlow:
@@ -130,10 +146,70 @@ class VlsiFlow:
         return self._runs[key]
 
     def run_many(
-        self, configs: list[BoomConfig], workloads: list[Workload]
+        self,
+        configs: list[BoomConfig],
+        workloads: list[Workload],
+        n_jobs: int | None = None,
+        backend: str | None = None,
+        executor: Executor | None = None,
     ) -> list[FlowResult]:
-        """Cross product of configurations and workloads."""
+        """Cross product of configurations and workloads.
+
+        With more than one worker, ground-truth generation fans out one
+        task per *configuration* (each runs all workloads, so designs and
+        netlists are elaborated once per worker) and the results are
+        merged back into this flow's caches in deterministic (config,
+        workload) order — byte-for-byte what the serial loop produces.
+        Configurations whose runs are already fully cached never leave
+        this process.
+        """
+        if executor is None:
+            executor = get_executor(n_jobs, backend)
+        workloads = list(workloads)
+        if not executor.is_serial:
+            # Ship only the (config, workload) pairs missing from the
+            # cache, still grouped per config so each worker elaborates
+            # and synthesizes a design at most once.
+            pending: list[tuple[BoomConfig, tuple[Workload, ...]]] = []
+            seen: set[str] = set()
+            for c in configs:
+                if c.name in seen:
+                    continue
+                seen.add(c.name)
+                missing = tuple(
+                    w for w in workloads if (c.name, w.name) not in self._runs
+                )
+                if missing:
+                    pending.append((c, missing))
+            if len(pending) > 1:
+                worker = self.worker_copy()
+                per_config = executor.map(
+                    partial(_run_config_task, worker), pending
+                )
+                for (config, missing), results in zip(pending, per_config):
+                    for workload, res in zip(missing, results):
+                        self._merge_result(config, workload, res)
         return [self.run(c, w) for c in configs for w in workloads]
+
+    def worker_copy(self) -> "VlsiFlow":
+        """A fresh flow sharing this one's simulators but not its caches.
+
+        What ``run_many`` ships to worker processes: pickling the caches
+        would ship every previously computed run along with each task.
+        """
+        return VlsiFlow(
+            library=self.library, perf=self.perf, activity=self.activity_sim
+        )
+
+    def _merge_result(
+        self, config: BoomConfig, workload: Workload, res: FlowResult
+    ) -> None:
+        """Adopt a worker-produced run into this flow's caches."""
+        key = (config.name, workload.name)
+        self._designs.setdefault(config.name, res.design)
+        self._netlists.setdefault(config.name, res.netlist)
+        self._executions.setdefault(key, res.true)
+        self._runs.setdefault(key, res)
 
     # ------------------------------------------------------------------
     def power_at_scale(

@@ -3,6 +3,7 @@
 import pytest
 
 from repro.cli import EXPERIMENTS, main
+from repro.parallel import get_default_jobs
 
 
 class TestCli:
@@ -12,9 +13,37 @@ class TestCli:
         assert "fig4" in out
         assert "table4" in out
 
-    def test_unknown_experiment_rejected(self):
+    def test_unknown_experiment_exits_nonzero_with_message(self, capsys):
+        assert main(["fig99"]) == 2
+        err = capsys.readouterr().err
+        assert "unknown experiment 'fig99'" in err
+        assert "fig4" in err  # the message lists the valid names
+
+    def test_jobs_flag_parses_and_propagates(self, monkeypatch, capsys):
+        seen = {}
+
+        def probe():
+            seen["jobs"] = get_default_jobs()
+
+        monkeypatch.setitem(EXPERIMENTS, "probe", (probe, "test probe"))
+        assert main(["--jobs", "3", "probe"]) == 0
+        assert seen["jobs"] == 3
+        # The session default is restored once the run finishes.
+        assert get_default_jobs() is None
+
+    def test_jobs_flag_rejects_garbage(self, capsys):
         with pytest.raises(SystemExit):
-            main(["fig99"])
+            main(["--jobs", "two", "fig1"])
+
+    def test_jobs_default_is_unset(self, monkeypatch):
+        seen = {}
+
+        def probe():
+            seen["jobs"] = get_default_jobs()
+
+        monkeypatch.setitem(EXPERIMENTS, "probe", (probe, "test probe"))
+        assert main(["probe"]) == 0
+        assert seen["jobs"] is None
 
     def test_registry_covers_paper_artifacts(self):
         for name in ("fig1", "fig4", "fig6", "fig7", "fig8", "table1", "table4"):

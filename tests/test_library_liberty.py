@@ -1,6 +1,5 @@
 """Tests for the Liberty-style library exporter."""
 
-import pytest
 
 from repro.library.liberty import export_liberty, liberty_text
 from repro.library.stdcell import default_library

@@ -1,0 +1,173 @@
+"""Unit tests for the executor subsystem (repro.parallel)."""
+
+from __future__ import annotations
+
+import time
+
+import pytest
+
+import repro.parallel.executor as executor_mod
+from repro.parallel import (
+    ProcessExecutor,
+    SerialExecutor,
+    ThreadExecutor,
+    get_default_jobs,
+    get_executor,
+    parse_jobs_spec,
+    resolve_jobs,
+    set_default_jobs,
+)
+
+
+def _square(x):
+    return x * x
+
+
+def _slow_identity(pair):
+    # Later submissions finish first; order must still be submission order.
+    index, delay = pair
+    time.sleep(delay)
+    return index
+
+
+@pytest.fixture(autouse=True)
+def _clean_jobs_state(monkeypatch):
+    monkeypatch.delenv("REPRO_JOBS", raising=False)
+    set_default_jobs(None)
+    yield
+    set_default_jobs(None)
+
+
+class TestParseJobsSpec:
+    def test_bare_count(self):
+        assert parse_jobs_spec("4") == (4, None)
+
+    def test_backend_and_count(self):
+        assert parse_jobs_spec("thread:4") == (4, "thread")
+        assert parse_jobs_spec(" process:2 ") == (2, "process")
+
+    def test_bare_backend(self):
+        assert parse_jobs_spec("serial") == (1, "serial")
+        # A bare parallel backend means "all cores" on that backend.
+        assert parse_jobs_spec("process") == (0, "process")
+
+    def test_rejects_unknown_backend(self):
+        with pytest.raises(ValueError, match="unknown executor backend"):
+            parse_jobs_spec("fiber:4")
+
+    def test_rejects_garbage_count(self):
+        with pytest.raises(ValueError, match="invalid worker count"):
+            parse_jobs_spec("thread:lots")
+
+
+class TestResolveJobs:
+    def test_default_is_serial(self):
+        assert resolve_jobs(None) == (1, None)
+
+    def test_explicit_argument_wins(self, monkeypatch):
+        monkeypatch.setenv("REPRO_JOBS", "8")
+        assert resolve_jobs(3) == (3, None)
+
+    def test_env_backend_survives_explicit_count(self, monkeypatch):
+        # REPRO_JOBS=thread:8 keeps forcing the thread backend even when
+        # the worker *count* comes from an explicit argument or --jobs.
+        monkeypatch.setenv("REPRO_JOBS", "thread:8")
+        assert resolve_jobs(3) == (3, "thread")
+        set_default_jobs(2)
+        assert resolve_jobs(None) == (2, "thread")
+
+    def test_session_default_beats_env(self, monkeypatch):
+        monkeypatch.setenv("REPRO_JOBS", "8")
+        set_default_jobs(2)
+        assert resolve_jobs(None) == (2, None)
+        assert get_default_jobs() == 2
+
+    def test_env_fallback(self, monkeypatch):
+        monkeypatch.setenv("REPRO_JOBS", "thread:5")
+        assert resolve_jobs(None) == (5, "thread")
+
+    def test_nonpositive_means_all_cores(self, monkeypatch):
+        monkeypatch.setattr(executor_mod, "cpu_count", lambda: 7)
+        assert resolve_jobs(0) == (7, None)
+        assert resolve_jobs(-1) == (7, None)
+
+
+class TestGetExecutor:
+    def test_one_worker_is_serial(self):
+        assert isinstance(get_executor(1), SerialExecutor)
+        assert isinstance(get_executor(1, "thread"), SerialExecutor)
+        assert isinstance(get_executor(1, "process"), SerialExecutor)
+
+    def test_auto_falls_back_to_serial_on_one_core(self, monkeypatch):
+        monkeypatch.setattr(executor_mod, "cpu_count", lambda: 1)
+        assert isinstance(get_executor(4), SerialExecutor)
+        assert isinstance(get_executor(4, "auto"), SerialExecutor)
+
+    def test_auto_picks_process_on_multicore(self, monkeypatch):
+        monkeypatch.setattr(executor_mod, "cpu_count", lambda: 4)
+        ex = get_executor(4)
+        assert isinstance(ex, ProcessExecutor)
+        assert ex.n_jobs == 4
+
+    def test_explicit_backends_honoured_even_on_one_core(self, monkeypatch):
+        monkeypatch.setattr(executor_mod, "cpu_count", lambda: 1)
+        assert isinstance(get_executor(2, "thread"), ThreadExecutor)
+        assert isinstance(get_executor(2, "process"), ProcessExecutor)
+
+    def test_serial_backend_forced(self, monkeypatch):
+        monkeypatch.setenv("REPRO_JOBS", "serial")
+        assert isinstance(get_executor(), SerialExecutor)
+
+    def test_env_backend_hint_used(self, monkeypatch):
+        monkeypatch.setenv("REPRO_JOBS", "thread:3")
+        ex = get_executor()
+        assert isinstance(ex, ThreadExecutor)
+        assert ex.n_jobs == 3
+
+    def test_env_backend_forces_backend_for_explicit_count(self, monkeypatch):
+        monkeypatch.setattr(executor_mod, "cpu_count", lambda: 4)
+        monkeypatch.setenv("REPRO_JOBS", "thread:8")
+        ex = get_executor(2)
+        assert isinstance(ex, ThreadExecutor)
+        assert ex.n_jobs == 2
+        # An explicit backend argument still outranks the env hint.
+        assert isinstance(get_executor(2, "process"), ProcessExecutor)
+
+    def test_rejects_unknown_backend(self):
+        with pytest.raises(ValueError, match="unknown executor backend"):
+            get_executor(2, "fiber")
+
+
+class TestExecutorMap:
+    def test_serial_map(self):
+        assert SerialExecutor().map(_square, [1, 2, 3]) == [1, 4, 9]
+
+    def test_thread_map_preserves_submission_order(self):
+        ex = ThreadExecutor(4)
+        pairs = [(0, 0.05), (1, 0.0), (2, 0.02), (3, 0.0)]
+        assert ex.map(_slow_identity, pairs) == [0, 1, 2, 3]
+
+    def test_process_map_preserves_submission_order(self):
+        ex = ProcessExecutor(2)
+        assert ex.map(_square, list(range(6))) == [0, 1, 4, 9, 16, 25]
+        assert ex.fallback_reason is None
+
+    def test_process_unpicklable_task_falls_back_to_serial(self):
+        ex = ProcessExecutor(2)
+        assert ex.map(lambda x: x + 1, [1, 2, 3]) == [2, 3, 4]
+        assert ex.fallback_reason is not None
+        assert "not picklable" in ex.fallback_reason
+
+    def test_process_unpicklable_payload_falls_back_to_serial(self):
+        ex = ProcessExecutor(2)
+        items = [(1, lambda: None), (2, lambda: None)]
+        assert ex.map(_first_of, items) == [1, 2]
+        assert ex.fallback_reason is not None
+
+    def test_single_item_runs_inline(self):
+        ex = ProcessExecutor(2)
+        assert ex.map(_square, [3]) == [9]
+
+
+def _first_of(pair):
+    return pair[0]

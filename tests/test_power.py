@@ -5,7 +5,7 @@ import pytest
 
 from repro.arch.config import BOOM_CONFIGS, config_by_name
 from repro.arch.workloads import WORKLOADS, workload_by_name
-from repro.power.report import ComponentPower, POWER_GROUPS, PowerReport
+from repro.power.report import ComponentPower, PowerReport
 from repro.power.trace import golden_trace_power, power_scale_function
 
 

@@ -2,7 +2,6 @@
 flow through execution, activity extraction and power analysis without
 violating physical invariants."""
 
-import numpy as np
 from hypothesis import given, settings
 from hypothesis import strategies as st
 

@@ -4,7 +4,7 @@ import pytest
 
 from repro.arch.components import COMPONENTS, sram_components
 from repro.arch.config import BOOM_CONFIGS, config_by_name
-from repro.rtl.design import ComponentRtl, RtlDesign, SramBlockSpec, SramPositionRtl
+from repro.rtl.design import ComponentRtl, SramBlockSpec, SramPositionRtl
 from repro.rtl.generator import RtlGenerator
 from repro.rtl.sram_plan import (
     SRAM_POSITION_PLANS,

@@ -2,7 +2,7 @@
 
 import pytest
 
-from repro.arch.config import BOOM_CONFIGS, config_by_name
+from repro.arch.config import config_by_name
 from repro.arch.workloads import WORKLOADS, workload_by_name
 from repro.rtl.generator import RtlGenerator
 from repro.sim.activity import ActivitySimulator, PositionActivity

@@ -6,7 +6,7 @@ from repro.arch.config import BOOM_CONFIGS, config_by_name
 from repro.library.stdcell import default_library
 from repro.rtl.generator import RtlGenerator
 from repro.synthesis.clock_gating import GatingPolicy, policy_for
-from repro.synthesis.netlist import ComponentNetlist, Netlist
+from repro.synthesis.netlist import ComponentNetlist
 from repro.synthesis.synthesizer import Synthesizer
 
 
