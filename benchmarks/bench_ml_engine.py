@@ -75,6 +75,22 @@ def test_bulk_fit_hist(benchmark):
 
 
 @pytest.mark.perf_smoke
+def test_bulk_fit_hist32(benchmark):
+    """Histogram mode with the float32 score pipeline (hist_dtype)."""
+    X, y = _bulk_data()
+
+    def fit():
+        return GradientBoostingRegressor(
+            n_estimators=40, learning_rate=0.1, max_depth=4,
+            tree_method="hist", max_bin=64, hist_dtype="float32",
+        ).fit(X, y)
+
+    model = benchmark(fit)
+    resid = model.predict(X) - y
+    assert float(np.sqrt(np.mean(resid**2))) < 2.0
+
+
+@pytest.mark.perf_smoke
 def test_bulk_fit_exact(benchmark):
     """Exact mode on the same matrix, for the hist/exact tradeoff curve."""
     X, y = _bulk_data()

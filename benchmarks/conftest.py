@@ -6,13 +6,30 @@ from the same test file:
 
     PYTHONPATH=src python -m pytest benchmarks -m perf_smoke
     PYTHONPATH=src python -m pytest benchmarks -m perf_smoke --jobs 2
+
+``--bench-json PATH`` (or ``REPRO_BENCH_JSON=PATH``) writes the run's
+benchmark stats as JSON (test -> mean/min ms, git sha, date) at session
+end — see ``benchmarks/export.py``; CI uploads it as the per-PR perf
+trajectory artifact and gates on the committed baseline.
 """
 
 from __future__ import annotations
 
+import importlib.util
+import os
+import pathlib
+
 import pytest
 
 from repro.vlsi.flow import VlsiFlow
+
+
+def _load_export():
+    path = pathlib.Path(__file__).with_name("export.py")
+    spec = importlib.util.spec_from_file_location("repro_bench_export", path)
+    mod = importlib.util.module_from_spec(spec)
+    spec.loader.exec_module(mod)
+    return mod
 
 
 def pytest_addoption(parser):
@@ -22,6 +39,22 @@ def pytest_addoption(parser):
         default=1,
         help="worker count for the parallel fit-scaling benchmarks",
     )
+    parser.addoption(
+        "--bench-json",
+        default=os.environ.get("REPRO_BENCH_JSON"),
+        help="write benchmark stats (mean/min ms + git sha + date) to this JSON file",
+    )
+
+
+def pytest_sessionfinish(session, exitstatus):
+    path = session.config.getoption("--bench-json", default=None)
+    if not path:
+        return
+    bench_session = getattr(session.config, "_benchmarksession", None)
+    if bench_session is None or not bench_session.benchmarks:
+        return
+    export = _load_export()
+    export.write_bench_json(path, export.collect_stats(bench_session.benchmarks))
 
 
 @pytest.fixture(scope="session")

@@ -1,0 +1,118 @@
+"""Benchmark trajectory export + regression gate.
+
+Two roles:
+
+* imported by ``benchmarks/conftest.py`` to write ``BENCH_ml_engine.json``
+  (test name -> mean/min ms, plus git sha and date) after a ``perf_smoke``
+  run when ``--bench-json``/``REPRO_BENCH_JSON`` is set — CI uploads the
+  file as an artifact so the perf trajectory is recorded per PR,
+* a tiny CLI used by CI to fail the perf-smoke job when a test regresses
+  past a ratio over the committed baseline::
+
+      python benchmarks/export.py --check BENCH_ml_engine.json \
+          --baseline benchmarks/BENCH_baseline.json \
+          --test test_fewshot_fit_exact --max-ratio 2.0
+
+The committed baseline is machine-specific (see the README); the 2x gate
+is a loose tripwire for order-of-magnitude regressions, not a precise
+budget.
+"""
+
+from __future__ import annotations
+
+import argparse
+import datetime
+import json
+import subprocess
+import sys
+
+
+def _git_sha() -> str:
+    try:
+        out = subprocess.run(
+            ["git", "rev-parse", "HEAD"],
+            capture_output=True,
+            text=True,
+            timeout=10,
+            check=True,
+        )
+        return out.stdout.strip()
+    except Exception:
+        return "unknown"
+
+
+def collect_stats(benchmarks) -> dict:
+    """``{test name: {mean_ms, min_ms, stddev_ms, rounds}}`` from a
+    pytest-benchmark session's fixture list."""
+    records: dict = {}
+    for bench in benchmarks:
+        stats = getattr(bench, "stats", None)
+        stats = getattr(stats, "stats", stats)  # Metadata wraps Stats
+        if stats is None:
+            continue
+        records[bench.name] = {
+            "mean_ms": stats.mean * 1e3,
+            "min_ms": stats.min * 1e3,
+            "stddev_ms": stats.stddev * 1e3,
+            "rounds": int(getattr(stats, "rounds", 0)),
+        }
+    return records
+
+
+def write_bench_json(path: str, records: dict) -> None:
+    payload = {
+        "git_sha": _git_sha(),
+        "date": datetime.datetime.now(datetime.timezone.utc).isoformat(),
+        "benchmarks": records,
+    }
+    with open(path, "w") as fh:
+        json.dump(payload, fh, indent=2, sort_keys=True)
+        fh.write("\n")
+
+
+def check_regression(
+    new_path: str, baseline_path: str, test: str, max_ratio: float
+) -> int:
+    with open(new_path) as fh:
+        new = json.load(fh)
+    with open(baseline_path) as fh:
+        base = json.load(fh)
+    try:
+        new_ms = new["benchmarks"][test]["mean_ms"]
+    except KeyError:
+        print(f"bench check: {test!r} missing from {new_path}", file=sys.stderr)
+        return 1
+    try:
+        base_ms = base["benchmarks"][test]["mean_ms"]
+    except KeyError:
+        print(
+            f"bench check: {test!r} missing from baseline {baseline_path}",
+            file=sys.stderr,
+        )
+        return 1
+    ratio = new_ms / base_ms
+    verdict = "OK" if ratio <= max_ratio else "REGRESSION"
+    print(
+        f"bench check [{verdict}]: {test} mean {new_ms:.3f} ms vs baseline "
+        f"{base_ms:.3f} ms (ratio {ratio:.2f}x, limit {max_ratio:.2f}x)"
+    )
+    return 0 if ratio <= max_ratio else 1
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--check", required=True, help="freshly exported bench JSON")
+    parser.add_argument("--baseline", required=True, help="committed baseline JSON")
+    parser.add_argument("--test", required=True, help="benchmark test name to gate on")
+    parser.add_argument(
+        "--max-ratio",
+        type=float,
+        default=2.0,
+        help="fail when new mean exceeds baseline mean by this factor",
+    )
+    args = parser.parse_args(argv)
+    return check_regression(args.check, args.baseline, args.test, args.max_ratio)
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

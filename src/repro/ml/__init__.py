@@ -14,26 +14,30 @@ from-scratch gradient-boosted regression-tree implementation with the
 XGBoost-style regularized objective (squared loss, shrinkage, ``reg_lambda``,
 ``min_child_weight``, depth limit, feature/row subsampling).
 
-Vectorized engine (PR 1)
-------------------------
+Level-wise engine (PR 3, vectorized engine in PR 1)
+---------------------------------------------------
 The original engine searched splits with a per-candidate Python loop and
-traversed trees row by row; profiling the seed put ~21.4s of a 24.7s
-``AutoPower.fit`` inside ``_find_best_split`` and 3.1s inside 20
-``predict_report`` calls.  :mod:`repro.ml.tree` now does a fully
-vectorized split search (per-feature argsort + cumulative G/H arrays, all
-candidate gains in one expression, single feature-major argmax) with
-per-fit caches shared across boosting rounds (:class:`~repro.ml.tree.
-PresortCache`, :class:`~repro.ml.tree.HistogramBinner` for
-``tree_method="hist"``, plus per-node-subset sort memoization), flattens
-fitted trees into struct-of-arrays form (:class:`~repro.ml.tree.
-FlatTree`) and batch-infers by iterative vectorized descent;
-:mod:`repro.ml.gbm` fuses the whole ensemble into one node-array set and
-advances all rows x all trees in lockstep.  Measured on the repo's
-single-core container: ``AutoPower.fit`` (2 configs x 6 workloads)
-12.9s -> ~1.4s (~9-10x, run-to-run noise included); ``predict_trace``
-with 65 anchors 6.0s -> 63ms (~95x); exact-mode predictions match the
-scalar reference to <=1e-9 relative (see
-``tests/test_ml_engine_equivalence.py``).
+traversed trees row by row; PR 1 vectorized the per-node search, and PR 3
+replaced per-node recursion entirely with **level-wise frontier growth**:
+all open nodes of a depth level live as row segments over one shared
+presorted workspace (:class:`~repro.ml.tree.TreeWorkspace`), the split
+search for every frontier node and feature runs in one batched pass, and
+nodes are emitted straight into preorder struct-of-arrays buffers
+(:class:`~repro.ml.tree.FlatTree`) — no recursion, no per-node argsorts,
+no per-node cache keys.  ``tree_method="hist"`` batches the same way via
+one composite-key ``bincount`` per level (:class:`~repro.ml.tree.
+HistogramBinner`; ``hist_dtype="float32"`` for a single-precision score
+pipeline).  When a C compiler and ``cffi`` are available, the hot GBM fit
+(exact mode, full rows/columns) runs the identical algorithm as one
+compiled call per fit (:mod:`repro.ml._kernel`; disable with
+``REPRO_NO_KERNEL=1``) — results are byte-identical to the numpy engine.
+:mod:`repro.ml.gbm` assembles the fused inference ensemble incrementally
+during fit and advances all rows x all trees in lockstep at predict time.
+Measured on the repo's single-core container (interleaved A/B): few-shot
+fit 20.0ms -> 1.7ms (~12x), bulk exact fit 226ms -> 64ms (~3.5x),
+``fig6_sweep.run()`` 18.1s -> 4.1s (~4.4x); exact-mode predictions match
+the scalar reference to <=1e-9 relative (see
+``tests/test_ml_engine_equivalence.py``, ``tests/test_ml_levelwise.py``).
 """
 
 from repro.ml.gbm import GradientBoostingRegressor

@@ -11,12 +11,17 @@ implements the regularized tree-boosting algorithm directly:
   ``min_child_weight``, ``gamma`` and depth limits,
 * optional row subsampling and per-tree feature subsampling,
 * base score initialised at the target mean,
-* ``tree_method="exact"`` (vectorized greedy scan) or ``"hist"``
+* ``tree_method="exact"`` (level-wise batched greedy scan over one shared
+  per-fit :class:`~repro.ml.tree.TreeWorkspace`) or ``"hist"``
   (quantile-binned scan with a per-fit bin-index cache shared across all
-  boosting rounds, XGBoost-style).
+  boosting rounds, XGBoost-style; ``hist_dtype="float32"`` runs the score
+  pipeline in single precision).
 
-Inference accumulates every tree in one lockstep vectorized descent (all
-rows x all trees advance one level per step — no per-row or per-tree
+The fused inference ensemble is assembled *incrementally during fit* —
+each round appends its tree's remapped node arrays — so the first predict
+after a fit pays one concatenation instead of a per-tree rebuild.
+Inference then accumulates every tree in one lockstep vectorized descent
+(all rows x all trees advance one level per step — no per-row or per-tree
 Python), which makes batched prediction essentially free.
 
 Like real tree ensembles, the model cannot predict outside the range of
@@ -28,10 +33,12 @@ from __future__ import annotations
 
 import numpy as np
 
+from repro.ml._kernel import get_kernel
 from repro.ml.tree import (
+    FlatTree,
     HistogramBinner,
-    PresortCache,
     RegressionTree,
+    TreeWorkspace,
     _SplitSearchConfig,
 )
 
@@ -46,6 +53,10 @@ class _FlatEnsemble:
     self-loops (``left == right == self``, threshold ``+inf``) so the
     lockstep descent needs no leaf masking: a row that reached its leaf
     simply stays there while deeper trees keep routing.
+
+    ``fit`` assembles the arrays incrementally (one append per boosting
+    round, concatenated once); this constructor remains for externally
+    assembled models (deserialization).
     """
 
     __slots__ = ("feature", "threshold", "left", "right", "value", "roots", "depth")
@@ -80,14 +91,50 @@ class _FlatEnsemble:
         self.roots = np.array(roots, dtype=np.int32)
         self.depth = depth
 
+    @classmethod
+    def _from_parts(
+        cls,
+        feature: np.ndarray,
+        threshold: np.ndarray,
+        left: np.ndarray,
+        right: np.ndarray,
+        value: np.ndarray,
+        roots: np.ndarray,
+        depth: int,
+    ) -> "_FlatEnsemble":
+        ens = object.__new__(cls)
+        ens.feature = feature
+        ens.threshold = threshold
+        ens.left = left
+        ens.right = right
+        ens.value = value
+        ens.roots = roots
+        ens.depth = depth
+        return ens
+
     def sum_values(self, X: np.ndarray) -> np.ndarray:
-        """Sum of every tree's leaf value per row (before shrinkage)."""
+        """Sum of every tree's leaf value per row (before shrinkage).
+
+        Single-tree ensembles skip the broadcast copy (the descent only
+        reassigns ``node``, never writes into it).  Once every row of
+        every tree sits on a leaf self-loop the state stops changing and
+        the loop exits early; the equality probe only pays for itself on
+        deep ensembles, so shallow ones skip it.
+        """
         n = X.shape[0]
-        node = np.broadcast_to(self.roots, (n, self.roots.size)).copy()
+        t = self.roots.size
+        node = np.broadcast_to(self.roots, (n, t))
+        if t > 1:
+            node = node.copy()
         rows = np.arange(n)[:, None]
-        for _ in range(self.depth):
+        depth = self.depth
+        for level in range(depth):
             go_left = X[rows, self.feature[node]] <= self.threshold[node]
-            node = np.where(go_left, self.left[node], self.right[node])
+            nxt = np.where(go_left, self.left[node], self.right[node])
+            # Probe only when it can still skip >= 2 deeper passes.
+            if level >= 3 and depth - level > 1 and np.array_equal(nxt, node):
+                break
+            node = nxt
         return self.value[node].sum(axis=1)
 
 
@@ -120,6 +167,10 @@ class GradientBoostingRegressor:
         ``"hist"`` (quantile bins, one shared bin-index cache per fit).
     max_bin:
         Bucket budget per feature for ``tree_method="hist"``.
+    hist_dtype:
+        ``"float64"`` (default) or ``"float32"`` — precision of the
+        histogram score pipeline (``"hist"`` only); the fitted model is
+        always float64.
     random_state:
         Seed for all stochastic choices; the model is fully deterministic
         for a fixed seed.
@@ -138,6 +189,7 @@ class GradientBoostingRegressor:
         early_stopping_rounds: int | None = None,
         tree_method: str = "exact",
         max_bin: int = 256,
+        hist_dtype: str = "float64",
         random_state: int = 0,
     ) -> None:
         if n_estimators < 1:
@@ -150,6 +202,10 @@ class GradientBoostingRegressor:
             raise ValueError("colsample_bytree must be in (0, 1]")
         if tree_method not in ("exact", "hist"):
             raise ValueError(f"tree_method must be 'exact' or 'hist', got {tree_method!r}")
+        if hist_dtype not in ("float64", "float32"):
+            raise ValueError(
+                f"hist_dtype must be 'float64' or 'float32', got {hist_dtype!r}"
+            )
         self.n_estimators = int(n_estimators)
         self.learning_rate = float(learning_rate)
         self.max_depth = int(max_depth)
@@ -161,6 +217,7 @@ class GradientBoostingRegressor:
         self.early_stopping_rounds = early_stopping_rounds
         self.tree_method = tree_method
         self.max_bin = int(max_bin)
+        self.hist_dtype = hist_dtype
         self.random_state = int(random_state)
 
         self.trees_: list[tuple[RegressionTree, np.ndarray]] = []
@@ -194,16 +251,24 @@ class GradientBoostingRegressor:
         full_cols = n_cols >= n_features
         all_rows = np.arange(n_samples)
         all_cols = np.arange(n_features)
+        if self.tree_method == "exact" and full_rows and full_cols:
+            # The compiled kernel drives the whole boosting loop in one
+            # call (level-wise growth, preorder + fused-ensemble emission);
+            # it is equivalent to the numpy engine below and optional.
+            kernel = get_kernel()
+            if kernel is not None:
+                self._fit_kernel(kernel, X, y, all_cols)
+                return self
         hess = np.ones(n_samples)
         # Both caches are properties of X alone, so one instance serves
         # every boosting round (subsampled views are cheap slices); the
-        # split-search config carries per-node-size scratch caches that are
-        # likewise shared across all rounds.
+        # split-search config carries the per-fit frontier-shape and
+        # tree-structure caches every round shares.
         binner = (
             HistogramBinner(X, self.max_bin) if self.tree_method == "hist" else None
         )
-        presort = (
-            PresortCache(X) if self.tree_method == "exact" and full_rows else None
+        workspace = (
+            TreeWorkspace(X) if self.tree_method == "exact" and full_rows else None
         )
         cfg = _SplitSearchConfig(
             max_depth=self.max_depth,
@@ -212,19 +277,24 @@ class GradientBoostingRegressor:
             reg_lambda=self.reg_lambda,
             gamma=self.gamma,
             unit_hess=True,  # squared loss: hessian is identically 1
+            hist_dtype=self.hist_dtype,
         )
-        if full_rows and full_cols and n_samples * n_features <= 16384:
-            # Node subsets recur across rounds; sort structures depend on X
-            # alone, so they are memoized per subset for the whole fit.
-            # Only worthwhile (and memory-safe) in the few-shot regime —
-            # with many samples the residuals drift every round, subsets
-            # rarely recur, and the memo would grow without bound.
-            cfg.sort_cache = {}
         grad = np.empty(n_samples)
         update = np.empty(n_samples)
         np.subtract(pred, y, out=grad)  # d/dpred of 0.5*(pred-y)^2
         best_loss = np.inf
         rounds_since_best = 0
+
+        # Incremental fused-ensemble assembly: one append per round, one
+        # concatenation at the end — predict never rebuilds per tree.
+        ens_feature: list[np.ndarray] = []
+        ens_threshold: list[np.ndarray] = []
+        ens_left: list[np.ndarray] = []
+        ens_right: list[np.ndarray] = []
+        ens_value: list[np.ndarray] = []
+        ens_roots: list[int] = []
+        ens_offset = 0
+        ens_depth = 0
 
         for _ in range(self.n_estimators):
             rows = all_rows if full_rows else rng.choice(
@@ -236,7 +306,7 @@ class GradientBoostingRegressor:
             if full_rows and full_cols:
                 x_fit = X
                 round_binner = binner
-                round_presort = presort
+                round_workspace = workspace
             else:
                 x_fit = X[np.ix_(rows, cols)]
                 round_binner = (
@@ -246,8 +316,8 @@ class GradientBoostingRegressor:
                     if binner is not None
                     else None
                 )
-                round_presort = (
-                    presort.subset_cols(cols) if presort is not None else None
+                round_workspace = (
+                    workspace.subset_cols(cols) if workspace is not None else None
                 )
 
             tree = RegressionTree(
@@ -258,11 +328,12 @@ class GradientBoostingRegressor:
                 gamma=self.gamma,
                 tree_method=self.tree_method,
                 max_bin=self.max_bin,
+                hist_dtype=self.hist_dtype,
             )
             if full_rows:
                 # The leaf partition already is the training prediction.
                 tree._fit_core(
-                    x_fit, grad, hess, cfg, round_binner, round_presort, update
+                    x_fit, grad, hess, cfg, round_binner, round_workspace, update
                 )
                 pred += self.learning_rate * update
             else:
@@ -274,9 +345,27 @@ class GradientBoostingRegressor:
                 )
             self.trees_.append((tree, cols))
 
+            flat = tree.flat_
+            n_nodes = flat.feature.size
+            leaf = flat.feature < 0
+            node_ids = np.arange(ens_offset, ens_offset + n_nodes, dtype=np.int32)
+            fmax = np.maximum(flat.feature, 0)  # leaves route through col 0
+            ens_feature.append(fmax if full_cols else cols[fmax])
+            ens_threshold.append(np.where(leaf, np.inf, flat.threshold))
+            ens_left.append(np.where(leaf, node_ids, flat.left + ens_offset))
+            ens_right.append(np.where(leaf, node_ids, flat.right + ens_offset))
+            ens_value.append(flat.value)
+            ens_roots.append(ens_offset)
+            ens_offset += n_nodes
+            if flat.depth > ens_depth:
+                ens_depth = flat.depth
+
             # The post-round residual doubles as the next round's gradient.
             np.subtract(pred, y, out=grad)
-            loss = float(grad @ grad) / n_samples
+            # Sequential (cumsum) accumulation matches the compiled
+            # kernel's loss bitwise, so early stopping cannot flip between
+            # kernel and no-kernel environments.
+            loss = float(np.cumsum(grad * grad)[-1]) / n_samples
             self.train_losses_.append(loss)
             if self.early_stopping_rounds is not None:
                 if loss < best_loss - 1e-12:
@@ -286,8 +375,98 @@ class GradientBoostingRegressor:
                     rounds_since_best += 1
                     if rounds_since_best >= self.early_stopping_rounds:
                         break
+        self._ensemble = _FlatEnsemble._from_parts(
+            np.concatenate(ens_feature).astype(np.int32, copy=False),
+            np.concatenate(ens_threshold),
+            np.concatenate(ens_left).astype(np.int32, copy=False),
+            np.concatenate(ens_right).astype(np.int32, copy=False),
+            np.concatenate(ens_value),
+            np.array(ens_roots, dtype=np.int32),
+            ens_depth,
+        )
         self._fitted = True
         return self
+
+    def _fit_kernel(self, kernel, X: np.ndarray, y: np.ndarray, all_cols) -> None:
+        """One compiled call for the full boosting loop (exact, full rows/cols).
+
+        The kernel emits every tree's preorder node arrays *and* the
+        leaf-self-loop ensemble form into contiguous per-fit buffers, so
+        ``trees_`` wraps slices and the fused ensemble needs no assembly.
+        """
+        ffi, lib = kernel
+        n, f = X.shape
+        ws = TreeWorkspace(X)
+        posof = ws.posof()
+        n_est = self.n_estimators
+        max_nodes = min(2 ** (self.max_depth + 1) - 1, 2 * n - 1)
+        cap = n_est * max_nodes
+        pred = np.full(n, self.base_score_)
+        losses = np.empty(n_est)
+        tree_off = np.empty(n_est + 1, dtype=np.int64)
+        feat = np.empty(cap, dtype=np.int32)
+        thr = np.empty(cap)
+        left = np.empty(cap, dtype=np.int32)
+        right = np.empty(cap, dtype=np.int32)
+        val = np.empty(cap)
+        nsamp = np.empty(cap, dtype=np.int64)
+        depths = np.empty(n_est, dtype=np.int32)
+        ens_feat = np.empty(cap, dtype=np.int32)
+        ens_thr = np.empty(cap)
+        ens_left = np.empty(cap, dtype=np.int32)
+        ens_right = np.empty(cap, dtype=np.int32)
+
+        def dp(a):
+            return ffi.cast("double *", a.ctypes.data)
+
+        def lp(a):
+            return ffi.cast("long *", a.ctypes.data)
+
+        def ip(a):
+            return ffi.cast("int *", a.ctypes.data)
+
+        yc = np.ascontiguousarray(y, dtype=float)
+        rounds = lib.gbm_fit_exact(
+            dp(ws.xt), lp(ws.order), lp(posof),
+            n, f, dp(yc),
+            n_est, self.learning_rate, self.max_depth,
+            self.reg_lambda, self.min_child_weight, self.gamma, 2,
+            -1 if self.early_stopping_rounds is None else self.early_stopping_rounds,
+            self.base_score_,
+            dp(pred), dp(losses),
+            max_nodes, lp(tree_off),
+            ip(feat), dp(thr), ip(left), ip(right),
+            dp(val), lp(nsamp), ip(depths),
+            ip(ens_feat), dp(ens_thr), ip(ens_left), ip(ens_right),
+        )
+        if rounds < 0:  # pragma: no cover - allocation failure
+            raise MemoryError("GBM kernel could not allocate scratch buffers")
+        for t in range(rounds):
+            a, b = int(tree_off[t]), int(tree_off[t + 1])
+            tree = RegressionTree(
+                max_depth=self.max_depth,
+                min_samples_split=2,
+                min_child_weight=self.min_child_weight,
+                reg_lambda=self.reg_lambda,
+                gamma=self.gamma,
+                tree_method=self.tree_method,
+                max_bin=self.max_bin,
+                hist_dtype=self.hist_dtype,
+            )
+            tree.n_features_ = f
+            tree.flat_ = FlatTree._from_parts(
+                feat[a:b], thr[a:b], left[a:b], right[a:b],
+                val[a:b], nsamp[a:b], int(depths[t]),
+            )
+            self.trees_.append((tree, all_cols))
+        end = int(tree_off[rounds])
+        self.train_losses_ = losses[:rounds].tolist()
+        self._ensemble = _FlatEnsemble._from_parts(
+            ens_feat[:end], ens_thr[:end], ens_left[:end], ens_right[:end],
+            val[:end], tree_off[:rounds].astype(np.int32),
+            int(depths[:rounds].max()),
+        )
+        self._fitted = True
 
     # ------------------------------------------------------------------
     def _check_is_fitted(self) -> None:

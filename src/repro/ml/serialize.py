@@ -123,23 +123,28 @@ def tree_from_dict(state: dict) -> RegressionTree:
 
 # -- gradient boosting --------------------------------------------------------
 def gbm_to_dict(model: GradientBoostingRegressor) -> dict:
+    params = {
+        "n_estimators": model.n_estimators,
+        "max_depth": model.max_depth,
+        "reg_lambda": model.reg_lambda,
+        "min_child_weight": model.min_child_weight,
+        "gamma": model.gamma,
+        "subsample": model.subsample,
+        "colsample_bytree": model.colsample_bytree,
+        "tree_method": model.tree_method,
+        "max_bin": model.max_bin,
+        "random_state": model.random_state,
+    }
+    if model.hist_dtype != "float64":
+        # Emitted only when non-default so existing serialized models stay
+        # byte-identical on the wire.
+        params["hist_dtype"] = model.hist_dtype
     return {
         "kind": "gbm",
         "learning_rate": model.learning_rate,
         "base_score": model.base_score_,
         "n_features": model.n_features_,
-        "params": {
-            "n_estimators": model.n_estimators,
-            "max_depth": model.max_depth,
-            "reg_lambda": model.reg_lambda,
-            "min_child_weight": model.min_child_weight,
-            "gamma": model.gamma,
-            "subsample": model.subsample,
-            "colsample_bytree": model.colsample_bytree,
-            "tree_method": model.tree_method,
-            "max_bin": model.max_bin,
-            "random_state": model.random_state,
-        },
+        "params": params,
         "trees": [
             {"tree": tree_to_dict(tree), "columns": cols.tolist()}
             for tree, cols in model.trees_
@@ -162,6 +167,7 @@ def gbm_from_dict(state: dict) -> GradientBoostingRegressor:
         colsample_bytree=params["colsample_bytree"],
         tree_method=params.get("tree_method", "exact"),
         max_bin=params.get("max_bin", 256),
+        hist_dtype=params.get("hist_dtype", "float64"),
         random_state=params["random_state"],
     )
     model.base_score_ = float(state["base_score"])

@@ -11,26 +11,36 @@ A standalone tree (``RegressionTree.fit(X, y)``) simply boosts a single
 round from a zero prediction, which reduces to ordinary variance-minimizing
 CART with L2 leaf shrinkage.
 
-Vectorized engine
------------------
-Split search is fully vectorized: each node sorts its rows for *all*
-features at once (one 2-D argsort), builds cumulative gradient/hessian
-arrays, evaluates every candidate threshold in one array expression (tie
-candidates masked, ``min_child_weight`` bounds applied as a slice in the
-unit-hessian case), and picks the winner with a single feature-major
-argmax.  Because the split gain is a monotone affine function of the
-left/right score sum, the argmax runs on the raw score and the gain is
-materialized once, for the winner only.
+Level-wise frontier engine
+--------------------------
+Trees grow breadth-first: all open nodes of a depth level form a *frontier*
+held as contiguous row segments of one shared, presorted workspace
+(:class:`TreeWorkspace` — feature-major stable sort order of ``X``, computed
+once per fit).  The split search for **every frontier node and every
+feature** runs in a single batched pass: segments are gathered into a
+padded ``(n_features, n_nodes, width)`` block, cumulative gradient/hessian
+sums restart per segment (bitwise-identical to a per-node scan), every
+candidate threshold is scored in one array expression, and one fused
+feature-major argmax per node picks the winner — ties resolve to the lowest
+(feature, position) pair, matching the historical scalar scan order.
 
-Two per-fit caches let a boosting loop amortize work that depends on ``X``
-alone across all rounds: :class:`PresortCache` (feature-sorted root order,
-used by ``tree_method="exact"``) and :class:`HistogramBinner`
-(quantile-bin indices, used by ``tree_method="hist"`` — at most
-``max_bin`` buckets per feature, XGBoost-style).  Child G/H sums are read
-off the parent's cumulative arrays instead of being re-reduced, and the
-few-shot regime (dozens of tiny nodes per tree, thousands of trees per
-AutoPower fit) is dominated by numpy dispatch, so the hot path also caches
-per-node-size denominator vectors in the search config.
+There is no recursion and no per-node bookkeeping: accepted splits
+partition each segment in place (a stable two-way partition driven by the
+root sort order, so **no argsort ever runs below the root** — see
+``SORT_COUNTERS``), children become the next frontier, and the per-level
+node records are scattered into preorder struct-of-arrays buffers at the
+end.  Candidate windows, regularized denominators, column grids and the
+preorder layout depend only on the frontier *shape*, which repeats
+endlessly across boosting rounds, so they are cached per fit keyed by the
+segment-size signature.
+
+``tree_method="hist"`` grows level-wise too: one flattened ``bincount``
+over a composite (node, feature, bin) key builds every node's histograms at
+once (at most ``max_bin`` quantile buckets per feature, XGBoost-style, via
+:class:`HistogramBinner`).  ``hist_dtype="float32"`` runs the histogram
+score pipeline in single precision — cheaper on wide (nodes × features ×
+bins) grids — while thresholds, leaf values and the fitted model stay
+float64.
 
 Fitted trees are flattened into struct-of-arrays form (:class:`FlatTree`:
 ``feature[]``, ``threshold[]``, ``left[]``, ``right[]``, ``value[]``) and
@@ -46,16 +56,32 @@ from dataclasses import dataclass, field
 
 import numpy as np
 
-__all__ = ["FlatTree", "HistogramBinner", "PresortCache", "RegressionTree", "TreeNode"]
+__all__ = [
+    "FlatTree",
+    "HistogramBinner",
+    "RegressionTree",
+    "SORT_COUNTERS",
+    "TreeNode",
+    "TreeWorkspace",
+]
 
 _TREE_METHODS = ("exact", "hist")
+_HIST_DTYPES = ("float64", "float32")
 
 # Minimum gain (beyond zero) for a split to be kept; also the tolerance the
 # historical scalar engine used when comparing candidate gains.
 _GAIN_EPS = 1e-12
 
-# (f, 1) index columns for take-along-axis-style gathers, cached per width.
+# Instrumentation: the level-wise engine sorts each feature exactly once per
+# workspace (the root presort).  ``node_argsorts`` has no increment site by
+# design — tests assert it stays zero to pin the no-per-node-sort invariant.
+SORT_COUNTERS = {"workspace_builds": 0, "node_argsorts": 0}
+
+# (f, 1) / (f, 1, 1) index columns for gathers, and arange vectors, cached
+# per size — the few-shot regime creates these endlessly.
 _ROW_INDEX_CACHE: dict[int, np.ndarray] = {}
+_ROW_INDEX3_CACHE: dict[int, np.ndarray] = {}
+_ARANGE_CACHE: dict[int, np.ndarray] = {}
 
 
 def _row_index(f: int) -> np.ndarray:
@@ -64,6 +90,22 @@ def _row_index(f: int) -> np.ndarray:
         rows = np.arange(f)[:, None]
         _ROW_INDEX_CACHE[f] = rows
     return rows
+
+
+def _row_index3(f: int) -> np.ndarray:
+    rows = _ROW_INDEX3_CACHE.get(f)
+    if rows is None:
+        rows = np.arange(f)[:, None, None]
+        _ROW_INDEX3_CACHE[f] = rows
+    return rows
+
+
+def _arange(n: int) -> np.ndarray:
+    a = _ARANGE_CACHE.get(n)
+    if a is None:
+        a = np.arange(n)
+        _ARANGE_CACHE[n] = a
+    return a
 
 
 @dataclass(slots=True)
@@ -123,6 +165,32 @@ class FlatTree:
         self.value = np.asarray(value, dtype=float)
         self.n_samples = np.asarray(n_samples, dtype=np.int64)
         self.depth = _flat_depth(self.feature, self.left, self.right)
+
+    @classmethod
+    def _from_parts(
+        cls,
+        feature: np.ndarray,
+        threshold: np.ndarray,
+        left: np.ndarray,
+        right: np.ndarray,
+        value: np.ndarray,
+        n_samples: np.ndarray,
+        depth: int,
+    ) -> "FlatTree":
+        """Wrap already-typed arrays with a known depth (builder hot path).
+
+        Structure arrays (``left``/``right``/``n_samples``) may be shared
+        between trees of identical shape; they are treated as immutable.
+        """
+        tree = object.__new__(cls)
+        tree.feature = feature
+        tree.threshold = threshold
+        tree.left = left
+        tree.right = right
+        tree.value = value
+        tree.n_samples = n_samples
+        tree.depth = depth
+        return tree
 
     @property
     def n_nodes(self) -> int:
@@ -213,33 +281,59 @@ def _flat_depth(feature: np.ndarray, left: np.ndarray, right: np.ndarray) -> int
     return best
 
 
-class PresortCache:
-    """Per-fit cache of the feature-sorted root order (exact mode).
+class TreeWorkspace:
+    """Per-fit workspace for level-wise exact growth.
 
-    The sort order, sorted values, and tie mask of the *root* node depend
-    on ``X`` alone, so a boosting loop computes them once and reuses them
-    for the root split of every round; child nodes re-sort their (smaller)
-    subsets.  Arrays are stored transposed — ``(n_features, n_samples)`` —
-    so the feature-major argmax of the split search runs on contiguous
-    memory.  Column subsampling slices the cache (row subsampling
-    invalidates it — the caller must drop it then).
+    Everything here depends on ``X`` alone, so a boosting loop builds one
+    instance and shares it across all rounds.  Arrays are stored transposed
+    — ``(n_features, n_samples)`` — so the feature-major batched split
+    search runs on contiguous memory:
+
+    ``xt``
+        the transposed feature matrix,
+    ``order``
+        stable argsort of every feature (the *only* argsort the exact
+        engine ever performs — frontier partitions below the root are
+        maintained by stable two-way splits of this order),
+    ``sv`` / ``root_good``
+        sorted values and the untied-gap mask of the root segment,
+    ``posof``
+        the inverse permutation of ``order`` (row -> sorted position),
+        used to partition child segments without re-sorting.
+
+    Column subsampling slices the workspace (row subsampling invalidates it
+    — the caller must build a fresh one then).
     """
 
-    __slots__ = ("xt", "order", "sv", "untie")
+    __slots__ = ("xt", "order", "sv", "root_good", "_posof")
 
     def __init__(self, X: np.ndarray) -> None:
         XT = np.ascontiguousarray(np.atleast_2d(np.asarray(X, dtype=float)).T)
-        self.xt = XT  # child nodes gather their columns from this
-        self.order = XT.argsort(axis=1, kind="stable")
+        SORT_COUNTERS["workspace_builds"] += 1
+        self.xt = XT
+        # intp indices: fancy gathers then skip numpy's index-cast pass,
+        # and the compiled kernel reads them directly.
+        self.order = np.ascontiguousarray(XT.argsort(axis=1, kind="stable"), dtype=np.intp)
         self.sv = XT[_row_index(XT.shape[0]), self.order]
-        self.untie = self.sv[:, 1:] == self.sv[:, :-1]
+        self.root_good = self.sv[:, 1:] != self.sv[:, :-1]
+        self._posof: np.ndarray | None = None
 
-    def subset_cols(self, cols: np.ndarray) -> "PresortCache":
-        sub = object.__new__(PresortCache)
+    def posof(self) -> np.ndarray:
+        """Row -> sorted-position per feature (built on first split)."""
+        if self._posof is None:
+            f, n = self.order.shape
+            posof = np.empty((f, n), dtype=np.intp)
+            posof[_row_index(f), self.order] = np.arange(n, dtype=np.intp)
+            self._posof = posof
+        return self._posof
+
+    def subset_cols(self, cols: np.ndarray) -> "TreeWorkspace":
+        sub = object.__new__(TreeWorkspace)
         sub.xt = self.xt[cols]
         sub.order = self.order[cols]
         sub.sv = self.sv[cols]
-        sub.untie = self.untie[cols]
+        sub.root_good = self.root_good[cols]
+        sub._posof = self._posof[cols] if self._posof is not None else None
         return sub
 
 
@@ -255,7 +349,7 @@ class HistogramBinner:
     of trees on the same ``X``), which is the main point of the cache.
     """
 
-    __slots__ = ("binned", "edges", "n_edges", "max_bin", "n_features")
+    __slots__ = ("binned", "edges", "n_edges", "max_bin", "n_features", "_flat_base", "_cand")
 
     def __init__(self, X: np.ndarray, max_bin: int = 256) -> None:
         if max_bin < 2:
@@ -285,6 +379,24 @@ class HistogramBinner:
             # bin b holds values <= edges[b]; the last bin holds the rest.
             binned[:, j] = np.searchsorted(edges, X[:, j], side="left")
         self.binned = binned
+        self._flat_base: np.ndarray | None = None
+        self._cand: np.ndarray | None = None
+
+    def flat_base(self) -> np.ndarray:
+        """``binned`` offset per feature — composite-key base for the
+        level-wise flattened histogram ``bincount``."""
+        if self._flat_base is None:
+            width = self.edges.shape[1] + 1
+            offsets = (np.arange(self.n_features, dtype=np.int64) * width)[None, :]
+            self._flat_base = self.binned + offsets
+        return self._flat_base
+
+    def cand_mask(self) -> np.ndarray:
+        """(f, width-1) mask of real bin boundaries (edges vary per feature)."""
+        if self._cand is None:
+            width = self.edges.shape[1] + 1
+            self._cand = np.arange(width - 1)[None, :] < self.n_edges[:, None]
+        return self._cand
 
     def subset(self, rows: np.ndarray | None, cols: np.ndarray | None) -> "HistogramBinner":
         """A view of the cache restricted to a row/column subsample."""
@@ -303,16 +415,20 @@ class HistogramBinner:
         sub.n_edges = n_edges
         sub.max_bin = self.max_bin
         sub.n_features = binned.shape[1]
+        sub._flat_base = None
+        sub._cand = None
         return sub
 
 
 @dataclass
 class _SplitSearchConfig:
-    """Hyper-parameters plus per-fit scratch caches for the split search.
+    """Hyper-parameters plus per-fit caches for the level-wise growers.
 
-    ``size_cache`` maps a node size ``n`` to its candidate bounds and
-    regularized denominator vectors (unit-hessian case) — node sizes repeat
-    endlessly across boosting rounds, so these tiny arrays are shared.
+    Frontier shapes (segment-size signatures) repeat endlessly across
+    boosting rounds, so the candidate windows / denominators / column grids
+    (``shape_cache``) and the preorder layout of finished trees
+    (``struct_cache``) are shared for the whole fit.  Both depend on the
+    hyper-parameters below, so a config must not be reused across models.
     """
 
     max_depth: int
@@ -321,32 +437,9 @@ class _SplitSearchConfig:
     reg_lambda: float
     gamma: float
     unit_hess: bool = False
-    size_cache: dict = field(default_factory=dict)
-    # idx.tobytes() -> (sorted_rows, sv, untie); sort structures depend on X
-    # alone, and the same node subsets recur across boosting rounds.  Only
-    # valid while X (rows *and* columns) is fixed; None disables.
-    sort_cache: dict | None = None
-    # node size -> scratch arrays for the allocation-free score pipeline.
-    buffers: dict = field(default_factory=dict)
-    # Tie-masked denominators of the root node (valid with sort_cache).
-    root_dens: tuple | None = None
-
-    def bounds_for(self, n: int):
-        entry = self.size_cache.get(n)
-        if entry is None:
-            lo = max(math.ceil(self.min_child_weight) - 1, 0)
-            # Candidates sit between sorted positions, so cap at n-1 even
-            # when min_child_weight imposes no bound of its own (mcw <= 1).
-            hi = min(math.floor(n - 1 - self.min_child_weight) + 1, n - 1)
-            if hi > lo:
-                hl = np.arange(lo + 1.0, hi + 1.0)
-                den_l = hl + self.reg_lambda
-                den_r = (n - hl) + self.reg_lambda
-            else:
-                den_l = den_r = None
-            entry = (lo, hi, den_l, den_r)
-            self.size_cache[n] = entry
-        return entry
+    hist_dtype: str = "float64"
+    shape_cache: dict = field(default_factory=dict)
+    struct_cache: dict = field(default_factory=dict)
 
 
 class RegressionTree:
@@ -372,6 +465,10 @@ class RegressionTree:
         most ``max_bin`` quantile-bin boundaries per feature.
     max_bin:
         Bucket budget per feature for ``tree_method="hist"``.
+    hist_dtype:
+        ``"float64"`` (default) or ``"float32"`` — precision of the
+        histogram score pipeline (``"hist"`` only; the fitted tree is
+        always float64).
     """
 
     def __init__(
@@ -383,6 +480,7 @@ class RegressionTree:
         gamma: float = 0.0,
         tree_method: str = "exact",
         max_bin: int = 256,
+        hist_dtype: str = "float64",
     ) -> None:
         if max_depth < 0:
             raise ValueError("max_depth must be >= 0")
@@ -394,6 +492,10 @@ class RegressionTree:
             )
         if max_bin < 2:
             raise ValueError("max_bin must be >= 2")
+        if hist_dtype not in _HIST_DTYPES:
+            raise ValueError(
+                f"hist_dtype must be one of {_HIST_DTYPES}, got {hist_dtype!r}"
+            )
         self.max_depth = int(max_depth)
         self.min_samples_split = int(min_samples_split)
         self.min_child_weight = float(min_child_weight)
@@ -401,6 +503,7 @@ class RegressionTree:
         self.gamma = float(gamma)
         self.tree_method = tree_method
         self.max_bin = int(max_bin)
+        self.hist_dtype = hist_dtype
         self._root: TreeNode | None = None
         self.flat_: FlatTree | None = None
         self.n_features_: int = 0
@@ -434,12 +537,12 @@ class RegressionTree:
         grad,
         hess,
         binner: HistogramBinner | None = None,
-        presort: PresortCache | None = None,
+        workspace: TreeWorkspace | None = None,
         train_pred: np.ndarray | None = None,
     ) -> "RegressionTree":
         """Fit on explicit first/second-order statistics (boosting path).
 
-        ``binner``/``presort`` supply precomputed per-``X`` caches (a
+        ``binner``/``workspace`` supply precomputed per-``X`` caches (a
         boosting loop shares one across rounds); when omitted they are
         built on demand.  ``train_pred``, when given, is filled in place
         with the tree's predictions on the training rows — a free
@@ -460,6 +563,7 @@ class RegressionTree:
             reg_lambda=self.reg_lambda,
             gamma=self.gamma,
             unit_hess=bool(np.all(hess == 1.0)),
+            hist_dtype=self.hist_dtype,
         )
         if self.tree_method == "hist":
             if binner is None:
@@ -468,7 +572,7 @@ class RegressionTree:
                 raise ValueError("binner does not match the feature count of X")
         else:
             binner = None
-        return self._fit_core(X, grad, hess, cfg, binner, presort, train_pred)
+        return self._fit_core(X, grad, hess, cfg, binner, workspace, train_pred)
 
     def _fit_core(
         self,
@@ -477,27 +581,18 @@ class RegressionTree:
         hess: np.ndarray,
         cfg: _SplitSearchConfig,
         binner: HistogramBinner | None,
-        presort: PresortCache | None,
+        workspace: TreeWorkspace | None,
         train_pred: np.ndarray | None,
     ) -> "RegressionTree":
         """Validation-free fit used by the boosting loop (caches prebuilt)."""
         self.n_features_ = X.shape[1]
-        gsum = float(grad.sum())
-        hsum = float(grad.size) if cfg.unit_hess else float(hess.sum())
-        # Nodes are appended straight into struct-of-arrays buffers; the
-        # TreeNode graph is only materialized on introspection.
-        out: tuple[list, ...] = ([], [], [], [], [], [])
-        _build_flat(
-            X, grad, hess, None, 0, cfg, binner, gsum, hsum, train_pred, presort, out
-        )
-        self.flat_ = FlatTree(
-            np.array(out[0], dtype=np.int32),
-            np.array(out[1], dtype=float),
-            np.array(out[2], dtype=np.int32),
-            np.array(out[3], dtype=np.int32),
-            np.array(out[4], dtype=float),
-            np.array(out[5], dtype=np.int64),
-        )
+        if binner is not None:
+            parts = _grow_hist(binner, grad, hess, cfg, train_pred)
+        else:
+            if workspace is None:
+                workspace = TreeWorkspace(X)
+            parts = _grow_exact(workspace, grad, hess, cfg, train_pred)
+        self.flat_ = FlatTree._from_parts(*parts)
         self._root = None
         return self
 
@@ -537,295 +632,531 @@ def _max_depth(node: TreeNode) -> int:
     return 1 + max(_max_depth(node.left), _max_depth(node.right))
 
 
-def _build_flat(
-    X: np.ndarray,
+class _LevelShapes:
+    """Frontier-shape constants for one segment-size signature (cached).
+
+    Everything here is a function of the segment sizes and the fit
+    hyper-parameters alone — candidate windows from ``min_child_weight``,
+    unit-hessian denominators, the padded column grid — so one instance
+    serves every boosting round whose frontier has this shape.
+    """
+
+    __slots__ = (
+        "np_sizes",
+        "neg_vden",
+        "starts_l",
+        "m",
+        "elig_l",
+        "E",
+        "ne",
+        "W",
+        "C",
+        "root_like",
+        "colgrid",
+        "window",
+        "den_l",
+        "den_r",
+        "hpl",
+        "dead",
+    )
+
+    def __init__(self, sizes: tuple, cfg: _SplitSearchConfig) -> None:
+        K = len(sizes)
+        lam = cfg.reg_lambda
+        self.np_sizes = np.array(sizes, dtype=np.int64)
+        self.neg_vden = -(self.np_sizes + lam) if cfg.unit_hess else None
+        starts = [0] * K
+        for k in range(1, K):
+            starts[k] = starts[k - 1] + sizes[k - 1]
+        self.starts_l = starts
+        self.m = starts[-1] + sizes[-1]
+        mss = cfg.min_samples_split
+        elig = [k for k in range(K) if sizes[k] >= mss]
+        self.elig_l = elig
+        self.dead = not elig
+        self.E = None if len(elig) == K else np.array(elig, dtype=np.int64)
+        self.colgrid = None
+        self.window = None
+        self.den_l = None
+        self.den_r = None
+        self.hpl = None
+        self.root_like = False
+        if self.dead:
+            self.ne = None
+            self.W = 0
+            self.C = 0
+            return
+        ne = np.array([sizes[k] for k in elig], dtype=np.int64)
+        self.ne = ne
+        W = int(ne.max())
+        self.W = W
+        C = W - 1
+        self.C = C
+        # One node spanning the whole workspace: the root — its gathers are
+        # free reshapes of the presorted arrays.
+        self.root_like = K == 1 and sizes[0] == self.m
+        mcw = cfg.min_child_weight
+        # Candidate positions j split after sorted index j (left size j+1).
+        j = _arange(C)
+        if cfg.unit_hess:
+            # Hessian == sample count: min_child_weight is a position bound.
+            lo = max(math.ceil(mcw) - 1, 0)
+            hi = np.minimum(np.floor(ne - 1 - mcw).astype(np.int64) + 1, ne - 1)
+            window = (j >= lo) & (j[None, :] < hi[:, None])
+        else:
+            # General hessians: the weight bound is data-dependent and is
+            # applied against the cumulative hessian in the search itself.
+            window = j[None, :] < (ne - 1)[:, None]
+        self.window = window
+        if not window.any():
+            self.dead = True
+            return
+        if not self.root_like:
+            se = np.array([starts[k] for k in elig], dtype=np.int64)
+            self.colgrid = np.minimum(se[:, None] + _arange(W), self.m - 1)
+        if cfg.unit_hess:
+            hl = np.arange(1.0, W)
+            self.den_l = hl + lam
+            # Out-of-window denominators are never read through a valid
+            # candidate, but keep them positive so the division never warns.
+            self.den_r = np.where(window, (ne[:, None] - hl) + lam, 1.0)
+            self.hpl = ne + lam
+
+
+def _grow_exact(
+    ws: TreeWorkspace,
     grad: np.ndarray,
     hess: np.ndarray,
-    idx: np.ndarray | None,
-    depth: int,
     cfg: _SplitSearchConfig,
-    binner: HistogramBinner | None,
-    gsum: float,
-    hsum: float,
     train_pred: np.ndarray | None,
-    presort: PresortCache | None,
-    out: tuple[list, ...],
-) -> int:
-    """Recursive builder appending preorder struct-of-arrays rows.
-
-    ``idx is None`` denotes the root (all rows).  Returns the node index.
-    """
-    features, thresholds, lefts, rights, values, n_samples = out
-    size = X.shape[0] if idx is None else idx.size
-    value = -gsum / (hsum + cfg.reg_lambda)
-    best = None
-    if depth < cfg.max_depth and size >= cfg.min_samples_split:
-        if binner is not None:
-            best = _find_best_split_hist(binner, grad, hess, idx, gsum, hsum, cfg)
-        else:
-            best = _find_best_split_exact(X, grad, hess, idx, gsum, hsum, cfg, presort)
-    i = len(features)
-    if best is None:
-        features.append(-1)
-        thresholds.append(0.0)
-        lefts.append(-1)
-        rights.append(-1)
-        values.append(value)
-        n_samples.append(size)
-        if train_pred is not None:
-            if idx is None:
-                train_pred[:] = value
-            else:
-                train_pred[idx] = value
-        return i
-
-    feature, threshold, _gain, left_idx, right_idx, gl, hl = best
-    features.append(feature)
-    thresholds.append(threshold)
-    lefts.append(-1)
-    rights.append(-1)
-    values.append(value)
-    n_samples.append(size)
-    lefts[i] = _build_flat(
-        X, grad, hess, left_idx, depth + 1, cfg, binner, gl, hl, train_pred, presort, out
-    )
-    rights[i] = _build_flat(
-        X,
-        grad,
-        hess,
-        right_idx,
-        depth + 1,
-        cfg,
-        binner,
-        gsum - gl,
-        hsum - hl,
-        train_pred,
-        presort,
-        out,
-    )
-    return i
-
-
-def _masked_dens(cfg: _SplitSearchConfig, n: int, untie: np.ndarray):
-    """Per-subset denominators with ``+inf`` at tie candidates.
-
-    A tie candidate then scores ``0``; since scores are non-negative and a
-    zero-score winner implies non-positive gain, the gain check rejects it
-    — no per-round masking pass is needed.
-    """
-    lo, hi, den_l, den_r = cfg.bounds_for(n)
-    if hi <= lo:
-        return (None, None)
-    u = untie[:, lo:hi]
-    return (np.where(u, np.inf, den_l), np.where(u, np.inf, den_r))
-
-
-def _find_best_split_exact(
-    X: np.ndarray,
-    grad: np.ndarray,
-    hess: np.ndarray,
-    idx: np.ndarray | None,
-    gsum: float,
-    hsum: float,
-    cfg: _SplitSearchConfig,
-    presort: PresortCache | None,
 ):
-    """Exact greedy split search, vectorized over features and thresholds.
+    """Level-wise exact growth: one batched split search per depth level.
 
-    Works in transposed ``(n_features, n_candidates)`` layout so the final
-    feature-major argmax scans contiguous memory.  Ties resolve to the
-    lowest (feature, position) pair, matching the historical scalar scan
-    order.
+    The frontier is a list of row segments over ``part`` — a per-feature
+    copy of the workspace sort order, partitioned so each node's rows are
+    contiguous and feature-sorted.  Cumulative sums restart per segment
+    (the padded gather), keeping candidate scores bitwise-identical to a
+    per-node scan, and the fused argmax resolves ties to the lowest
+    (feature, position) pair exactly like the scalar reference.
     """
-    n = X.shape[0] if idx is None else idx.size
-    if n < 2:
-        return None
+    xt = ws.xt
+    f = xt.shape[0]
+    unit = cfg.unit_hess
     lam = cfg.reg_lambda
-    untie = None
-    if presort is not None and idx is None:
-        # sorted_rows carries *original* row indices per feature, so one
-        # gather sorts the gradients and partition slices are free views.
-        sorted_rows, sv, untie = presort.order, presort.sv, presort.untie
-        dens = cfg.root_dens if cfg.sort_cache is not None else None
-    else:
-        cache = cfg.sort_cache if idx is not None else None
-        key = idx.tobytes() if cache is not None else None
-        entry = cache.get(key) if cache is not None else None
-        if entry is None:
-            if presort is not None and idx is not None:
-                XnT = presort.xt[:, idx]  # contiguous (f, n) gather
-            else:
-                XnT = (X if idx is None else X[idx]).T
-            # No stability needed: equal values never straddle a threshold.
-            order = XnT.argsort(axis=1)
-            sv = XnT[_row_index(XnT.shape[0]), order]
-            untie = sv[:, 1:] == sv[:, :-1]
-            sorted_rows = order if idx is None else idx[order]
-            dens = None
-            if cache is not None:
-                dens = _masked_dens(cfg, n, untie)
-                cache[key] = (sorted_rows, sv, dens)
+    mcw = cfg.min_child_weight
+    shape_cache = cfg.shape_cache
+
+    part = ws.order
+    sizes: tuple = (xt.shape[1],)
+    # Sequential (cumsum) root sums: child sums chain off per-candidate
+    # cumulative values, so this keeps every G/H bitwise identical to the
+    # compiled kernel's accumulation order.
+    g_node = np.cumsum(grad)[-1:]
+    h_node = None if unit else np.cumsum(hess)[-1:]
+    levels: list[tuple] = []
+    sig: list[tuple] = []
+    depth = 0
+    rix3 = _row_index3(f)
+
+    while True:
+        sh = shape_cache.get(sizes)
+        if sh is None:
+            sh = _LevelShapes(sizes, cfg)
+            shape_cache[sizes] = sh
+        if unit:
+            value = g_node / sh.neg_vden
         else:
-            sorted_rows, sv, dens = entry
+            value = g_node / -(h_node + lam)
 
-    if cfg.unit_hess:
-        # Hessian == sample count: min_child_weight is a candidate slice
-        # and the denominators depend on the node size alone (cached).
-        lo, hi, den_l, den_r = cfg.bounds_for(n)
-        if hi <= lo:
-            return None
-        if dens is not None:
-            # Tie candidates carry +inf denominators, so they score 0 and
-            # are rejected by the gain check — no separate masking pass.
-            den_l, den_r = dens
-            untie = None
-        elif presort is not None and idx is None and cfg.sort_cache is not None:
-            dens = cfg.root_dens = _masked_dens(cfg, n, untie)
-            den_l, den_r = dens
-            untie = None
-        if den_l is None:
-            return None
-        # Scratch buffers per node size: the score pipeline allocates
-        # nothing, which matters when thousands of tiny nodes stream by.
-        f = sorted_rows.shape[0]
-        bufs = cfg.buffers.get(n)
-        if bufs is None or bufs[0].shape[0] != f:
-            bufs = (
-                np.empty((f, n)),
-                np.empty((f, n)),
-                np.empty((f, hi - lo)),
-                np.empty((f, hi - lo)),
+        if depth >= cfg.max_depth or sh.dead:
+            levels.append((value, sh.np_sizes, None, None, None))
+            sig.append((sizes, ()))
+            if train_pred is not None:
+                _fill_exact_leaves(train_pred, part, sh, sizes, value, None)
+            break
+
+        # -- batched split search over every eligible frontier node -----
+        E = sh.E
+        C = sh.C
+        if sh.root_like:
+            n = sizes[0]
+            ridx = part.reshape(f, 1, n)
+            g = grad[part].reshape(f, 1, n)
+            vals = None
+            good = ws.root_good.reshape(f, 1, C)
+        else:
+            # (f, Ke, W) padded gather.  Pad columns are clipped into later
+            # segments; the garbage never reaches a valid candidate because
+            # cumulative sums are prefixes and every window stops before the
+            # segment end.
+            ridx = part[:, sh.colgrid]
+            g = grad[ridx]
+            vals = xt[rix3, ridx]
+            good = vals[:, :, 1:] != vals[:, :, :C]
+        glc = np.cumsum(g, axis=2)[:, :, :C]
+        gE = g_node if E is None else g_node[E]
+        gr = gE[None, :, None] - glc
+        if unit:
+            score = glc * glc / sh.den_l + gr * gr / sh.den_r
+            scm = np.where(good & sh.window, score, -np.inf)
+        else:
+            hE = h_node if E is None else h_node[E]
+            h = hess[ridx] if not sh.root_like else hess[part].reshape(f, 1, -1)
+            hlc = np.cumsum(h, axis=2)[:, :, :C]
+            hr = hE[None, :, None] - hlc
+            with np.errstate(divide="ignore", invalid="ignore"):
+                score = glc * glc / (hlc + lam) + gr * gr / (hr + lam)
+            ok = (
+                (good & sh.window)
+                & (hlc >= mcw)
+                & (hr >= mcw)
+                & ~np.isnan(score)
             )
-            cfg.buffers[n] = bufs
-        g_buf, cs_buf, gr_buf, sq_buf = bufs
-        np.take(grad, sorted_rows, out=g_buf)
-        np.cumsum(g_buf, axis=1, out=cs_buf)
-        gl = cs_buf[:, lo:hi]
-        np.subtract(gsum, gl, out=gr_buf)
-        np.multiply(gr_buf, gr_buf, out=gr_buf)
-        np.divide(gr_buf, den_r, out=gr_buf)
-        np.multiply(gl, gl, out=sq_buf)
-        np.divide(sq_buf, den_l, out=sq_buf)
-        score = np.add(sq_buf, gr_buf, out=sq_buf)
-        if untie is not None:
-            np.copyto(score, -np.inf, where=untie[:, lo:hi])
+            scm = np.where(ok, score, -np.inf)
+
+        # Feature-major flatten per node: ties resolve to the lowest
+        # (feature, position) pair — the historical scalar scan order.
+        Ke = scm.shape[1]
+        sct = np.ascontiguousarray(scm.transpose(1, 0, 2)).reshape(Ke, f * C)
+        best = sct.argmax(axis=1)
+        best_sc = sct[_arange(Ke), best]
+        bf = best // C
+        bp = best - bf * C
+        hpl = sh.hpl if unit else hE + lam
+        gain = 0.5 * (best_sc - gE * gE / hpl) - cfg.gamma
+        ai = np.nonzero(gain > _GAIN_EPS)[0]
+        A = ai.size
+        if A == 0:
+            levels.append((value, sh.np_sizes, None, None, None))
+            sig.append((sizes, ()))
+            if train_pred is not None:
+                _fill_exact_leaves(train_pred, part, sh, sizes, value, None)
+            break
+
+        acc_nodes = ai if E is None else E[ai]
+        bfa = bf[ai]
+        bpa = bp[ai]
+        n_left = bpa + 1
+        gla = glc[bfa, ai, bpa]
+        if vals is None:
+            thr = 0.5 * (ws.sv[bfa, bpa] + ws.sv[bfa, bpa + 1])
+        else:
+            thr = 0.5 * (vals[bfa, ai, bpa] + vals[bfa, ai, bpa + 1])
+        acc_t = tuple(acc_nodes.tolist())
+        levels.append((value, sh.np_sizes, acc_nodes, bfa, thr))
+        sig.append((sizes, acc_t))
+        if train_pred is not None and A < len(sizes):
+            _fill_exact_leaves(train_pred, part, sh, sizes, value, set(acc_t))
+
+        # -- stable partition of accepted segments (no re-sort: a child's
+        # rows keep the root order, filtered by the split's position cut).
+        posof = ws.posof()
+        starts_l = sh.starts_l
+        bfa_l = bfa.tolist()
+        bpa_l = bpa.tolist()
+        ai_l = ai.tolist()
+        nl_l = n_left.tolist()
+        m2 = sum(sizes[k] for k in acc_t)
+        npart = np.empty((f, m2), dtype=np.intp)
+        new_sizes = []
+        o = 0
+        for a in range(A):
+            k = acc_t[a]
+            s = starts_l[k]
+            nk = sizes[k]
+            nl = nl_l[a]
+            bfk = bfa_l[a]
+            Pk = part[:, s : s + nk]
+            cut = posof[bfk, ridx[bfk, ai_l[a], bpa_l[a]]]
+            Lk = posof[bfk, Pk] <= cut
+            npart[:, o : o + nl] = Pk[Lk].reshape(f, nl)
+            npart[:, o + nl : o + nk] = Pk[~Lk].reshape(f, nk - nl)
+            o += nk
+            new_sizes.append(nl)
+            new_sizes.append(nk - nl)
+        g2 = np.empty(2 * A)
+        g2[0::2] = gla
+        g2[1::2] = g_node[acc_nodes] - gla
+        if not unit:
+            hla = hlc[bfa, ai, bpa]
+            h2 = np.empty(2 * A)
+            h2[0::2] = hla
+            h2[1::2] = h_node[acc_nodes] - hla
+            h_node = h2
+        part = npart
+        sizes = tuple(new_sizes)
+        g_node = g2
+        depth += 1
+
+    return _assemble(levels, sig, cfg)
+
+
+def _fill_exact_leaves(
+    train_pred: np.ndarray,
+    part: np.ndarray,
+    sh: _LevelShapes,
+    sizes: tuple,
+    value: np.ndarray,
+    acc: set | None,
+) -> None:
+    """Scatter leaf values to training rows (segments that stop here)."""
+    row0 = part[0]
+    starts_l = sh.starts_l
+    for k in range(len(sizes)):
+        if acc is None or k not in acc:
+            s = starts_l[k]
+            train_pred[row0[s : s + sizes[k]]] = value[k]
+
+
+def _assemble(levels: list[tuple], sig: list[tuple], cfg: _SplitSearchConfig):
+    """Scatter per-level (BFS) records into preorder struct-of-arrays.
+
+    The preorder permutation, child links and sample counts are functions
+    of the structure signature alone, which repeats across boosting rounds
+    — they are cached per fit and shared between same-shaped trees (the
+    arrays are treated as immutable).
+    """
+    key = tuple(sig)
+    tmpl = cfg.struct_cache.get(key)
+    if tmpl is None:
+        tmpl = _build_struct_template(levels, sig)
+        cfg.struct_cache[key] = tmpl
+    total, depth, perm, pacc, left, right, nsamp = tmpl
+    L = len(levels)
+    if L == 1:
+        value = levels[0][0]
     else:
-        lo = 0
-        hi = n - 1
-        gl = grad[sorted_rows].cumsum(axis=1)[:, :-1]
-        hl = hess[sorted_rows].cumsum(axis=1)[:, :-1]
-        gr = gsum - gl
-        hr = hsum - hl
-        with np.errstate(divide="ignore", invalid="ignore"):
-            score = gl * gl / (hl + lam) + gr * gr / (hr + lam)
-        score[
-            untie
-            | (hl < cfg.min_child_weight)
-            | (hr < cfg.min_child_weight)
-            | np.isnan(score)
-        ] = -np.inf
-
-    best = int(score.argmax())
-    feature, pos_rel = divmod(best, hi - lo)
-    best_score = score[feature, pos_rel]
-    if best_score == -np.inf:
-        return None
-    parent_score = gsum * gsum / (hsum + lam)
-    gain = 0.5 * (float(best_score) - parent_score) - cfg.gamma
-    if not gain > _GAIN_EPS:
-        return None
-    pos = lo + pos_rel
-    threshold = 0.5 * (sv[feature, pos] + sv[feature, pos + 1])
-    rows_f = sorted_rows[feature]
-    left_idx = rows_f[: pos + 1]
-    right_idx = rows_f[pos + 1 :]
-    left_gsum = float(gl[feature, pos_rel])
-    left_hsum = float(pos + 1) if cfg.unit_hess else float(hl[feature, pos_rel])
-    return (
-        int(feature),
-        float(threshold),
-        gain,
-        left_idx,
-        right_idx,
-        left_gsum,
-        left_hsum,
-    )
+        value = np.empty(total)
+        value[perm] = np.concatenate([lv[0] for lv in levels])
+    feature = np.full(total, -1, dtype=np.int32)
+    threshold = np.zeros(total)
+    if pacc is not None:
+        feats = [lv[3] for lv in levels if lv[2] is not None]
+        thrs = [lv[4] for lv in levels if lv[2] is not None]
+        if len(feats) == 1:
+            feature[pacc] = feats[0]
+            threshold[pacc] = thrs[0]
+        else:
+            feature[pacc] = np.concatenate(feats)
+            threshold[pacc] = np.concatenate(thrs)
+    return feature, threshold, left, right, value, nsamp, depth
 
 
-def _find_best_split_hist(
+def _build_struct_template(levels: list[tuple], sig: list[tuple]):
+    """Preorder layout for one structure signature (cold path)."""
+    L = len(levels)
+    counts = [lv[1].size for lv in levels]
+    total = sum(counts)
+    # Subtree sizes bottom-up: children of the a-th accepted node sit at
+    # positions 2a / 2a+1 of the next level.
+    sub = [np.ones(c, dtype=np.int64) for c in counts]
+    for d in range(L - 2, -1, -1):
+        acc = levels[d][2]
+        if acc is not None:
+            cs = sub[d + 1]
+            sub[d][acc] = 1 + cs[0::2] + cs[1::2]
+    # Preorder positions top-down: left child right after the parent, right
+    # child after the whole left subtree.
+    pos = [np.zeros(1, dtype=np.int64)] + [None] * (L - 1)
+    for d in range(L - 1):
+        acc = levels[d][2]
+        nxt = np.empty(counts[d + 1], dtype=np.int64)
+        lp = pos[d][acc] + 1
+        nxt[0::2] = lp
+        nxt[1::2] = lp + sub[d + 1][0::2]
+        pos[d + 1] = nxt
+    left = np.full(total, -1, dtype=np.int32)
+    right = np.full(total, -1, dtype=np.int32)
+    nsamp = np.empty(total, dtype=np.int64)
+    pacc_parts = []
+    for d in range(L):
+        p = pos[d]
+        nsamp[p] = levels[d][1]
+        acc = levels[d][2]
+        if acc is not None:
+            pa = p[acc]
+            pacc_parts.append(pa)
+            cp = pos[d + 1]
+            left[pa] = cp[0::2]
+            right[pa] = cp[1::2]
+    perm = pos[0] if L == 1 else np.concatenate(pos)
+    pacc = np.concatenate(pacc_parts) if pacc_parts else None
+    return total, L - 1, perm, pacc, left, right, nsamp
+
+
+def _grow_hist(
     binner: HistogramBinner,
     grad: np.ndarray,
     hess: np.ndarray,
-    idx: np.ndarray | None,
-    gsum: float,
-    hsum: float,
     cfg: _SplitSearchConfig,
+    train_pred: np.ndarray | None,
 ):
-    """Histogram split search over precomputed quantile bins.
+    """Level-wise histogram growth over precomputed quantile bins.
 
-    Gradient/hessian/count histograms for every feature come from one
-    flattened ``bincount`` triple; candidate boundaries are bin upper
-    edges.
+    Every frontier node's gradient/count histograms come from one flattened
+    ``bincount`` over a composite (node, feature, bin) key; candidate
+    boundaries are bin upper edges.  With ``hist_dtype="float32"`` the
+    cumulative/score pipeline runs in single precision (the fitted tree and
+    node statistics stay float64).
     """
-    b = binner.binned if idx is None else binner.binned[idx]  # (n, f)
-    n = b.shape[0]
-    f = b.shape[1]
-    width = binner.edges.shape[1] + 1  # bins per feature, padded
-    flat_bins = (b + np.arange(f, dtype=np.int32) * width).ravel()
-    g_node = grad if idx is None else grad[idx]
-    gw = np.repeat(g_node, f)
-    ghist = np.bincount(flat_bins, weights=gw, minlength=f * width).reshape(f, width)
-    chist = np.bincount(flat_bins, minlength=f * width).reshape(f, width)
-    nl = chist.cumsum(axis=1)[:, :-1]
-    gl = ghist.cumsum(axis=1)[:, :-1]
-    if cfg.unit_hess:
-        hl = nl.astype(float)
-    else:
-        h_node = hess if idx is None else hess[idx]
-        hw = np.repeat(h_node, f)
-        hhist = np.bincount(flat_bins, weights=hw, minlength=f * width).reshape(
-            f, width
-        )
-        hl = hhist.cumsum(axis=1)[:, :-1]
-    gr = gsum - gl
-    hr = hsum - hl
+    binned = binner.binned
+    n, f = binned.shape
+    width = binner.edges.shape[1] + 1
+    fw = f * width
+    unit = cfg.unit_hess
     lam = cfg.reg_lambda
-    cand = np.arange(width - 1)[None, :] < binner.n_edges[:, None]
-    valid = (
-        cand
-        & (nl >= 1)  # a node may occupy few bins: never produce empty children
-        & (nl <= n - 1)
-        & (hl >= cfg.min_child_weight)
-        & (hr >= cfg.min_child_weight)
-    )
-    with np.errstate(divide="ignore", invalid="ignore"):
-        score = gl * gl / (hl + lam) + gr * gr / (hr + lam)
-    masked = np.where(valid & ~np.isnan(score), score, -np.inf)
-    best = int(np.argmax(masked))  # (f, width-1) C-order is feature-major
-    feature, k = divmod(best, width - 1)
-    best_score = masked[feature, k]
-    if best_score == -np.inf:
-        return None
-    parent_score = gsum * gsum / (hsum + lam)
-    gain = 0.5 * (float(best_score) - parent_score) - cfg.gamma
-    if not gain > _GAIN_EPS:
-        return None
-    threshold = float(binner.edges[feature, k])
-    left_mask = b[:, feature] <= k
-    if idx is None:
-        left_idx = np.nonzero(left_mask)[0]
-        right_idx = np.nonzero(~left_mask)[0]
-    else:
-        left_idx = idx[left_mask]
-        right_idx = idx[~left_mask]
-    left_gsum = float(gl[feature, k])
-    left_hsum = float(hl[feature, k])
-    return (
-        int(feature),
-        threshold,
-        gain,
-        left_idx,
-        right_idx,
-        left_gsum,
-        left_hsum,
-    )
+    mcw = cfg.min_child_weight
+    mss = cfg.min_samples_split
+    f32 = cfg.hist_dtype == "float32"
+    flat_base = binner.flat_base()
+    cand = binner.cand_mask()
+
+    rows: np.ndarray | None = None  # None = all rows, all in node 0
+    lbl: np.ndarray | None = None
+    sizes: tuple = (n,)
+    g_node = np.array([grad.sum()])
+    h_node = None if unit else np.array([hess.sum()])
+    levels: list[tuple] = []
+    sig: list[tuple] = []
+    depth = 0
+
+    while True:
+        K = len(sizes)
+        np_sizes = np.array(sizes, dtype=np.int64)
+        if unit:
+            value = g_node / -(np_sizes + lam)
+        else:
+            value = g_node / -(h_node + lam)
+        elig = np_sizes >= mss
+        if depth >= cfg.max_depth or not elig.any():
+            levels.append((value, np_sizes, None, None, None))
+            sig.append((sizes, ()))
+            if train_pred is not None:
+                if rows is None:
+                    train_pred[:] = value[0]
+                else:
+                    train_pred[rows] = value[lbl]
+            break
+
+        # -- one flattened bincount builds every node's histograms -------
+        if rows is None:
+            comp = flat_base.ravel()
+            gw = np.repeat(grad, f)
+            hw = None if unit else np.repeat(hess, f)
+        else:
+            comp = (flat_base[rows] + (lbl.astype(np.int64) * fw)[:, None]).ravel()
+            gw = np.repeat(grad[rows], f)
+            hw = None if unit else np.repeat(hess[rows], f)
+        ghist = np.bincount(comp, weights=gw, minlength=K * fw).reshape(K, f, width)
+        chist = np.bincount(comp, minlength=K * fw).reshape(K, f, width)
+        glc = np.cumsum(ghist, axis=2)[:, :, : width - 1]
+        nl = np.cumsum(chist, axis=2)[:, :, : width - 1]
+        if unit:
+            hlc = nl  # hessian == sample count; arithmetic upcasts exactly
+            hsum = np_sizes
+        else:
+            hhist = np.bincount(comp, weights=hw, minlength=K * fw).reshape(K, f, width)
+            hlc = np.cumsum(hhist, axis=2)[:, :, : width - 1]
+            hsum = h_node
+        if f32:
+            gl_s = glc.astype(np.float32)
+            hl_s = hlc.astype(np.float32)
+            gr_s = g_node.astype(np.float32)[:, None, None] - gl_s
+            hr_s = hsum.astype(np.float32)[:, None, None] - hl_s
+            lam_s = np.float32(lam)
+        else:
+            gl_s, hl_s = glc, hlc
+            gr_s = g_node[:, None, None] - glc
+            hr_s = hsum[:, None, None] - hlc
+            lam_s = lam
+        with np.errstate(divide="ignore", invalid="ignore"):
+            score = gl_s * gl_s / (hl_s + lam_s) + gr_s * gr_s / (hr_s + lam_s)
+        if unit:
+            # Counts double as hessians: both the never-empty-children rule
+            # and min_child_weight collapse into one count window per node.
+            lo = max(1, math.ceil(mcw))
+            hi = (np_sizes - lo)[:, None, None]
+            valid = cand[None] & (nl >= lo) & (nl <= hi)
+        else:
+            valid = (
+                cand[None]
+                & (nl >= 1)  # a node may occupy few bins: never empty children
+                & (nl <= (np_sizes - 1)[:, None, None])
+                & (hlc >= mcw)
+                & ((hsum[:, None, None] - hlc) >= mcw)
+                & ~np.isnan(score)
+            )
+        scm = np.where(valid, score, -np.inf)
+        sct = scm.reshape(K, f * (width - 1))  # C-order: feature-major ties
+        best = sct.argmax(axis=1)
+        best_sc = sct[_arange(K), best].astype(float)
+        bf = best // (width - 1)
+        bp = best - bf * (width - 1)
+        gain = 0.5 * (best_sc - g_node * g_node / (hsum + lam)) - cfg.gamma
+        ai = np.nonzero((gain > _GAIN_EPS) & elig)[0]
+        A = ai.size
+        if A == 0:
+            levels.append((value, np_sizes, None, None, None))
+            sig.append((sizes, ()))
+            if train_pred is not None:
+                if rows is None:
+                    train_pred[:] = value[0]
+                else:
+                    train_pred[rows] = value[lbl]
+            break
+
+        bfa = bf[ai]
+        bpa = bp[ai]
+        thr = binner.edges[bfa, bpa]
+        n_left = nl[ai, bfa, bpa]
+        if f32:
+            # Node statistics stay float64: re-reduce the winners' prefix
+            # bins from the double-precision histograms (A is small).
+            gla = np.array(
+                [ghist[k, bfa[a], : bpa[a] + 1].sum() for a, k in enumerate(ai)]
+            )
+        else:
+            gla = glc[ai, bfa, bpa]
+        acc_t = tuple(ai.tolist())
+        levels.append((value, np_sizes, ai, bfa.astype(np.int64), thr))
+        sig.append((sizes, acc_t))
+
+        # -- reassign rows to children / settle leaves -------------------
+        if rows is None:
+            rows = np.arange(n)
+            lbl = np.zeros(n, dtype=np.int64)
+        bf_full = np.full(K, -1, dtype=np.int64)
+        bf_full[ai] = bfa
+        bp_full = np.zeros(K, dtype=np.int64)
+        bp_full[ai] = bpa
+        childbase = np.zeros(K, dtype=np.int64)
+        childbase[ai] = 2 * np.arange(A)
+        rbf = bf_full[lbl]
+        act = rbf >= 0
+        if train_pred is not None and A < K:
+            leaf_rows = rows[~act]
+            train_pred[leaf_rows] = value[lbl[~act]]
+        rows = rows[act]
+        lsub = lbl[act]
+        go_right = binned[rows, rbf[act]] > bp_full[lsub]
+        lbl = childbase[lsub] + go_right
+        new_sizes = []
+        for a in range(A):
+            k = int(ai[a])
+            nlk = int(n_left[a])
+            new_sizes.append(nlk)
+            new_sizes.append(sizes[k] - nlk)
+        g2 = np.empty(2 * A)
+        g2[0::2] = gla
+        g2[1::2] = g_node[ai] - gla
+        g_node = g2
+        if not unit:
+            hla = hlc[ai, bfa, bpa]
+            h2 = np.empty(2 * A)
+            h2[0::2] = hla
+            h2[1::2] = h_node[ai] - hla
+            h_node = h2
+        sizes = tuple(new_sizes)
+        depth += 1
+
+    return _assemble(levels, sig, cfg)
