@@ -1,0 +1,79 @@
+"""Perf smoke for the ``repro.api.PredictionService`` batching layer.
+
+The service's whole reason to exist is that one coalesced
+``predict_totals`` call per configuration beats the equivalent loop of
+scalar ``predict_total`` calls; this benchmark measures the batched
+requests/s and asserts the win (with responses matching the loop), so
+the serving path regresses loudly.  Exported into
+``BENCH_ml_engine.json`` with the rest of the ``perf_smoke`` suite.
+"""
+
+from __future__ import annotations
+
+import time
+
+import numpy as np
+import pytest
+
+import repro.api as api
+from repro.arch.config import config_by_name
+from repro.arch.workloads import WORKLOADS
+
+
+@pytest.fixture(scope="module")
+def service_workload(flow):
+    """A fitted AutoPower model plus a realistic request mix.
+
+    32 requests over 4 unseen configurations x 8 workloads — the shape a
+    design-space-exploration client submits.
+    """
+    train = [config_by_name("C1"), config_by_name("C15")]
+    model = api.fit(
+        "autopower", flow=flow, train_configs=train, workloads=list(WORKLOADS)
+    )
+    requests = [
+        api.PredictRequest(config=c, events=flow.run(c, w).events, workload=w)
+        for c in (config_by_name(f"C{i}") for i in (2, 5, 9, 12))
+        for w in WORKLOADS
+    ]
+    return model, requests
+
+
+@pytest.mark.perf_smoke
+def test_prediction_service_throughput(benchmark, service_workload):
+    """Batched submit_many vs the request-at-a-time predict_total loop."""
+    model, requests = service_workload
+    service = api.PredictionService(model)
+
+    responses = benchmark(service.submit_many, requests)
+
+    # Reference: the loop the service replaces, timed once in-process.
+    start = time.perf_counter()
+    loop = [
+        model.predict_total(r.config, r.events, r.workload) for r in requests
+    ]
+    loop_seconds = time.perf_counter() - start
+
+    batched = [r.total for r in responses]
+    np.testing.assert_allclose(batched, loop, rtol=1e-12, atol=0)
+
+    batched_seconds = benchmark.stats.stats.mean
+    benchmark.extra_info["requests_per_second"] = len(requests) / batched_seconds
+    benchmark.extra_info["loop_requests_per_second"] = len(requests) / loop_seconds
+    benchmark.extra_info["speedup_vs_loop"] = loop_seconds / batched_seconds
+    # The acceptance bar: batched throughput >= the equivalent loop.
+    assert batched_seconds <= loop_seconds
+
+
+@pytest.mark.perf_smoke
+def test_prediction_service_stream(benchmark, service_workload):
+    """Streaming iterator with per-chunk coalescing (bounded buffering)."""
+    model, requests = service_workload
+    service = api.PredictionService(model)
+
+    def drain():
+        return list(service.stream(iter(requests), chunk_size=16))
+
+    responses = benchmark(drain)
+    assert len(responses) == len(requests)
+    assert all(r.total > 0 for r in responses)

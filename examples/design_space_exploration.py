@@ -12,28 +12,41 @@ Run:  python examples/design_space_exploration.py
 
 import numpy as np
 
-from repro import AutoPower, BOOM_CONFIGS, VlsiFlow, WORKLOADS, config_by_name
+import repro.api as api
+from repro import BOOM_CONFIGS, VlsiFlow, WORKLOADS, config_by_name
 from repro.sim.perf import PerfSimulator
 
 
 def main() -> None:
     flow = VlsiFlow()
     train = [config_by_name("C1"), config_by_name("C15")]
-    model = AutoPower(library=flow.library).fit(flow, train, list(WORKLOADS))
+    model = api.fit(
+        "autopower", flow=flow, train_configs=train, workloads=list(WORKLOADS)
+    )
     perf = PerfSimulator()
 
     print("exploring 15 configurations x 8 workloads "
           "(power from AutoPower, performance from the gem5-like simulator)\n")
 
+    # The whole 15 x 8 grid goes through the batched prediction service:
+    # one coalesced model call per configuration instead of 120 scalar
+    # calls, with identical numbers.
+    requests = [
+        api.PredictRequest(config, perf.run(config, w), w)
+        for config in BOOM_CONFIGS
+        for w in WORKLOADS
+    ]
+    service = api.PredictionService(model)
+    responses = service.submit_many(requests)
+    print(f"({len(requests)} predictions served by "
+          f"{service.stats.model_calls} batched model calls)\n")
+
     rows = []
-    for config in BOOM_CONFIGS:
-        ipcs, powers = [], []
-        for workload in WORKLOADS:
-            events = perf.run(config, workload)  # architecture-level only
-            ipcs.append(events.ipc)
-            powers.append(model.predict_total(config, events, workload))
-        ipc = float(np.mean(ipcs))
-        power = float(np.mean(powers))
+    for i, config in enumerate(BOOM_CONFIGS):
+        chunk = responses[i * len(WORKLOADS) : (i + 1) * len(WORKLOADS)]
+        ipc = float(np.mean([r.events.ipc for r in requests[
+            i * len(WORKLOADS) : (i + 1) * len(WORKLOADS)]]))
+        power = float(np.mean([r.total for r in chunk]))
         rows.append((config.name, ipc, power, ipc / power * 1000.0))
 
     print(f"{'config':>6s} {'mean IPC':>9s} {'pred. power mW':>15s} {'IPC/W':>8s}  note")

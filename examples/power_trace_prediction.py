@@ -10,7 +10,8 @@ Run:  python examples/power_trace_prediction.py
 
 import numpy as np
 
-from repro import AutoPower, VlsiFlow, WORKLOADS, config_by_name, workload_by_name
+import repro.api as api
+from repro import VlsiFlow, WORKLOADS, config_by_name, workload_by_name
 from repro.power.trace import golden_trace_power
 from repro.sim.trace import WindowTraceGenerator
 
@@ -28,7 +29,9 @@ def sparkline(values: np.ndarray, width: int = 72) -> str:
 def main() -> None:
     flow = VlsiFlow()
     train = [config_by_name("C1"), config_by_name("C15")]
-    model = AutoPower(library=flow.library).fit(flow, train, list(WORKLOADS))
+    model = api.fit(
+        "autopower", flow=flow, train_configs=train, workloads=list(WORKLOADS)
+    )
 
     config = config_by_name("C2")
     gemm = workload_by_name("gemm")
@@ -40,9 +43,15 @@ def main() -> None:
 
     golden = golden_trace_power(flow, config, gemm, trace.scales)
     events = flow.run(config, gemm).events
-    predicted = model.predict_trace(
-        config, events, gemm, trace.scales, window_cycles=50
+    # A trace request through the service: one batched anchor sweep.
+    service = api.PredictionService(model)
+    response = service.predict(
+        api.PredictRequest(
+            config, events, gemm, kind="trace",
+            scales=trace.scales, window_cycles=50,
+        )
     )
+    predicted = response.trace
 
     print("\ngolden   |" + sparkline(golden) + "|")
     print("predicted|" + sparkline(predicted) + "|")

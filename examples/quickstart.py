@@ -1,13 +1,16 @@
 #!/usr/bin/env python
-"""Quickstart: few-shot power modeling with AutoPower.
+"""Quickstart: few-shot power modeling through the ``repro.api`` façade.
 
 Train on two known configurations (C1, C15) and predict the power of an
 unseen configuration (C8) on every workload — the paper's core scenario.
+Methods are resolved by registry name (``api.fit("autopower", ...)``), so
+swapping in a baseline is a one-string change.
 
 Run:  python examples/quickstart.py
 """
 
-from repro import AutoPower, VlsiFlow, WORKLOADS, config_by_name
+import repro.api as api
+from repro import VlsiFlow, WORKLOADS, config_by_name
 from repro.ml.metrics import mape
 
 def main() -> None:
@@ -15,10 +18,14 @@ def main() -> None:
     # Chipyard + VCS + Design Compiler + PrimePower + gem5 stack.
     flow = VlsiFlow()
 
-    # Few-shot training: only two known configurations.
+    # Few-shot training: only two known configurations.  Any registered
+    # method fits through the same call — api.list_methods() names them.
     train_configs = [config_by_name("C1"), config_by_name("C15")]
     print("training AutoPower on:", [c.name for c in train_configs])
-    model = AutoPower(library=flow.library).fit(flow, train_configs, list(WORKLOADS))
+    model = api.fit(
+        "autopower", flow=flow, train_configs=train_configs,
+        workloads=list(WORKLOADS),
+    )
 
     # Predict an unseen configuration.
     target = config_by_name("C8")
@@ -43,6 +50,28 @@ def main() -> None:
     for group in ("clock", "sram", "register", "comb"):
         print(f"  {group:>9s}: {report.group_total(group):8.2f} mW")
     print(f"  {'total':>9s}: {report.total:8.2f} mW")
+
+    # The hand-off artifact: save the fitted model (format-v2 JSON), load
+    # it back, and serve predictions through the batched service — the
+    # architects' side needs no EDA flow at all.
+    import tempfile
+    from pathlib import Path
+
+    with tempfile.TemporaryDirectory() as tmp:
+        path = Path(tmp) / "autopower.json"
+        api.save_model(model, path)
+        service = api.PredictionService(api.load_model(path))
+        requests = [
+            api.PredictRequest(target, flow.run(target, w).events, w)
+            for w in WORKLOADS
+        ]
+        responses = service.submit_many(requests)  # one fused batch call
+        worst = max(
+            abs(r.total - p) / p for r, p in zip(responses, pred_all)
+        )
+        print(f"\nsaved + reloaded model serves {len(responses)} requests "
+              f"in {service.stats.model_calls} batched model call(s); "
+              f"round-trip drift {worst:.2e}")
 
 
 if __name__ == "__main__":

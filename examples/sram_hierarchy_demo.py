@@ -9,13 +9,16 @@ every configuration, and map the blocks onto memory-compiler macros.
 Run:  python examples/sram_hierarchy_demo.py
 """
 
-from repro import AutoPower, BOOM_CONFIGS, VlsiFlow, WORKLOADS, config_by_name
+import repro.api as api
+from repro import BOOM_CONFIGS, VlsiFlow, WORKLOADS, config_by_name
 
 
 def main() -> None:
     flow = VlsiFlow()
     train = [config_by_name("C1"), config_by_name("C15")]
-    model = AutoPower(library=flow.library).fit(flow, train, list(WORKLOADS))
+    model = api.fit(
+        "autopower", flow=flow, train_configs=train, workloads=list(WORKLOADS)
+    )
     sram = model.sram_model
 
     print("Level 1: Component = IFU")

@@ -1,6 +1,16 @@
 """AutoPower reproduction: few-shot architecture-level CPU power modeling.
 
-Public API quick-reference::
+:mod:`repro.api` is the stable public surface — a ``PowerModel``
+protocol, a string-keyed method registry (``api.fit("autopower", ...)``),
+versioned ``save_model``/``load_model`` persistence and a batched
+``PredictionService``::
+
+    import repro.api as api
+
+    model = api.fit("autopower", train_configs=["C1", "C15"])
+    api.save_model(model, "model.json")
+
+The classic class-level quick-reference still works::
 
     from repro import (
         AutoPower,            # the paper's model
@@ -22,6 +32,7 @@ See ``examples/`` for runnable scenarios and ``repro.experiments`` for the
 paper's tables and figures.
 """
 
+from repro import api
 from repro.arch.config import BOOM_CONFIGS, BoomConfig, config_by_name
 from repro.arch.workloads import (
     LARGE_WORKLOADS,
@@ -57,6 +68,7 @@ __all__ = [
     "WORKLOADS",
     "Workload",
     "__version__",
+    "api",
     "config_by_name",
     "default_library",
     "workload_by_name",

@@ -1,0 +1,128 @@
+"""Registry adapters for the five built-in power-modeling methods.
+
+Each method's class implements the :class:`repro.api.protocol.PowerModel`
+surface directly (``fit_results`` / ``predict_total`` / ``predict_totals``
+/ ``to_state`` / ``from_state``); the adapter layer contributes only the
+construction glue — a uniform ``factory(library=..., n_jobs=..., **kw)``
+per method, since the constructors differ in which of those arguments
+they accept — plus the registry metadata (canonical name, historical
+display-name aliases, capability flags).
+
+Importing this module populates the registry; :mod:`repro.api` does so on
+package import.
+"""
+
+from __future__ import annotations
+
+from typing import Any
+
+from repro.api.registry import MethodSpec, register
+from repro.baselines.autopower_minus import AutoPowerMinus
+from repro.baselines.mcpat import McPatAnalytical
+from repro.baselines.mcpat_calib import McPatCalib
+from repro.baselines.mcpat_calib_component import McPatCalibComponent
+from repro.core.autopower import AutoPower
+
+__all__ = ["register_builtin_methods"]
+
+
+def _autopower_factory(library: Any = None, n_jobs: int | None = None, **kw) -> AutoPower:
+    return AutoPower(library=library, n_jobs=n_jobs, **kw)
+
+
+def _autopower_minus_factory(
+    library: Any = None, n_jobs: int | None = None, **kw
+) -> AutoPowerMinus:
+    return AutoPowerMinus(n_jobs=n_jobs, **kw)
+
+
+def _mcpat_factory(library: Any = None, n_jobs: int | None = None, **kw) -> McPatAnalytical:
+    return McPatAnalytical(**kw)
+
+
+def _mcpat_calib_factory(
+    library: Any = None, n_jobs: int | None = None, **kw
+) -> McPatCalib:
+    return McPatCalib(**kw)
+
+
+def _mcpat_calib_component_factory(
+    library: Any = None, n_jobs: int | None = None, **kw
+) -> McPatCalibComponent:
+    return McPatCalibComponent(**kw)
+
+
+def register_builtin_methods(replace: bool = False) -> None:
+    """Register the paper's five methods (a no-op if already present)."""
+    from repro.api.registry import method_names
+
+    if not replace and "autopower" in method_names():
+        return
+    register(
+        MethodSpec(
+            name="autopower",
+            display_name="AutoPower",
+            cls=AutoPower,
+            factory=_autopower_factory,
+            description=(
+                "The paper's model: power-group decoupling with structural "
+                "clock/SRAM/logic sub-models (per-component reports, traces)"
+            ),
+            supports_reports=True,
+        ),
+        replace=replace,
+    )
+    register(
+        MethodSpec(
+            name="autopower-minus",
+            display_name="AutoPower-",
+            cls=AutoPowerMinus,
+            factory=_autopower_minus_factory,
+            description=(
+                "Ablation: decouples across power groups only — one direct "
+                "GBM per (component, group), no structural sub-models"
+            ),
+            aliases=("AutoPower-",),
+        ),
+        replace=replace,
+    )
+    register(
+        MethodSpec(
+            name="mcpat",
+            display_name="McPAT",
+            cls=McPatAnalytical,
+            factory=_mcpat_factory,
+            description=(
+                "Analytical McPAT-style model: generic resource/energy "
+                "functions, deliberately uncalibrated (no training)"
+            ),
+        ),
+        replace=replace,
+    )
+    register(
+        MethodSpec(
+            name="mcpat-calib",
+            display_name="McPAT-Calib",
+            cls=McPatCalib,
+            factory=_mcpat_calib_factory,
+            description=(
+                "McPAT-Calib [Zhai et al. 2022]: one boosted model over "
+                "hardware params, event rates and the analytical estimate"
+            ),
+        ),
+        replace=replace,
+    )
+    register(
+        MethodSpec(
+            name="mcpat-calib-component",
+            display_name="McPAT-Calib+Comp",
+            cls=McPatCalibComponent,
+            factory=_mcpat_calib_component_factory,
+            description=(
+                "Per-component McPAT-Calib ablation; total power is the sum "
+                "of the component predictions"
+            ),
+            aliases=("McPAT-Calib+Comp",),
+        ),
+        replace=replace,
+    )

@@ -1,0 +1,75 @@
+"""Versioned, method-agnostic model persistence (format v2).
+
+A fitted model is the paper's hand-off artifact: the flow-side team
+trains once against the slow, licensed EDA flow and ships a JSON file to
+architects who only have a performance simulator.  Format v2 wraps *any*
+registered method's :meth:`to_state` payload in a small envelope::
+
+    {"format_version": 2, "method": "<registry name>",
+     "library": "<tech library name or null>", "state": {...}}
+
+so one ``load_model`` call reconstructs whichever method wrote the file.
+The envelope carries the technology library by *name* only — the library
+is part of the flow, not of the learned state — and loading validates it
+against the caller's library for the methods that depend on one.
+
+Legacy format-v1 files (AutoPower-only, state keys at the top level)
+still load; saving always writes v2.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+from typing import Any
+
+from repro.api.registry import get_method, spec_for
+
+__all__ = ["FORMAT_VERSION", "load_model", "save_model"]
+
+FORMAT_VERSION = 2
+
+
+def save_model(model: Any, path: str | Path) -> None:
+    """Serialize any registered method's fitted model to a JSON file."""
+    spec = spec_for(model)
+    library = getattr(model, "library", None)
+    envelope = {
+        "format_version": FORMAT_VERSION,
+        "method": spec.name,
+        "library": getattr(library, "name", None),
+        "state": model.to_state(),
+    }
+    Path(path).write_text(json.dumps(envelope))
+
+
+def load_model(path: str | Path, library: Any = None) -> Any:
+    """Load a fitted model saved by :func:`save_model`.
+
+    Accepts both format-v2 envelopes and legacy format-v1 AutoPower
+    files.  ``library`` is resolved by name for methods that carry one
+    (pass it explicitly when using a non-default technology library).
+    """
+    envelope = json.loads(Path(path).read_text())
+    version = envelope.get("format_version")
+    if version == 1:
+        # v1 predates the envelope: AutoPower state at the top level.
+        method, library_name, state = "autopower", envelope["library"], envelope
+    elif version == FORMAT_VERSION:
+        method = envelope["method"]
+        library_name = envelope.get("library")
+        state = envelope["state"]
+    else:
+        raise ValueError(f"unsupported model file version {version!r}")
+    spec = get_method(method)
+    if library_name is not None:
+        if library is None:
+            from repro.library.stdcell import default_library
+
+            library = default_library()
+        if library.name != library_name:
+            raise ValueError(
+                f"model was trained against library {library_name!r}, "
+                f"got {library.name!r}"
+            )
+    return spec.cls.from_state(state, library=library)

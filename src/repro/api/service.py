@@ -1,0 +1,331 @@
+"""Batched prediction serving on top of the fast engine.
+
+The PR 1-3 engine work made one fused-ensemble pass over an
+:class:`~repro.arch.events.EventBatch` dramatically cheaper than the
+equivalent loop of scalar calls; this module is the request/response
+layer that exploits it.  :class:`PredictionService` accepts individual
+:class:`PredictRequest` objects (one simulation interval each), coalesces
+them per configuration into event batches, runs one batched model call
+per (configuration, chunk), and scatters the results back into
+per-request :class:`PredictResponse` objects — bitwise-equal to what the
+request-at-a-time loop would have produced, at a fraction of the cost.
+
+Request kinds:
+
+* ``"total"`` — total power (mW); every method supports it,
+* ``"report"`` — per-component power-group report; methods with
+  ``predict_report`` / ``predict_reports`` only,
+* ``"trace"`` — per-window power trace from activity scales; methods
+  with ``predict_trace`` only (AutoPower).
+
+``n_jobs`` fans the per-configuration batch calls out through
+:mod:`repro.parallel` (the numbers are backend-independent);
+``max_batch_size`` caps how many intervals one model call sees, so a
+service embedded in a latency-sensitive loop can bound its chunk cost.
+:meth:`PredictionService.stream` is the incremental variant: it consumes
+any request iterable lazily and yields responses in request order with
+bounded buffering.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any, Iterable, Iterator, Sequence
+
+import numpy as np
+
+from repro.arch.config import BoomConfig, config_by_name
+from repro.arch.events import EventBatch, EventParams
+from repro.arch.workloads import Workload, workload_by_name
+from repro.parallel import get_executor
+
+__all__ = ["PredictRequest", "PredictResponse", "PredictionService", "ServiceStats"]
+
+_KINDS = ("total", "report", "trace")
+
+
+@dataclass(frozen=True, eq=False)
+class PredictRequest:
+    """One prediction request: a (config, interval[, workload]) triple.
+
+    ``config`` and ``workload`` accept instances or names (names resolve
+    at construction).  ``kind`` selects the response payload; ``scales``
+    and ``window_cycles`` apply to ``kind="trace"`` only.  Identity
+    semantics (``eq=False``): the event/scale payloads are arrays, so
+    requests compare and hash by object identity.
+    """
+
+    config: BoomConfig
+    events: EventParams
+    workload: Workload | None = None
+    kind: str = "total"
+    scales: Any = None
+    window_cycles: int = 50
+
+    def __post_init__(self) -> None:
+        if isinstance(self.config, str):
+            object.__setattr__(self, "config", config_by_name(self.config))
+        if isinstance(self.workload, str):
+            object.__setattr__(self, "workload", workload_by_name(self.workload))
+        if self.kind not in _KINDS:
+            raise ValueError(f"unknown request kind {self.kind!r}; expected {_KINDS}")
+        if self.kind == "trace":
+            if self.scales is None:
+                raise ValueError("trace requests need activity scales")
+            object.__setattr__(
+                self, "scales", np.asarray(self.scales, dtype=float)
+            )
+        elif self.scales is not None:
+            raise ValueError("scales are only valid for trace requests")
+
+
+@dataclass(frozen=True, eq=False)
+class PredictResponse:
+    """The result of one request (payload field matches ``kind``).
+
+    Identity semantics (``eq=False``): ``trace`` payloads are arrays.
+    """
+
+    config_name: str
+    workload_name: str | None
+    kind: str
+    total: float | None = None
+    report: Any = None
+    trace: np.ndarray | None = None
+
+
+@dataclass
+class ServiceStats:
+    """Serving counters (observability for the batching layer)."""
+
+    requests: int = 0
+    responses: int = 0
+    model_calls: int = 0
+    batched_intervals: int = 0
+
+    def snapshot(self) -> dict:
+        return {
+            "requests": self.requests,
+            "responses": self.responses,
+            "model_calls": self.model_calls,
+            "batched_intervals": self.batched_intervals,
+        }
+
+
+def _predict_totals_task(payload: dict) -> np.ndarray:
+    """One coalesced totals call — the picklable executor task."""
+    return payload["model"].predict_totals(
+        payload["config"], payload["batch"], payload["workload"]
+    )
+
+
+def _workload_arg(workloads: list) -> Any:
+    """Collapse a per-row workload list to what the batch APIs expect."""
+    if all(w is None for w in workloads):
+        return None
+    if any(w is None for w in workloads):
+        raise ValueError(
+            "cannot mix workload-carrying and workload-free requests "
+            "for one configuration"
+        )
+    return workloads
+
+
+class PredictionService:
+    """Micro-batching request/response front end for one fitted model.
+
+    Parameters
+    ----------
+    model:
+        Any fitted :class:`repro.api.protocol.PowerModel`.
+    n_jobs / backend:
+        Parallel fan-out of the per-configuration batch calls through
+        :mod:`repro.parallel` (``None`` defers to ``--jobs`` /
+        ``REPRO_JOBS``; results are backend-independent).
+    max_batch_size:
+        Upper bound on intervals per coalesced model call (``None`` =
+        unbounded).
+    """
+
+    def __init__(
+        self,
+        model: Any,
+        n_jobs: int | None = None,
+        backend: str | None = None,
+        max_batch_size: int | None = None,
+    ) -> None:
+        if max_batch_size is not None and max_batch_size < 1:
+            raise ValueError("max_batch_size must be positive")
+        self.model = model
+        self.n_jobs = n_jobs
+        self.backend = backend
+        self.max_batch_size = max_batch_size
+        self.stats = ServiceStats()
+
+    # ------------------------------------------------------------------
+    def predict(self, request: PredictRequest) -> PredictResponse:
+        """Serve one request (sugar over :meth:`submit_many`)."""
+        return self.submit_many([request])[0]
+
+    def predict_total(
+        self, config: Any, events: EventParams, workload: Any = None
+    ) -> float:
+        """Scalar convenience: total power (mW) for one interval."""
+        return self.predict(
+            PredictRequest(config=config, events=events, workload=workload)
+        ).total
+
+    # ------------------------------------------------------------------
+    def submit_many(
+        self, requests: Sequence[PredictRequest]
+    ) -> list[PredictResponse]:
+        """Serve a batch of requests; responses come back in order.
+
+        ``total`` requests sharing a configuration coalesce into one
+        :class:`EventBatch` ``predict_totals`` call (chunked by
+        ``max_batch_size``) and fan out across the executor; ``report``
+        requests batch through ``predict_reports`` per configuration;
+        ``trace`` requests run one batched anchor sweep each.
+        """
+        requests = list(requests)
+        self._validate(requests)
+        self.stats.requests += len(requests)
+        responses: list[PredictResponse | None] = [None] * len(requests)
+
+        # -- totals: coalesce per config, chunk, fan out -----------------
+        chunks: list[tuple[list[int], dict]] = []
+        for part in self._config_chunks(requests, "total"):
+            chunks.append(
+                (
+                    part,
+                    {
+                        "model": self.model,
+                        "config": requests[part[0]].config,
+                        "batch": EventBatch.from_events(
+                            [requests[i].events for i in part]
+                        ),
+                        "workload": _workload_arg(
+                            [requests[i].workload for i in part]
+                        ),
+                    },
+                )
+            )
+        if chunks:
+            executor = get_executor(self.n_jobs, self.backend)
+            totals = executor.map(_predict_totals_task, [p for _, p in chunks])
+            self.stats.model_calls += len(chunks)
+            for (part, _payload), values in zip(chunks, totals):
+                self.stats.batched_intervals += len(part)
+                for i, value in zip(part, np.asarray(values, dtype=float)):
+                    responses[i] = self._response(
+                        requests[i], total=float(value)
+                    )
+
+        # -- reports: batch per config where the model supports it -------
+        for part in self._config_chunks(requests, "report"):
+            reports, n_calls = self._predict_reports(part, requests)
+            self.stats.model_calls += n_calls
+            self.stats.batched_intervals += len(part)
+            for i, report in zip(part, reports):
+                responses[i] = self._response(
+                    requests[i], total=float(report.total), report=report
+                )
+
+        # -- traces: one batched anchor sweep per request ----------------
+        for i, req in enumerate(requests):
+            if req.kind != "trace":
+                continue
+            trace = self.model.predict_trace(
+                req.config,
+                req.events,
+                req.workload,
+                req.scales,
+                window_cycles=req.window_cycles,
+            )
+            self.stats.model_calls += 1
+            self.stats.batched_intervals += 1
+            responses[i] = self._response(requests[i], trace=trace)
+
+        self.stats.responses += len(responses)
+        return responses  # every kind above filled its slots
+
+    # ------------------------------------------------------------------
+    def _validate(self, requests: list[PredictRequest]) -> None:
+        """Reject unservable submissions before any model work runs, so a
+        bad request can't discard completed results or skew the stats."""
+        for req in requests:
+            if not isinstance(req, PredictRequest):
+                raise TypeError(f"expected PredictRequest, got {type(req).__name__}")
+            if req.kind == "report" and not (
+                callable(getattr(self.model, "predict_reports", None))
+                or callable(getattr(self.model, "predict_report", None))
+            ):
+                raise TypeError(
+                    f"{type(self.model).__name__} does not support report requests"
+                )
+            if req.kind == "trace" and not callable(
+                getattr(self.model, "predict_trace", None)
+            ):
+                raise TypeError(
+                    f"{type(self.model).__name__} does not support trace requests"
+                )
+
+    def _config_chunks(
+        self, requests: list[PredictRequest], kind: str
+    ) -> Iterator[list[int]]:
+        """Same-config request-index chunks of one kind, capped by
+        ``max_batch_size`` — the coalescing unit of one model call."""
+        groups: dict[str, list[int]] = {}
+        for i, req in enumerate(requests):
+            if req.kind == kind:
+                groups.setdefault(req.config.name, []).append(i)
+        for indices in groups.values():
+            step = self.max_batch_size or len(indices)
+            for start in range(0, len(indices), step):
+                yield indices[start : start + step]
+
+    @staticmethod
+    def _response(req: PredictRequest, **payload) -> PredictResponse:
+        return PredictResponse(
+            config_name=req.config.name,
+            workload_name=getattr(req.workload, "name", None),
+            kind=req.kind,
+            **payload,
+        )
+
+    def _predict_reports(self, part: list[int], requests: list[PredictRequest]):
+        """Reports for one same-config chunk: (reports, model calls made)."""
+        config = requests[part[0]].config
+        predict_reports = getattr(self.model, "predict_reports", None)
+        if predict_reports is not None:
+            batch = EventBatch.from_events([requests[i].events for i in part])
+            workload = _workload_arg([requests[i].workload for i in part])
+            return predict_reports(config, batch, workload), 1
+        # _validate guaranteed the scalar fallback exists.
+        reports = [
+            self.model.predict_report(config, requests[i].events, requests[i].workload)
+            for i in part
+        ]
+        return reports, len(part)
+
+    # ------------------------------------------------------------------
+    def stream(
+        self, requests: Iterable[PredictRequest], chunk_size: int = 64
+    ) -> Iterator[PredictResponse]:
+        """Serve a request iterable incrementally, in request order.
+
+        Buffers up to ``chunk_size`` requests, serves each buffer through
+        :meth:`submit_many` (so per-config coalescing still applies
+        within a buffer), and yields responses as each buffer completes —
+        the shape a long-running caller (or an async gateway) consumes.
+        """
+        if chunk_size < 1:
+            raise ValueError("chunk_size must be positive")
+        buffer: list[PredictRequest] = []
+        for request in requests:
+            buffer.append(request)
+            if len(buffer) >= chunk_size:
+                yield from self.submit_many(buffer)
+                buffer = []
+        if buffer:
+            yield from self.submit_many(buffer)

@@ -25,6 +25,7 @@ from repro.core.features import (
     program_features_matrix,
 )
 from repro.ml.gbm import GradientBoostingRegressor
+from repro.ml.serialize import gbm_from_dict, gbm_to_dict
 from repro.parallel import get_executor
 from repro.power.report import POWER_GROUPS
 
@@ -196,3 +197,32 @@ class AutoPowerMinus:
             for group in POWER_GROUPS:
                 total += np.maximum(self._models[(comp.name, group)].predict(x), 0.0)
         return total
+
+    # ------------------------------------------------------------------
+    def to_state(self) -> dict:
+        """JSON-serializable state of the fitted per-(component, group) GBMs."""
+        if not self._models:
+            raise ValueError("cannot serialize an unfitted AutoPowerMinus")
+        return {
+            "use_program_features": self.use_program_features,
+            "gbm_params": dict(self.gbm_params),
+            "random_state": self.random_state,
+            "models": [
+                {"component": comp, "group": group, "model": gbm_to_dict(m)}
+                for (comp, group), m in self._models.items()
+            ],
+        }
+
+    @classmethod
+    def from_state(cls, state: dict, library=None) -> "AutoPowerMinus":
+        """Rebuild a fitted model from :meth:`to_state` output."""
+        model = cls(
+            use_program_features=bool(state["use_program_features"]),
+            gbm_params=state["gbm_params"],
+            random_state=int(state["random_state"]),
+        )
+        model._models = {
+            (entry["component"], entry["group"]): gbm_from_dict(entry["model"])
+            for entry in state["models"]
+        }
+        return model

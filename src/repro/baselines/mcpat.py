@@ -19,7 +19,7 @@ import numpy as np
 
 from repro.arch.components import COMPONENTS
 from repro.arch.config import BoomConfig
-from repro.arch.events import EventParams
+from repro.arch.events import EventBatch, EventParams
 from repro.sim.perf import stable_seed
 
 __all__ = ["McPatAnalytical"]
@@ -95,12 +95,44 @@ class McPatAnalytical:
         return min(total / 2.0, 1.0)
 
     # ------------------------------------------------------------------
+    def fit(self, flow, train_configs, workloads) -> "McPatAnalytical":
+        """No-op: the analytical model has no learned state."""
+        return self
+
+    def fit_results(self, results: list) -> "McPatAnalytical":
+        """No-op: the analytical model has no learned state."""
+        return self
+
+    # ------------------------------------------------------------------
     def predict_component(
         self, component: str, config: BoomConfig, events: EventParams
     ) -> float:
         """Analytical power of one component, in mW."""
         area = self.area_proxy(config, component)
         act = self.activity_proxy(events, component)
+        dynamic_share = 1.0 - self.static_share
+        power = (
+            self.mw_per_kunit
+            * (area / 1000.0)
+            * (self.static_share + dynamic_share * act)
+        )
+        return power * self._distortion(component)
+
+    def predict_component_batch(
+        self, component: str, config: BoomConfig, batch: EventBatch
+    ) -> np.ndarray:
+        """Per-interval analytical power of one component, in mW.
+
+        Element-for-element the same arithmetic (and operation order) as
+        :meth:`predict_component`, so batch predictions are bitwise equal
+        to the scalar path.
+        """
+        rates = batch.rates_for_component(component)
+        total = 0.0
+        for vector in rates.values():
+            total = total + vector
+        act = np.minimum(total / 2.0, 1.0)
+        area = self.area_proxy(config, component)
         dynamic_share = 1.0 - self.static_share
         power = (
             self.mw_per_kunit
@@ -117,7 +149,33 @@ class McPatAnalytical:
             self.predict_component(c.name, config, events) for c in COMPONENTS
         )
 
+    def predict_totals(self, config: BoomConfig, events, workload=None) -> np.ndarray:
+        """Per-interval analytical total power for a batch, in mW."""
+        batch = EventBatch.from_events(events)
+        total = 0.0
+        for comp in COMPONENTS:
+            total = total + self.predict_component_batch(comp.name, config, batch)
+        return np.asarray(total, dtype=float)
+
     def predict(self, config: BoomConfig, events: EventParams) -> dict[str, float]:
         return {
             c.name: self.predict_component(c.name, config, events) for c in COMPONENTS
         }
+
+    # ------------------------------------------------------------------
+    def to_state(self) -> dict:
+        """JSON-serializable state (hyper-parameters only — no learning)."""
+        return {
+            "mw_per_kunit": self.mw_per_kunit,
+            "static_share": self.static_share,
+            "miscalibration": self.miscalibration,
+        }
+
+    @classmethod
+    def from_state(cls, state: dict, library=None) -> "McPatAnalytical":
+        """Rebuild from :meth:`to_state` output (library arg unused)."""
+        return cls(
+            mw_per_kunit=float(state["mw_per_kunit"]),
+            static_share=float(state["static_share"]),
+            miscalibration=float(state["miscalibration"]),
+        )

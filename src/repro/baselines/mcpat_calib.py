@@ -13,10 +13,11 @@ from __future__ import annotations
 import numpy as np
 
 from repro.arch.config import BoomConfig
-from repro.arch.events import EVENT_NAMES, EventParams
+from repro.arch.events import EVENT_NAMES, EventBatch, EventParams
 from repro.arch.params import HARDWARE_PARAMETERS
 from repro.baselines.mcpat import McPatAnalytical
 from repro.ml.gbm import GradientBoostingRegressor
+from repro.ml.serialize import gbm_from_dict, gbm_to_dict
 
 __all__ = ["McPatCalib"]
 
@@ -59,6 +60,17 @@ class McPatCalib:
         mcpat_total = self.mcpat.predict_total(config, events)
         return np.concatenate([h, rates, [events.ipc, mcpat_total]])
 
+    def _features_batch(self, config: BoomConfig, batch: EventBatch) -> np.ndarray:
+        """Batched :meth:`_features`: one row per interval, same columns."""
+        n = len(batch)
+        h = np.tile(config.vector(), (n, 1))
+        cycles = batch.cycles
+        rates = np.column_stack(
+            [batch.column(name) / cycles for name in EVENT_NAMES if name != "cycles"]
+        )
+        mcpat_total = self.mcpat.predict_totals(config, batch)
+        return np.hstack([h, rates, batch.ipc[:, None], mcpat_total[:, None]])
+
     @staticmethod
     def feature_names() -> tuple[str, ...]:
         rates = tuple(f"rate_{n}" for n in EVENT_NAMES if n != "cycles")
@@ -88,3 +100,34 @@ class McPatCalib:
             raise RuntimeError("McPatCalib used before fit")
         x = self._features(config, events).reshape(1, -1)
         return max(float(self._model.predict(x)[0]), 0.0)
+
+    def predict_totals(self, config: BoomConfig, events, workload=None) -> np.ndarray:
+        """Per-interval total power for a batch, in mW (one fused GBM pass)."""
+        if self._model is None:
+            raise RuntimeError("McPatCalib used before fit")
+        batch = EventBatch.from_events(events)
+        x = self._features_batch(config, batch)
+        return np.maximum(self._model.predict(x), 0.0)
+
+    # ------------------------------------------------------------------
+    def to_state(self) -> dict:
+        """JSON-serializable state of the fitted model."""
+        if self._model is None:
+            raise ValueError("cannot serialize an unfitted McPatCalib")
+        return {
+            "gbm_params": dict(self.gbm_params),
+            "random_state": self.random_state,
+            "mcpat": self.mcpat.to_state(),
+            "model": gbm_to_dict(self._model),
+        }
+
+    @classmethod
+    def from_state(cls, state: dict, library=None) -> "McPatCalib":
+        """Rebuild a fitted model from :meth:`to_state` output."""
+        model = cls(
+            mcpat=McPatAnalytical.from_state(state["mcpat"]),
+            gbm_params=state["gbm_params"],
+            random_state=int(state["random_state"]),
+        )
+        model._model = gbm_from_dict(state["model"])
+        return model

@@ -13,10 +13,15 @@ import numpy as np
 
 from repro.arch.components import COMPONENTS
 from repro.arch.config import BoomConfig
-from repro.arch.events import EventParams
+from repro.arch.events import EventBatch, EventParams
 from repro.baselines.mcpat import McPatAnalytical
-from repro.core.features import event_features, hardware_features
+from repro.core.features import (
+    event_features,
+    event_features_batch,
+    hardware_features,
+)
 from repro.ml.gbm import GradientBoostingRegressor
+from repro.ml.serialize import gbm_from_dict, gbm_to_dict
 
 __all__ = ["McPatCalibComponent"]
 
@@ -92,3 +97,51 @@ class McPatCalibComponent:
         return sum(
             self.predict_component(c.name, config, events) for c in COMPONENTS
         )
+
+    def predict_totals(self, config: BoomConfig, events, workload=None) -> np.ndarray:
+        """Per-interval total power for a batch, in mW.
+
+        One fused GBM pass per component over the stacked feature matrix;
+        column order and arithmetic match the scalar path exactly.
+        """
+        if not self._models:
+            raise RuntimeError("McPatCalibComponent used before fit")
+        batch = EventBatch.from_events(events)
+        n = len(batch)
+        total = 0.0
+        for comp in COMPONENTS:
+            mcpat_comp = self.mcpat.predict_component_batch(comp.name, config, batch)
+            x = np.hstack(
+                [
+                    np.tile(hardware_features(config, comp.name), (n, 1)),
+                    event_features_batch(batch, comp.name),
+                    mcpat_comp[:, None],
+                ]
+            )
+            total = total + np.maximum(self._models[comp.name].predict(x), 0.0)
+        return np.asarray(total, dtype=float)
+
+    # ------------------------------------------------------------------
+    def to_state(self) -> dict:
+        """JSON-serializable state of the fitted per-component models."""
+        if not self._models:
+            raise ValueError("cannot serialize an unfitted McPatCalibComponent")
+        return {
+            "gbm_params": dict(self.gbm_params),
+            "random_state": self.random_state,
+            "mcpat": self.mcpat.to_state(),
+            "models": {name: gbm_to_dict(m) for name, m in self._models.items()},
+        }
+
+    @classmethod
+    def from_state(cls, state: dict, library=None) -> "McPatCalibComponent":
+        """Rebuild a fitted model from :meth:`to_state` output."""
+        model = cls(
+            mcpat=McPatAnalytical.from_state(state["mcpat"]),
+            gbm_params=state["gbm_params"],
+            random_state=int(state["random_state"]),
+        )
+        model._models = {
+            name: gbm_from_dict(sub) for name, sub in state["models"].items()
+        }
+        return model

@@ -1,7 +1,18 @@
-"""Command-line entry point: ``python -m repro <experiment>``.
+"""Command-line entry point: ``python -m repro``.
 
-Lists and runs the paper's experiments by name, so the whole evaluation
-section can be regenerated without touching Python code.
+Three command families:
+
+* ``python -m repro <experiment>`` — regenerate the paper's tables and
+  figures by name (``all`` runs everything),
+* ``python -m repro fit <method> --out model.json`` — train any
+  registered method through :mod:`repro.api` and write a format-v2 model
+  file (the flow-side half of the paper's hand-off),
+* ``python -m repro predict --model model.json`` — load a model file and
+  predict configurations from performance-simulator events alone via the
+  batched :class:`repro.api.PredictionService` (the architect's half; no
+  EDA flow involved).
+
+Bare ``python -m repro`` lists the experiments and registered methods.
 """
 
 from __future__ import annotations
@@ -10,6 +21,7 @@ import argparse
 import sys
 import time
 
+import repro.api as api
 from repro.experiments import (
     ablation_program_features,
     extension_workload_holdout,
@@ -47,7 +59,164 @@ EXPERIMENTS = {
 }
 
 
+def _print_overview() -> None:
+    print("available experiments:")
+    for name in sorted(EXPERIMENTS):
+        print(f"  {name:10s} {EXPERIMENTS[name][1]}")
+    print("\nregistered methods (repro.api):")
+    for spec in api.list_methods():
+        print(f"  {spec.name:24s} {spec.description}")
+    print(
+        "\nmodel commands:"
+        "\n  fit <method> --out model.json [--train C1,C15] [--jobs N]"
+        "\n  predict --model model.json [--config C8[,C9]] [--workload dhrystone]"
+    )
+
+
+def _cmd_fit(argv: list[str]) -> int:
+    """``python -m repro fit <method> --out model.json``."""
+    parser = argparse.ArgumentParser(
+        prog="python -m repro fit",
+        description=(
+            "Train a registered method on known configurations and write a "
+            "format-v2 model file (repro.api.save_model)."
+        ),
+    )
+    parser.add_argument("method", help="registry name, e.g. autopower / mcpat-calib")
+    parser.add_argument(
+        "--out", required=True, metavar="PATH", help="model JSON file to write"
+    )
+    parser.add_argument(
+        "--train",
+        default="C1,C15",
+        metavar="NAMES",
+        help="comma-separated training configurations (default: C1,C15)",
+    )
+    parser.add_argument(
+        "--jobs",
+        type=int,
+        default=None,
+        metavar="N",
+        help="parallel workers for flow runs and sub-model fits",
+    )
+    args = parser.parse_args(argv)
+    try:
+        spec = api.get_method(args.method)
+    except KeyError:
+        known = ", ".join(api.method_names())
+        print(
+            f"error: unknown method {args.method!r} (choose from: {known})",
+            file=sys.stderr,
+        )
+        return 2
+    train_names = [n.strip() for n in args.train.split(",") if n.strip()]
+    if not train_names:
+        print("error: --train needs at least one configuration", file=sys.stderr)
+        return 2
+    start = time.time()
+    try:
+        model = api.fit(spec.name, train_configs=train_names, n_jobs=args.jobs)
+    except KeyError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+    api.save_model(model, args.out)
+    print(
+        f"fitted {spec.display_name} on {', '.join(train_names)} "
+        f"in {time.time() - start:.1f}s -> {args.out}"
+    )
+    return 0
+
+
+def _cmd_predict(argv: list[str]) -> int:
+    """``python -m repro predict --model model.json``."""
+    parser = argparse.ArgumentParser(
+        prog="python -m repro predict",
+        description=(
+            "Load a saved model and predict total power from hardware "
+            "parameters and performance-simulator events alone (no EDA flow)."
+        ),
+    )
+    parser.add_argument(
+        "--model", required=True, metavar="PATH", help="model JSON file to load"
+    )
+    parser.add_argument(
+        "--config",
+        default="C8",
+        metavar="NAMES",
+        help="comma-separated configurations to predict (default: C8)",
+    )
+    parser.add_argument(
+        "--workload",
+        default="dhrystone",
+        metavar="NAMES",
+        help="comma-separated workloads (default: dhrystone)",
+    )
+    parser.add_argument(
+        "--report",
+        action="store_true",
+        help="print the per-group power breakdown (methods with reports)",
+    )
+    args = parser.parse_args(argv)
+    from repro.arch.config import config_by_name
+    from repro.arch.workloads import workload_by_name
+    from repro.power.report import POWER_GROUPS
+    from repro.sim.perf import PerfSimulator
+
+    try:
+        model = api.load_model(args.model)
+    except (OSError, ValueError, KeyError) as exc:
+        print(f"error: cannot load {args.model}: {exc}", file=sys.stderr)
+        return 2
+    try:
+        configs = [
+            config_by_name(n.strip()) for n in args.config.split(",") if n.strip()
+        ]
+        workload_list = [
+            workload_by_name(n.strip()) for n in args.workload.split(",") if n.strip()
+        ]
+    except KeyError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+    if args.report and not api.supports_reports(model):
+        print(
+            f"error: {type(model).__name__} does not produce power-group reports",
+            file=sys.stderr,
+        )
+        return 2
+
+    # Architecture-level prediction: events come from the performance
+    # simulator only — exactly the hand-off the paper targets.
+    perf = PerfSimulator()
+    kind = "report" if args.report else "total"
+    requests = [
+        api.PredictRequest(
+            config=c, events=perf.run(c, w), workload=w, kind=kind
+        )
+        for c in configs
+        for w in workload_list
+    ]
+    service = api.PredictionService(model)
+    spec = api.spec_for(model)
+    print(f"model: {spec.display_name} ({args.model})")
+    print(f"{'config':>8s} {'workload':>12s} {'predicted mW':>13s}")
+    for response in service.stream(requests):
+        print(
+            f"{response.config_name:>8s} {response.workload_name:>12s} "
+            f"{response.total:13.2f}"
+        )
+        if response.report is not None:
+            for group in POWER_GROUPS:
+                print(f"{'':>21s} {group:>9s}: {response.report.group_total(group):9.2f}")
+    return 0
+
+
 def main(argv: list[str] | None = None) -> int:
+    argv = list(sys.argv[1:]) if argv is None else list(argv)
+    if argv and argv[0] == "fit":
+        return _cmd_fit(argv[1:])
+    if argv and argv[0] == "predict":
+        return _cmd_predict(argv[1:])
+
     parser = argparse.ArgumentParser(
         prog="python -m repro",
         description="Regenerate the AutoPower paper's tables and figures.",
@@ -55,7 +224,7 @@ def main(argv: list[str] | None = None) -> int:
     parser.add_argument(
         "experiment",
         nargs="?",
-        help="experiment to run (omit to list)",
+        help="experiment to run (omit to list experiments and methods)",
     )
     parser.add_argument(
         "--jobs",
@@ -71,9 +240,7 @@ def main(argv: list[str] | None = None) -> int:
     args = parser.parse_args(argv)
 
     if args.experiment is None:
-        print("available experiments:")
-        for name in sorted(EXPERIMENTS):
-            print(f"  {name:10s} {EXPERIMENTS[name][1]}")
+        _print_overview()
         return 0
 
     if args.experiment != "all" and args.experiment not in EXPERIMENTS:

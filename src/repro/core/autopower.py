@@ -173,6 +173,22 @@ class AutoPower:
             raise RuntimeError("AutoPower used before fit")
 
     # ------------------------------------------------------------------
+    def to_state(self) -> dict:
+        """JSON-serializable state of the fitted model (no pickle)."""
+        from repro.core.persistence import autopower_to_state
+
+        return autopower_to_state(self)
+
+    @classmethod
+    def from_state(
+        cls, state: dict, library: TechLibrary | None = None
+    ) -> "AutoPower":
+        """Rebuild a fitted model from :meth:`to_state` output."""
+        from repro.core.persistence import autopower_from_state
+
+        return autopower_from_state(state, library=library)
+
+    # ------------------------------------------------------------------
     def predict_report(
         self, config: BoomConfig, events: EventParams, workload: Workload
     ) -> PowerReport:

@@ -1,25 +1,29 @@
-"""Save / load fitted AutoPower models as JSON.
+"""AutoPower model state codecs + legacy save/load entry points.
 
 Training needs the full EDA flow (slow, licensed tooling in the paper's
 setting); prediction only needs hardware parameters and a performance
 simulator.  Persistence lets the flow-side team train once and hand the
 fitted model to architects.
 
-The file embeds every sub-model (ridge coefficients, boosted trees,
-fitted scaling laws, the calibrated SRAM constant) as plain JSON — no
-pickle, safe to check into a repo.
+This module owns the AutoPower *state codec* — :func:`autopower_to_state`
+/ :func:`autopower_from_state` turn a fitted model into a plain dict of
+JSON types (ridge coefficients, boosted trees, fitted scaling laws, the
+calibrated SRAM constant — no pickle, safe to check into a repo).  File
+I/O lives in :mod:`repro.api.persistence`, which wraps any registered
+method's state in a versioned envelope; :func:`save_autopower` and
+:func:`load_autopower` remain as thin delegating shims over that API
+(files written here are format-v2 envelopes; format-v1 files still load).
 """
 
 from __future__ import annotations
 
-import json
 from pathlib import Path
 
 from repro.core.autopower import AutoPower
 from repro.core.clock import _ComponentClockModel
 from repro.core.scaling import FittedLaw
 from repro.core.sram import _PositionModel
-from repro.library.stdcell import TechLibrary, default_library
+from repro.library.stdcell import TechLibrary
 from repro.ml.serialize import (
     gbm_from_dict,
     gbm_to_dict,
@@ -27,9 +31,12 @@ from repro.ml.serialize import (
     ridge_to_dict,
 )
 
-__all__ = ["load_autopower", "save_autopower"]
-
-_FORMAT_VERSION = 1
+__all__ = [
+    "autopower_from_state",
+    "autopower_to_state",
+    "load_autopower",
+    "save_autopower",
+]
 
 
 def _law_to_dict(law: FittedLaw) -> dict:
@@ -48,8 +55,13 @@ def _law_from_dict(state: dict) -> FittedLaw:
     )
 
 
-def save_autopower(model: AutoPower, path: str | Path) -> None:
-    """Serialize a fitted AutoPower model to a JSON file."""
+def autopower_to_state(model: AutoPower) -> dict:
+    """JSON-serializable state of a fitted AutoPower model.
+
+    The payload carries only learned state (plus the training-config
+    provenance); the technology library is identified by name in the
+    persistence envelope, not here.
+    """
     if not model._fitted:
         raise ValueError("cannot save an unfitted AutoPower model")
     clock = {
@@ -95,37 +107,20 @@ def save_autopower(model: AutoPower, path: str | Path) -> None:
             for name in model.logic_model.comb_model._f_sta
         },
     }
-    state = {
-        "format_version": _FORMAT_VERSION,
-        "library": model.library.name,
+    return {
         "train_config_names": list(model.train_config_names),
         "clock": clock,
         "sram": sram,
         "logic": logic,
     }
-    Path(path).write_text(json.dumps(state))
 
 
-def load_autopower(path: str | Path, library: TechLibrary | None = None) -> AutoPower:
-    """Load a fitted AutoPower model from a JSON file.
+def autopower_from_state(state: dict, library: TechLibrary | None = None) -> AutoPower:
+    """Rebuild a fitted AutoPower model from :func:`autopower_to_state`.
 
-    The technology library is looked up by name (it is part of the flow,
-    not of the learned state); pass ``library`` explicitly when using a
-    non-default one.
+    Also accepts the body of a legacy format-v1 file (same inner layout,
+    with ``format_version``/``library`` keys riding along at the top).
     """
-    state = json.loads(Path(path).read_text())
-    if state.get("format_version") != _FORMAT_VERSION:
-        raise ValueError(
-            f"unsupported AutoPower file version {state.get('format_version')!r}"
-        )
-    if library is None:
-        library = default_library()
-    if library.name != state["library"]:
-        raise ValueError(
-            f"model was trained against library {state['library']!r}, "
-            f"got {library.name!r}"
-        )
-
     model = AutoPower(
         library=library,
         use_program_features=bool(state["sram"]["use_program_features"]),
@@ -168,4 +163,33 @@ def load_autopower(path: str | Path, library: TechLibrary | None = None) -> Auto
 
     model.train_config_names = tuple(state["train_config_names"])
     model._fitted = True
+    return model
+
+
+def save_autopower(model: AutoPower, path: str | Path) -> None:
+    """Serialize a fitted AutoPower model to a JSON file.
+
+    Thin shim over :func:`repro.api.save_model` (kept for backwards
+    compatibility); the file written is a method-agnostic format-v2
+    envelope.
+    """
+    from repro.api import save_model
+
+    save_model(model, path)
+
+
+def load_autopower(path: str | Path, library: TechLibrary | None = None) -> AutoPower:
+    """Load a fitted AutoPower model from a JSON file.
+
+    Thin shim over :func:`repro.api.load_model` (kept for backwards
+    compatibility); accepts both format-v2 envelopes and legacy format-v1
+    AutoPower files.  The technology library is looked up by name (it is
+    part of the flow, not of the learned state); pass ``library``
+    explicitly when using a non-default one.
+    """
+    from repro.api import load_model
+
+    model = load_model(path, library=library)
+    if not isinstance(model, AutoPower):
+        raise ValueError(f"{path} does not contain an AutoPower model")
     return model

@@ -14,8 +14,7 @@ from dataclasses import dataclass
 
 
 from repro.arch.workloads import WORKLOADS
-from repro.core.autopower import AutoPower
-from repro.experiments.runner import test_configs_for, train_configs_for
+from repro.experiments.runner import fit_method, test_configs_for, train_configs_for
 from repro.experiments.tables import format_table
 from repro.ml.metrics import mape
 from repro.sim.perf import PerfSimulator
@@ -39,9 +38,10 @@ def _sram_mape(flow: VlsiFlow, use_program_features: bool, n_train: int) -> floa
     train = train_configs_for(n_train)
     test = test_configs_for(n_train)
     workloads = list(WORKLOADS)
-    model = AutoPower(
-        library=flow.library, use_program_features=use_program_features
-    ).fit(flow, train, workloads)
+    model = fit_method(
+        "autopower", flow, train, workloads,
+        use_program_features=use_program_features,
+    )
     y_true, y_pred = [], []
     for config in test:
         for workload in workloads:

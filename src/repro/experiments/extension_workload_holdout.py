@@ -17,9 +17,7 @@ from __future__ import annotations
 from dataclasses import dataclass
 
 from repro.arch.workloads import WORKLOADS
-from repro.baselines.autopower_minus import AutoPowerMinus
-from repro.core.autopower import AutoPower
-from repro.experiments.runner import test_configs_for, train_configs_for
+from repro.experiments.runner import fit_method, test_configs_for, train_configs_for
 from repro.experiments.tables import format_table
 from repro.ml.metrics import mape, r2_score
 from repro.vlsi.flow import VlsiFlow
@@ -65,8 +63,8 @@ def run(
 
     train = train_configs_for(n_train)
     test = test_configs_for(n_train)
-    ours = AutoPower(library=flow.library).fit(flow, train, train_workloads)
-    minus = AutoPowerMinus().fit(flow, train, train_workloads)
+    ours = fit_method("autopower", flow, train, train_workloads)
+    minus = fit_method("autopower-minus", flow, train, train_workloads)
 
     y_true, y_ours, y_minus = [], [], []
     for config in test:

@@ -14,9 +14,7 @@ from dataclasses import dataclass
 
 from repro.arch.components import COMPONENTS
 from repro.arch.workloads import WORKLOADS
-from repro.baselines.autopower_minus import AutoPowerMinus
-from repro.core.autopower import AutoPower
-from repro.experiments.runner import test_configs_for, train_configs_for
+from repro.experiments.runner import fit_method, test_configs_for, train_configs_for
 from repro.experiments.tables import format_table
 from repro.ml.metrics import mape, pearson_r
 from repro.vlsi.flow import VlsiFlow
@@ -52,8 +50,8 @@ def _compare_group(flow: VlsiFlow, group: str, n_train: int) -> GroupComparisonR
     train = train_configs_for(n_train)
     test = test_configs_for(n_train)
     workloads = list(WORKLOADS)
-    ours = AutoPower(library=flow.library).fit(flow, train, workloads)
-    minus = AutoPowerMinus().fit(flow, train, workloads)
+    ours = fit_method("autopower", flow, train, workloads)
+    minus = fit_method("autopower-minus", flow, train, workloads)
 
     per_component: dict[str, tuple[float, float]] = {}
     all_true, all_ours, all_minus = [], [], []

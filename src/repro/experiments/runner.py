@@ -1,10 +1,15 @@
-"""Shared experiment infrastructure: splits, method registry, evaluation.
+"""Shared experiment infrastructure: splits, method resolution, evaluation.
 
 The paper trains on a handful of *known* configurations and evaluates on
 the remaining ones across all eight riscv-tests workloads.  ``TRAIN_SETS``
 fixes the training configurations per budget (spread across the scale
 range, smallest and largest always included, as a practicing architect
 would pick known designs).
+
+Methods resolve exclusively through the :mod:`repro.api` registry — the
+evaluation below drives every model through the ``PowerModel`` protocol
+(``predict_totals`` over one event batch per test configuration) with no
+per-method branches.
 """
 
 from __future__ import annotations
@@ -13,12 +18,9 @@ from dataclasses import dataclass, field
 
 import numpy as np
 
+import repro.api as api
 from repro.arch.config import BOOM_CONFIGS, BoomConfig, config_by_name
 from repro.arch.workloads import WORKLOADS, Workload
-from repro.baselines.autopower_minus import AutoPowerMinus
-from repro.baselines.mcpat_calib import McPatCalib
-from repro.baselines.mcpat_calib_component import McPatCalibComponent
-from repro.core.autopower import AutoPower
 from repro.ml.metrics import mape, pearson_r, r2_score
 from repro.vlsi.flow import VlsiFlow
 
@@ -114,46 +116,24 @@ class AccuracyResult:
 
 
 def fit_method(
-    name: str, flow: VlsiFlow, train_configs, workloads, n_jobs: int | None = None
+    name: str, flow: VlsiFlow, train_configs, workloads, n_jobs: int | None = None,
+    **kwargs,
 ):
-    """Construct and fit one method by registry name.
+    """Construct and fit one method through the :mod:`repro.api` registry.
 
-    ``n_jobs`` parallelizes the sub-model fits of the methods that
-    decompose into independent tasks (AutoPower and AutoPower−); the
-    McPAT-Calib baselines fit one monolithic model and ignore it.
+    ``name`` is a registry name or alias (the historical display names in
+    ``METHOD_NAMES`` resolve).  ``n_jobs`` parallelizes the sub-model fits
+    of the methods that decompose into independent tasks; the monolithic
+    baselines ignore it.  Extra keyword arguments reach the method's
+    constructor (e.g. ``use_program_features=False``).
     """
-    if name == "AutoPower":
-        return AutoPower(library=flow.library, n_jobs=n_jobs).fit(
-            flow, train_configs, workloads
-        )
-    if name == "McPAT-Calib":
-        return McPatCalib().fit(flow, train_configs, workloads)
-    if name == "McPAT-Calib+Comp":
-        return McPatCalibComponent().fit(flow, train_configs, workloads)
-    if name == "AutoPower-":
-        return AutoPowerMinus(n_jobs=n_jobs).fit(flow, train_configs, workloads)
-    raise KeyError(f"unknown method {name!r}; expected one of {METHOD_NAMES}")
-
-
-def _predict_total(model, config: BoomConfig, events, workload: Workload) -> float:
-    # All methods expose predict_total; AutoPower and AutoPower- also need
-    # the workload for program-level features.
-    if isinstance(model, (AutoPower, AutoPowerMinus)):
-        return model.predict_total(config, events, workload)
-    return model.predict_total(config, events)
-
-
-def _predict_totals(model, config: BoomConfig, events_list, workloads) -> np.ndarray:
-    """Totals over one test config's workloads, batched when supported."""
-    if hasattr(model, "predict_totals"):
-        return np.asarray(
-            model.predict_totals(config, events_list, list(workloads)), dtype=float
-        )
-    return np.array(
-        [
-            _predict_total(model, config, events, w)
-            for events, w in zip(events_list, workloads)
-        ]
+    return api.fit(
+        name,
+        flow=flow,
+        train_configs=train_configs,
+        workloads=workloads,
+        n_jobs=n_jobs,
+        **kwargs,
     )
 
 
@@ -194,9 +174,16 @@ def evaluate_methods(
         c.name: [flow.run(c, w).events for w in workloads] for c in test
     }
     for name, model in fitted.items():
+        # Every method satisfies the PowerModel protocol: one batched
+        # predict_totals call per test configuration, no method branches.
         y_pred = np.concatenate(
             [
-                _predict_totals(model, c, events_by_config[c.name], workloads)
+                np.asarray(
+                    model.predict_totals(
+                        c, events_by_config[c.name], list(workloads)
+                    ),
+                    dtype=float,
+                )
                 for c in test
             ]
         )

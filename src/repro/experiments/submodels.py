@@ -13,8 +13,7 @@ import numpy as np
 
 from repro.arch.components import COMPONENTS
 from repro.arch.workloads import WORKLOADS
-from repro.core.autopower import AutoPower
-from repro.experiments.runner import test_configs_for, train_configs_for
+from repro.experiments.runner import fit_method, test_configs_for, train_configs_for
 from repro.experiments.tables import format_table
 from repro.ml.metrics import mape
 from repro.vlsi.flow import VlsiFlow
@@ -81,9 +80,7 @@ def run(
         flow = VlsiFlow()
     train = train_configs_for(n_train)
     test = test_configs_for(n_train)
-    model = AutoPower(library=flow.library, n_jobs=n_jobs).fit(
-        flow, train, list(WORKLOADS)
-    )
+    model = fit_method("autopower", flow, train, list(WORKLOADS), n_jobs=n_jobs)
 
     reg_mape: dict[str, float] = {}
     gate_mape: dict[str, float] = {}

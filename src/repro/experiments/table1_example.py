@@ -14,7 +14,7 @@ from dataclasses import dataclass
 
 from repro.arch.config import BOOM_CONFIGS, config_by_name
 from repro.arch.workloads import WORKLOADS
-from repro.core.autopower import AutoPower
+from repro.experiments.runner import fit_method
 from repro.experiments.tables import format_table
 from repro.vlsi.flow import VlsiFlow
 
@@ -47,7 +47,7 @@ def run(flow: VlsiFlow | None = None) -> Table1Result:
     if flow is None:
         flow = VlsiFlow()
     train = [config_by_name("C1"), config_by_name("C15")]
-    model = AutoPower(library=flow.library).fit(flow, train, list(WORKLOADS))
+    model = fit_method("autopower", flow, train, list(WORKLOADS))
     laws = model.sram_model.laws("meta")
 
     shapes = {}

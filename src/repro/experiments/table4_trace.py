@@ -15,7 +15,7 @@ import numpy as np
 
 from repro.arch.config import config_by_name
 from repro.arch.workloads import LARGE_WORKLOADS, WORKLOADS
-from repro.core.autopower import AutoPower
+from repro.experiments.runner import fit_method
 from repro.experiments.tables import format_table
 from repro.power.trace import golden_trace_power
 from repro.sim.trace import WindowTraceGenerator
@@ -68,7 +68,7 @@ def run(
     if flow is None:
         flow = VlsiFlow()
     train = [config_by_name("C1"), config_by_name("C15")]
-    model = AutoPower(library=flow.library).fit(flow, train, list(WORKLOADS))
+    model = fit_method("autopower", flow, train, list(WORKLOADS))
     generator = WindowTraceGenerator(window_cycles=50)
 
     rows: list[TraceRow] = []

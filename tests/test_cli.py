@@ -13,6 +13,14 @@ class TestCli:
         assert "fig4" in out
         assert "table4" in out
 
+    def test_listing_includes_methods_and_model_commands(self, capsys):
+        assert main([]) == 0
+        out = capsys.readouterr().out
+        assert "autopower" in out
+        assert "mcpat-calib" in out
+        assert "fit <method>" in out
+        assert "predict --model" in out
+
     def test_unknown_experiment_exits_nonzero_with_message(self, capsys):
         assert main(["fig99"]) == 2
         err = capsys.readouterr().err
@@ -60,3 +68,61 @@ class TestCli:
         out = capsys.readouterr().out
         assert "240" in out
         assert "all shapes exact: True" in out
+
+
+class TestModelCommands:
+    def test_fit_then_predict_round_trip(self, tmp_path, capsys):
+        model_path = tmp_path / "model.json"
+        assert main(["fit", "mcpat-calib", "--out", str(model_path)]) == 0
+        assert model_path.exists()
+        out = capsys.readouterr().out
+        assert "McPAT-Calib" in out
+
+        assert main(
+            [
+                "predict",
+                "--model",
+                str(model_path),
+                "--config",
+                "C8,C9",
+                "--workload",
+                "dhrystone,qsort",
+            ]
+        ) == 0
+        out = capsys.readouterr().out
+        assert out.count("C8") == 2  # one row per (config, workload)
+        assert out.count("qsort") == 2
+
+    def test_fit_unknown_method_exits_two(self, tmp_path, capsys):
+        assert main(["fit", "xgboost", "--out", str(tmp_path / "x.json")]) == 2
+        err = capsys.readouterr().err
+        assert "unknown method 'xgboost'" in err
+        assert "autopower" in err  # the message lists the registry
+
+    def test_fit_unknown_train_config_exits_two(self, tmp_path, capsys):
+        assert main(
+            ["fit", "mcpat", "--out", str(tmp_path / "x.json"), "--train", "C99"]
+        ) == 2
+        assert "C99" in capsys.readouterr().err
+
+    def test_predict_missing_model_exits_two(self, tmp_path, capsys):
+        assert main(["predict", "--model", str(tmp_path / "absent.json")]) == 2
+        assert "cannot load" in capsys.readouterr().err
+
+    def test_predict_report_flag(self, tmp_path, capsys):
+        model_path = tmp_path / "ap.json"
+        assert main(["fit", "autopower", "--out", str(model_path)]) == 0
+        capsys.readouterr()
+        assert main(
+            ["predict", "--model", str(model_path), "--report"]
+        ) == 0
+        out = capsys.readouterr().out
+        assert "clock" in out
+        assert "sram" in out
+
+    def test_predict_report_unsupported_exits_two(self, tmp_path, capsys):
+        model_path = tmp_path / "mc.json"
+        assert main(["fit", "mcpat", "--out", str(model_path)]) == 0
+        capsys.readouterr()
+        assert main(["predict", "--model", str(model_path), "--report"]) == 2
+        assert "reports" in capsys.readouterr().err
