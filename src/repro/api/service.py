@@ -29,6 +29,7 @@ bounded buffering.
 
 from __future__ import annotations
 
+import threading
 from dataclasses import dataclass
 from typing import Any, Iterable, Iterator, Sequence
 
@@ -72,9 +73,18 @@ class PredictRequest:
         if self.kind == "trace":
             if self.scales is None:
                 raise ValueError("trace requests need activity scales")
-            object.__setattr__(
-                self, "scales", np.asarray(self.scales, dtype=float)
-            )
+            scales = np.asarray(self.scales, dtype=float)
+            if scales.size == 0:
+                raise ValueError(
+                    "trace requests need at least one activity scale"
+                )
+            if not np.all(np.isfinite(scales)) or np.any(scales <= 0):
+                raise ValueError("activity scales must be positive and finite")
+            object.__setattr__(self, "scales", scales)
+            if self.window_cycles <= 0:
+                raise ValueError(
+                    f"window_cycles must be positive, got {self.window_cycles!r}"
+                )
         elif self.scales is not None:
             raise ValueError("scales are only valid for trace requests")
 
@@ -111,6 +121,9 @@ class ServiceStats:
             "batched_intervals": self.batched_intervals,
         }
 
+    # PredictionService.stats_snapshot is the torn-read-free variant for
+    # readers on another thread than the submitter (e.g. /stats).
+
 
 def _predict_totals_task(payload: dict) -> np.ndarray:
     """One coalesced totals call — the picklable executor task."""
@@ -145,6 +158,14 @@ class PredictionService:
     max_batch_size:
         Upper bound on intervals per coalesced model call (``None`` =
         unbounded).
+
+    Thread safety: :meth:`submit_many` may be called concurrently from
+    multiple threads (the async gateway offloads submissions to a worker
+    thread while the event loop keeps accepting).  Model predictions are
+    read-only, every submission is validated before any model call runs
+    (a rejected submission does no work and leaves ``stats`` untouched),
+    and the stats counters are applied once per completed submission
+    under a lock.
     """
 
     def __init__(
@@ -161,6 +182,13 @@ class PredictionService:
         self.backend = backend
         self.max_batch_size = max_batch_size
         self.stats = ServiceStats()
+        self._stats_lock = threading.Lock()
+
+    def stats_snapshot(self) -> dict:
+        """The :class:`ServiceStats` snapshot, taken under the stats lock
+        so a concurrent submission can't be observed half-applied."""
+        with self._stats_lock:
+            return self.stats.snapshot()
 
     # ------------------------------------------------------------------
     def predict(self, request: PredictRequest) -> PredictResponse:
@@ -189,7 +217,8 @@ class PredictionService:
         """
         requests = list(requests)
         self._validate(requests)
-        self.stats.requests += len(requests)
+        model_calls = 0
+        batched_intervals = 0
         responses: list[PredictResponse | None] = [None] * len(requests)
 
         # -- totals: coalesce per config, chunk, fan out -----------------
@@ -213,9 +242,9 @@ class PredictionService:
         if chunks:
             executor = get_executor(self.n_jobs, self.backend)
             totals = executor.map(_predict_totals_task, [p for _, p in chunks])
-            self.stats.model_calls += len(chunks)
+            model_calls += len(chunks)
             for (part, _payload), values in zip(chunks, totals):
-                self.stats.batched_intervals += len(part)
+                batched_intervals += len(part)
                 for i, value in zip(part, np.asarray(values, dtype=float)):
                     responses[i] = self._response(
                         requests[i], total=float(value)
@@ -224,8 +253,8 @@ class PredictionService:
         # -- reports: batch per config where the model supports it -------
         for part in self._config_chunks(requests, "report"):
             reports, n_calls = self._predict_reports(part, requests)
-            self.stats.model_calls += n_calls
-            self.stats.batched_intervals += len(part)
+            model_calls += n_calls
+            batched_intervals += len(part)
             for i, report in zip(part, reports):
                 responses[i] = self._response(
                     requests[i], total=float(report.total), report=report
@@ -242,11 +271,20 @@ class PredictionService:
                 req.scales,
                 window_cycles=req.window_cycles,
             )
-            self.stats.model_calls += 1
-            self.stats.batched_intervals += 1
+            model_calls += 1
+            batched_intervals += 1
             responses[i] = self._response(requests[i], trace=trace)
 
-        self.stats.responses += len(responses)
+        # Counters are applied once per submission, after every model call
+        # succeeded, under a lock: a failing submission leaves the stats
+        # untouched, and concurrent submit_many callers (the async gateway
+        # offloads submissions to executor threads) can't interleave the
+        # read-modify-write increments.
+        with self._stats_lock:
+            self.stats.requests += len(requests)
+            self.stats.responses += len(responses)
+            self.stats.model_calls += model_calls
+            self.stats.batched_intervals += batched_intervals
         return responses  # every kind above filled its slots
 
     # ------------------------------------------------------------------
@@ -269,6 +307,16 @@ class PredictionService:
                 raise TypeError(
                     f"{type(self.model).__name__} does not support trace requests"
                 )
+        # Workload mixing is a per-chunk property: every coalesced model
+        # call needs either all-workload or no-workload rows.  Checking the
+        # exact chunks the execution phases will use keeps the semantics
+        # identical (a max_batch_size split that happens to separate the
+        # mix stays accepted) while firing *before* any model call.
+        for part in self._config_chunks(requests, "total"):
+            _workload_arg([requests[i].workload for i in part])
+        if callable(getattr(self.model, "predict_reports", None)):
+            for part in self._config_chunks(requests, "report"):
+                _workload_arg([requests[i].workload for i in part])
 
     def _config_chunks(
         self, requests: list[PredictRequest], kind: str
@@ -318,6 +366,13 @@ class PredictionService:
         :meth:`submit_many` (so per-config coalescing still applies
         within a buffer), and yields responses as each buffer completes —
         the shape a long-running caller (or an async gateway) consumes.
+
+        Error semantics: each buffer is validated and served
+        independently.  A bad request surfaces as an exception at the
+        failing buffer's yield point — responses for earlier buffers have
+        already been yielded and stay valid, the failing buffer runs no
+        model work and contributes nothing to ``stats``, and requests in
+        later buffers are never consumed from the iterable.
         """
         if chunk_size < 1:
             raise ValueError("chunk_size must be positive")

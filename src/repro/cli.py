@@ -10,7 +10,10 @@ Three command families:
 * ``python -m repro predict --model model.json`` — load a model file and
   predict configurations from performance-simulator events alone via the
   batched :class:`repro.api.PredictionService` (the architect's half; no
-  EDA flow involved).
+  EDA flow involved),
+* ``python -m repro serve --model model.json --port N`` — the same
+  hand-off as a long-running asyncio HTTP/JSON gateway
+  (:mod:`repro.serving`) with cross-request micro-batching.
 
 Bare ``python -m repro`` lists the experiments and registered methods.
 """
@@ -18,6 +21,7 @@ Bare ``python -m repro`` lists the experiments and registered methods.
 from __future__ import annotations
 
 import argparse
+import asyncio
 import sys
 import time
 
@@ -70,6 +74,7 @@ def _print_overview() -> None:
         "\nmodel commands:"
         "\n  fit <method> --out model.json [--train C1,C15] [--jobs N]"
         "\n  predict --model model.json [--config C8[,C9]] [--workload dhrystone]"
+        "\n  serve --model model.json [--port 8000] [--max-wait-ms W]"
     )
 
 
@@ -127,6 +132,14 @@ def _cmd_fit(argv: list[str]) -> int:
     return 0
 
 
+def _format_prediction_row(response) -> str:
+    """One prediction table row; workload-free responses print ``-``."""
+    workload = response.workload_name or "-"
+    return (
+        f"{response.config_name:>8s} {workload:>12s} {response.total:13.2f}"
+    )
+
+
 def _cmd_predict(argv: list[str]) -> int:
     """``python -m repro predict --model model.json``."""
     parser = argparse.ArgumentParser(
@@ -168,6 +181,15 @@ def _cmd_predict(argv: list[str]) -> int:
         print(f"error: cannot load {args.model}: {exc}", file=sys.stderr)
         return 2
     try:
+        spec = api.spec_for(model)
+    except KeyError:
+        print(
+            f"error: {args.model} holds an unregistered model class "
+            f"({type(model).__name__}); register its method before predicting",
+            file=sys.stderr,
+        )
+        return 2
+    try:
         configs = [
             config_by_name(n.strip()) for n in args.config.split(",") if n.strip()
         ]
@@ -196,17 +218,109 @@ def _cmd_predict(argv: list[str]) -> int:
         for w in workload_list
     ]
     service = api.PredictionService(model)
-    spec = api.spec_for(model)
     print(f"model: {spec.display_name} ({args.model})")
     print(f"{'config':>8s} {'workload':>12s} {'predicted mW':>13s}")
     for response in service.stream(requests):
-        print(
-            f"{response.config_name:>8s} {response.workload_name:>12s} "
-            f"{response.total:13.2f}"
-        )
+        print(_format_prediction_row(response))
         if response.report is not None:
             for group in POWER_GROUPS:
                 print(f"{'':>21s} {group:>9s}: {response.report.group_total(group):9.2f}")
+    return 0
+
+
+def _cmd_serve(argv: list[str]) -> int:
+    """``python -m repro serve --model model.json --port N``."""
+    parser = argparse.ArgumentParser(
+        prog="python -m repro serve",
+        description=(
+            "Serve a saved model over HTTP/JSON (repro.serving): concurrent "
+            "POST /predict requests coalesce into batched model calls; "
+            "GET /healthz and GET /stats expose liveness and serving counters."
+        ),
+    )
+    parser.add_argument(
+        "--model", required=True, metavar="PATH", help="model JSON file to load"
+    )
+    parser.add_argument("--host", default="127.0.0.1", help="bind address")
+    parser.add_argument(
+        "--port", type=int, default=8000, help="bind port (0 = ephemeral)"
+    )
+    parser.add_argument(
+        "--max-wait-ms",
+        type=float,
+        default=2.0,
+        metavar="W",
+        help=(
+            "how long a batch may wait for more requests after its first "
+            "one arrived (0 = flush immediately; default: 2.0)"
+        ),
+    )
+    parser.add_argument(
+        "--max-batch-size",
+        type=int,
+        default=64,
+        metavar="B",
+        help="flush as soon as this many requests are waiting (default: 64)",
+    )
+    parser.add_argument(
+        "--jobs",
+        type=int,
+        default=None,
+        metavar="N",
+        help="parallel fan-out of the per-configuration model calls",
+    )
+    args = parser.parse_args(argv)
+    try:
+        model = api.load_model(args.model)
+    except (OSError, ValueError, KeyError) as exc:
+        print(f"error: cannot load {args.model}: {exc}", file=sys.stderr)
+        return 2
+    try:
+        label = api.spec_for(model).display_name
+    except KeyError:
+        label = type(model).__name__
+    if args.max_wait_ms < 0 or args.max_batch_size < 1:
+        print(
+            "error: --max-wait-ms must be >= 0 and --max-batch-size >= 1",
+            file=sys.stderr,
+        )
+        return 2
+
+    from repro.serving import Gateway
+
+    service = api.PredictionService(model, n_jobs=args.jobs)
+    gateway = Gateway(
+        service,
+        host=args.host,
+        port=args.port,
+        max_batch_size=args.max_batch_size,
+        max_wait_ms=args.max_wait_ms,
+    )
+
+    async def run() -> None:
+        await gateway.start()
+        print(
+            f"serving {label} ({args.model}) on "
+            f"http://{gateway.host}:{gateway.port}",
+            flush=True,
+        )
+        print(
+            "endpoints: POST /predict, GET /healthz, GET /stats "
+            "(Ctrl-C to stop)",
+            flush=True,
+        )
+        try:
+            await gateway.serve_forever()
+        finally:
+            await gateway.stop()
+
+    try:
+        asyncio.run(run())
+    except KeyboardInterrupt:
+        pass
+    except OSError as exc:  # e.g. the port is already bound
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
     return 0
 
 
@@ -216,6 +330,8 @@ def main(argv: list[str] | None = None) -> int:
         return _cmd_fit(argv[1:])
     if argv and argv[0] == "predict":
         return _cmd_predict(argv[1:])
+    if argv and argv[0] == "serve":
+        return _cmd_serve(argv[1:])
 
     parser = argparse.ArgumentParser(
         prog="python -m repro",

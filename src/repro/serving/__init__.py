@@ -1,0 +1,35 @@
+"""``repro.serving`` — the async HTTP serving layer over ``repro.api``.
+
+A fitted AutoPower-style model answers architecture-side power queries
+from performance-simulator events alone — no EDA flow in the loop —
+which makes it a natural long-running service.  This package is that
+service: an asyncio HTTP/JSON gateway (stdlib only, no new runtime
+dependencies) whose core is a **cross-request micro-batcher** — requests
+from concurrent HTTP callers coalesce into shared
+:meth:`~repro.api.service.PredictionService.submit_many` calls, with
+responses bitwise-equal to direct per-request service calls.
+
+* :class:`Gateway` — the asyncio server (``POST /predict``,
+  ``GET /healthz``, ``GET /stats``),
+* :class:`MicroBatcher` — the queue/flush coalescing layer,
+* :class:`GatewayThread` — a synchronous handle running the gateway on
+  a background event loop (what tests and benchmarks use),
+* :mod:`repro.serving.wire` — the JSON request/response codec with
+  structured 400/422 errors.
+
+Command line::
+
+    python -m repro serve --model model.json --port 8000 --max-wait-ms 2
+"""
+
+from repro.serving.batcher import MicroBatcher
+from repro.serving.gateway import Gateway, GatewayStats, GatewayThread
+from repro.serving.wire import WireError
+
+__all__ = [
+    "Gateway",
+    "GatewayStats",
+    "GatewayThread",
+    "MicroBatcher",
+    "WireError",
+]

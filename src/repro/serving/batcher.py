@@ -1,0 +1,200 @@
+"""Cross-request adaptive micro-batching for the serving gateway.
+
+The :class:`~repro.api.service.PredictionService` already coalesces the
+requests *inside one submission*; a gateway's opportunity is bigger —
+concurrent HTTP callers each carry one request, and those can be
+coalesced *across callers*.  :class:`MicroBatcher` is that layer: every
+request lands in one asyncio queue, a single collector task drains it
+into batches (flushing when ``max_batch_size`` requests are waiting or
+the ``max_wait_ms`` window since the batch's first request expires —
+with no wait at all for traffic that is already queued), and each batch
+becomes one :meth:`~repro.api.service.PredictionService.submit_many`
+call.  Results are bitwise-equal to direct per-request service calls:
+the service pins that chunking never changes values.
+
+The blocking model call runs in a private single-thread executor via
+``run_in_executor``, so the event loop keeps accepting and queueing new
+requests while a flush is being served — the next flush picks up
+everything that arrived in the meantime.  The single worker thread also
+serializes model calls, which keeps one flush's latency from stretching
+another's.
+
+Two requests from unrelated callers may disagree on whether they carry
+a workload; ``submit_many`` rejects such a mix inside one coalesced
+chunk, so a flush partitions its batch into workload-carrying and
+workload-free halves first.  If a batch call still fails, the batch is
+retried request-by-request so one poison request cannot fail its
+flush-mates.
+"""
+
+from __future__ import annotations
+
+import asyncio
+from concurrent.futures import ThreadPoolExecutor
+
+from repro.api.service import PredictRequest, PredictResponse, PredictionService
+
+__all__ = ["MicroBatcher"]
+
+
+class MicroBatcher:
+    """Coalesce concurrent :meth:`submit` calls into batched service calls.
+
+    Parameters
+    ----------
+    service:
+        The :class:`~repro.api.service.PredictionService` to drive.
+    max_batch_size:
+        Flush as soon as this many requests are waiting.
+    max_wait_ms:
+        How long a batch may wait for more requests after its first one
+        arrived (``0`` = flush immediately with whatever is queued).
+    """
+
+    def __init__(
+        self,
+        service: PredictionService,
+        max_batch_size: int = 64,
+        max_wait_ms: float = 2.0,
+    ) -> None:
+        if max_batch_size < 1:
+            raise ValueError("max_batch_size must be positive")
+        if max_wait_ms < 0:
+            raise ValueError("max_wait_ms must be non-negative")
+        self.service = service
+        self.max_batch_size = max_batch_size
+        self.max_wait_ms = max_wait_ms
+        self.flushes = 0
+        self.flushed_requests = 0
+        self.max_flush_size = 0
+        self._queue: asyncio.Queue | None = None
+        self._task: asyncio.Task | None = None
+        self._executor: ThreadPoolExecutor | None = None
+
+    @property
+    def queue_depth(self) -> int:
+        """Requests waiting for the next flush, right now."""
+        return self._queue.qsize() if self._queue is not None else 0
+
+    # ------------------------------------------------------------------
+    async def start(self) -> None:
+        if self._task is not None:
+            raise RuntimeError("batcher is already running")
+        self._queue = asyncio.Queue()
+        self._executor = ThreadPoolExecutor(
+            max_workers=1, thread_name_prefix="repro-serving-model"
+        )
+        self._task = asyncio.create_task(self._run())
+
+    async def stop(self) -> None:
+        if self._task is None:
+            return
+        self._task.cancel()
+        try:
+            await self._task
+        except asyncio.CancelledError:
+            pass
+        self._task = None
+        while self._queue is not None and not self._queue.empty():
+            _request, future = self._queue.get_nowait()
+            if not future.done():
+                future.set_exception(RuntimeError("batcher stopped"))
+        self._executor.shutdown(wait=False)
+        self._executor = None
+        self._queue = None
+
+    async def submit(self, request: PredictRequest) -> PredictResponse:
+        """Enqueue one request and wait for its batched response."""
+        if self._task is None:
+            raise RuntimeError("batcher is not running (call start() first)")
+        future = asyncio.get_running_loop().create_future()
+        self._queue.put_nowait((request, future))
+        return await future
+
+    # ------------------------------------------------------------------
+    async def _run(self) -> None:
+        while True:
+            batch = [await self._queue.get()]
+            try:
+                self._drain_into(batch)
+                if self.max_wait_ms > 0 and len(batch) < self.max_batch_size:
+                    loop = asyncio.get_running_loop()
+                    deadline = loop.time() + self.max_wait_ms / 1000.0
+                    while len(batch) < self.max_batch_size:
+                        timeout = deadline - loop.time()
+                        if timeout <= 0:
+                            break
+                        try:
+                            batch.append(
+                                await asyncio.wait_for(
+                                    self._queue.get(), timeout
+                                )
+                            )
+                        except asyncio.TimeoutError:
+                            break
+                        self._drain_into(batch)
+                await self._flush(batch)
+            except asyncio.CancelledError:
+                # stop() mid-collection or mid-flush: the batch items are
+                # already out of the queue, so the queue drain in stop()
+                # can't see them — fail their futures here or their
+                # submitters would await forever.
+                for _request, future in batch:
+                    if not future.done():
+                        future.set_exception(RuntimeError("batcher stopped"))
+                raise
+
+    def _drain_into(self, batch: list) -> None:
+        """Opportunistically absorb already-queued requests (no waiting)."""
+        while len(batch) < self.max_batch_size:
+            try:
+                batch.append(self._queue.get_nowait())
+            except asyncio.QueueEmpty:
+                break
+
+    async def _flush(self, batch: list) -> None:
+        self.flushes += 1
+        self.flushed_requests += len(batch)
+        self.max_flush_size = max(self.max_flush_size, len(batch))
+        # submit_many rejects coalesced chunks that mix workload-carrying
+        # and workload-free rows; unrelated callers may mix, so partition.
+        with_workload = [item for item in batch if item[0].workload is not None]
+        without = [item for item in batch if item[0].workload is None]
+        for items in (with_workload, without):
+            if items:
+                await self._serve(items)
+
+    async def _serve(self, items: list) -> None:
+        loop = asyncio.get_running_loop()
+        requests = [request for request, _future in items]
+        try:
+            responses = await loop.run_in_executor(
+                self._executor, self.service.submit_many, requests
+            )
+        except asyncio.CancelledError:
+            raise
+        except Exception as exc:
+            if len(items) == 1:
+                _request, future = items[0]
+                if not future.done():
+                    future.set_exception(exc)
+                return
+            # Isolate the poison request: serve the batch one by one so
+            # only the guilty request's caller sees the failure.
+            for request, future in items:
+                try:
+                    response = await loop.run_in_executor(
+                        self._executor, self.service.submit_many, [request]
+                    )
+                except asyncio.CancelledError:
+                    raise
+                except Exception as single_exc:
+                    if not future.done():
+                        future.set_exception(single_exc)
+                else:
+                    if not future.done():
+                        future.set_result(response[0])
+            return
+        for (_request, future), response in zip(items, responses):
+            if not future.done():
+                future.set_result(response)

@@ -1,0 +1,388 @@
+"""Asyncio HTTP/JSON gateway over the prediction service.
+
+A deliberately small HTTP/1.1 server hand-rolled on
+:func:`asyncio.start_server` — no web framework, no new dependencies.
+Three endpoints:
+
+* ``POST /predict`` — one request object or a list of them (see
+  :mod:`repro.serving.wire`); single object in, single object out.
+  Every request flows through the cross-request
+  :class:`~repro.serving.batcher.MicroBatcher`, so concurrent callers
+  coalesce into shared model calls.
+* ``GET /healthz`` — liveness plus the loaded model's identity and the
+  request kinds it can serve.
+* ``GET /stats`` — the service's :class:`~repro.api.service.ServiceStats`
+  snapshot plus gateway-level counters: HTTP/predict request counts,
+  per-status error counts, live queue depth, flush count/sizes and
+  p50/p95 request latency over a sliding window.
+
+Connections are keep-alive by default (``Connection: close`` honored);
+errors answer with the structured body from
+:func:`repro.serving.wire.encode_error` — 400 for malformed requests,
+422 for kinds the loaded model cannot serve, 404/405 for unknown
+routes, 500 for unexpected server-side failures.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import json
+import threading
+from collections import deque
+from typing import Any
+
+from repro.api.service import PredictionService
+from repro.serving import wire
+from repro.serving.batcher import MicroBatcher
+
+__all__ = ["Gateway", "GatewayStats", "GatewayThread"]
+
+_MAX_BODY_BYTES = 8 * 1024 * 1024
+_REASONS = {
+    200: "OK",
+    400: "Bad Request",
+    404: "Not Found",
+    405: "Method Not Allowed",
+    413: "Payload Too Large",
+    422: "Unprocessable Entity",
+    500: "Internal Server Error",
+}
+
+
+class _HttpError(Exception):
+    """Transport-level refusal (malformed HTTP); closes the connection."""
+
+    def __init__(self, status: int, message: str) -> None:
+        super().__init__(message)
+        self.status = status
+        self.message = message
+
+
+class GatewayStats:
+    """Gateway-level counters (the batching layer's observability)."""
+
+    def __init__(self, latency_window: int = 1024) -> None:
+        self.http_requests = 0
+        self.predict_requests = 0
+        self.predict_responses = 0
+        self.errors: dict[int, int] = {}
+        self._latencies: deque[float] = deque(maxlen=latency_window)
+
+    def record_error(self, status: int) -> None:
+        self.errors[status] = self.errors.get(status, 0) + 1
+
+    def record_latency(self, seconds: float) -> None:
+        self._latencies.append(seconds)
+
+    def latency_ms(self) -> dict:
+        """p50/p95 request latency (ms) over the sliding window."""
+        if not self._latencies:
+            return {"window": 0, "p50": None, "p95": None}
+        ordered = sorted(self._latencies)
+
+        def percentile(p: float) -> float:
+            index = min(len(ordered) - 1, round(p * (len(ordered) - 1)))
+            return ordered[index] * 1e3
+
+        return {
+            "window": len(ordered),
+            "p50": percentile(0.50),
+            "p95": percentile(0.95),
+        }
+
+    def snapshot(self) -> dict:
+        return {
+            "http_requests": self.http_requests,
+            "predict_requests": self.predict_requests,
+            "predict_responses": self.predict_responses,
+            "errors": {str(k): v for k, v in sorted(self.errors.items())},
+            "latency_ms": self.latency_ms(),
+        }
+
+
+class Gateway:
+    """The HTTP front end: one service, one batcher, one listener.
+
+    ``port=0`` binds an ephemeral port; the bound port is on
+    :attr:`port` after :meth:`start`.
+    """
+
+    def __init__(
+        self,
+        service: PredictionService,
+        host: str = "127.0.0.1",
+        port: int = 0,
+        max_batch_size: int = 64,
+        max_wait_ms: float = 2.0,
+    ) -> None:
+        self.service = service
+        self.host = host
+        self.port: int | None = None
+        self._requested_port = port
+        self.batcher = MicroBatcher(
+            service, max_batch_size=max_batch_size, max_wait_ms=max_wait_ms
+        )
+        self.stats = GatewayStats()
+        self._server: asyncio.base_events.Server | None = None
+
+    # ------------------------------------------------------------------
+    async def start(self) -> None:
+        await self.batcher.start()
+        self._server = await asyncio.start_server(
+            self._handle_client, self.host, self._requested_port
+        )
+        self.port = self._server.sockets[0].getsockname()[1]
+
+    async def stop(self) -> None:
+        if self._server is not None:
+            self._server.close()
+            await self._server.wait_closed()
+            self._server = None
+        await self.batcher.stop()
+
+    async def serve_forever(self) -> None:
+        await self._server.serve_forever()
+
+    # ------------------------------------------------------------------
+    async def _handle_client(
+        self, reader: asyncio.StreamReader, writer: asyncio.StreamWriter
+    ) -> None:
+        try:
+            while True:
+                try:
+                    parsed = await self._read_request(reader)
+                except _HttpError as exc:
+                    await self._respond(
+                        writer,
+                        exc.status,
+                        wire.encode_error(exc.status, exc.message),
+                        keep_alive=False,
+                    )
+                    break
+                if parsed is None:
+                    break
+                method, path, headers, body = parsed
+                keep_alive = headers.get("connection", "").lower() != "close"
+                self.stats.http_requests += 1
+                try:
+                    status, payload = await self._dispatch(method, path, body)
+                except wire.WireError as exc:
+                    status, payload = exc.status, wire.encode_error(
+                        exc.status, exc.message
+                    )
+                except asyncio.CancelledError:
+                    raise
+                except Exception as exc:  # unexpected server-side failure
+                    status, payload = 500, wire.encode_error(
+                        500, f"{type(exc).__name__}: {exc}"
+                    )
+                if status >= 400:
+                    self.stats.record_error(status)
+                await self._respond(writer, status, payload, keep_alive)
+                if not keep_alive:
+                    break
+        except (ConnectionResetError, BrokenPipeError, asyncio.IncompleteReadError):
+            pass
+        except asyncio.CancelledError:
+            # Server shutdown with the connection idle: close quietly
+            # (asyncio.streams' connection callback would otherwise log
+            # the cancellation as an unhandled task exception).
+            pass
+        finally:
+            writer.close()
+            try:
+                await writer.wait_closed()
+            except (ConnectionResetError, BrokenPipeError):
+                pass
+
+    async def _read_request(self, reader: asyncio.StreamReader):
+        """Parse one HTTP request; ``None`` on a cleanly closed connection."""
+        try:
+            line = await reader.readline()
+        except ValueError:  # request line longer than the stream limit
+            raise _HttpError(400, "request line too long") from None
+        if not line:
+            return None
+        try:
+            method, path, _version = line.decode("ascii").split()
+        except (UnicodeDecodeError, ValueError):
+            raise _HttpError(400, "malformed request line") from None
+        headers: dict[str, str] = {}
+        while True:
+            try:
+                header_line = await reader.readline()
+            except ValueError:
+                raise _HttpError(400, "header line too long") from None
+            if header_line in (b"\r\n", b"\n"):
+                break
+            if not header_line:
+                return None
+            name, sep, value = header_line.decode("latin-1").partition(":")
+            if not sep:
+                raise _HttpError(400, "malformed header line")
+            headers[name.strip().lower()] = value.strip()
+        try:
+            length = int(headers.get("content-length", "0"))
+        except ValueError:
+            raise _HttpError(400, "bad Content-Length") from None
+        if length < 0:
+            raise _HttpError(400, "bad Content-Length")
+        if length > _MAX_BODY_BYTES:
+            raise _HttpError(413, f"body exceeds {_MAX_BODY_BYTES} bytes")
+        body = await reader.readexactly(length) if length else b""
+        return method.upper(), path, headers, body
+
+    async def _respond(
+        self,
+        writer: asyncio.StreamWriter,
+        status: int,
+        payload: Any,
+        keep_alive: bool,
+    ) -> None:
+        body = json.dumps(payload).encode("utf-8")
+        head = (
+            f"HTTP/1.1 {status} {_REASONS.get(status, 'Unknown')}\r\n"
+            f"Content-Type: application/json\r\n"
+            f"Content-Length: {len(body)}\r\n"
+            f"Connection: {'keep-alive' if keep_alive else 'close'}\r\n"
+            f"\r\n"
+        ).encode("ascii")
+        writer.write(head + body)
+        await writer.drain()
+
+    # ------------------------------------------------------------------
+    async def _dispatch(self, method: str, path: str, body: bytes):
+        path = path.split("?", 1)[0]
+        if path == "/healthz":
+            if method != "GET":
+                return 405, wire.encode_error(405, "use GET /healthz")
+            return 200, {
+                "status": "ok",
+                "model": type(self.service.model).__name__,
+                "kinds": list(wire.supported_kinds(self.service.model)),
+            }
+        if path == "/stats":
+            if method != "GET":
+                return 405, wire.encode_error(405, "use GET /stats")
+            batcher = self.batcher
+            flushes = batcher.flushes
+            return 200, {
+                "service": self.service.stats_snapshot(),
+                "gateway": {
+                    **self.stats.snapshot(),
+                    "queue_depth": batcher.queue_depth,
+                    "flushes": flushes,
+                    "flushed_requests": batcher.flushed_requests,
+                    "mean_flush_size": (
+                        batcher.flushed_requests / flushes if flushes else None
+                    ),
+                    "max_flush_size": batcher.max_flush_size,
+                },
+            }
+        if path == "/predict":
+            if method != "POST":
+                return 405, wire.encode_error(405, "use POST /predict")
+            return await self._predict(body)
+        return 404, wire.encode_error(404, f"no route for {path!r}")
+
+    async def _predict(self, body: bytes):
+        try:
+            payload = json.loads(body.decode("utf-8"))
+        except (UnicodeDecodeError, json.JSONDecodeError):
+            raise wire.WireError(400, "request body is not valid JSON") from None
+        single = isinstance(payload, dict)
+        items = [payload] if single else payload
+        if not isinstance(items, list):
+            raise wire.WireError(400, "request must be an object or a list")
+        if not items:
+            raise wire.WireError(400, "request list is empty")
+        model = self.service.model
+        requests = [wire.decode_request(obj, model=model) for obj in items]
+        loop = asyncio.get_running_loop()
+        start = loop.time()
+        # return_exceptions so one failing request doesn't leave its
+        # siblings' exceptions unretrieved; wire validation already ran,
+        # so a failure here is a server-side error for the whole call.
+        responses = await asyncio.gather(
+            *(self.batcher.submit(request) for request in requests),
+            return_exceptions=True,
+        )
+        self.stats.record_latency(loop.time() - start)
+        for response in responses:
+            if isinstance(response, BaseException):
+                raise response
+        self.stats.predict_requests += len(requests)
+        self.stats.predict_responses += len(responses)
+        encoded = [wire.encode_response(response) for response in responses]
+        return 200, (encoded[0] if single else encoded)
+
+
+class GatewayThread:
+    """Run a :class:`Gateway` on a private event loop in a daemon thread.
+
+    The synchronous-world handle tests, benchmarks and embedding callers
+    use: ``start()`` returns once the port is bound, ``stop()`` tears the
+    loop down.  Usable as a context manager.
+    """
+
+    def __init__(self, service: PredictionService, **gateway_kwargs: Any) -> None:
+        self.gateway = Gateway(service, **gateway_kwargs)
+        self._loop: asyncio.AbstractEventLoop | None = None
+        self._thread: threading.Thread | None = None
+
+    @property
+    def port(self) -> int:
+        return self.gateway.port
+
+    @property
+    def host(self) -> str:
+        return self.gateway.host
+
+    def start(self) -> "GatewayThread":
+        if self._thread is not None:
+            raise RuntimeError("gateway thread is already running")
+        ready = threading.Event()
+        startup_error: list[BaseException] = []
+
+        def run() -> None:
+            loop = asyncio.new_event_loop()
+            self._loop = loop
+            asyncio.set_event_loop(loop)
+            try:
+                loop.run_until_complete(self.gateway.start())
+            except BaseException as exc:  # surface bind failures to start()
+                startup_error.append(exc)
+                ready.set()
+                loop.close()
+                return
+            ready.set()
+            try:
+                loop.run_forever()
+            finally:
+                loop.run_until_complete(self.gateway.stop())
+                loop.close()
+
+        self._thread = threading.Thread(
+            target=run, name="repro-gateway", daemon=True
+        )
+        self._thread.start()
+        ready.wait()
+        if startup_error:
+            self._thread.join()
+            self._thread = None
+            raise startup_error[0]
+        return self
+
+    def stop(self) -> None:
+        if self._thread is None:
+            return
+        self._loop.call_soon_threadsafe(self._loop.stop)
+        self._thread.join(timeout=10)
+        self._thread = None
+        self._loop = None
+
+    def __enter__(self) -> "GatewayThread":
+        return self.start()
+
+    def __exit__(self, *exc_info) -> None:
+        self.stop()

@@ -1,0 +1,186 @@
+"""JSON wire protocol for the serving gateway.
+
+One prediction request is one JSON object::
+
+    {"config": "C8", "workload": "dhrystone", "kind": "total",
+     "events": {"cycles": 50000.0, "instructions": 41000.0, ...}}
+
+``events`` carries the full event-count dict of one simulation interval
+(every name in :data:`repro.arch.events.EVENT_NAMES`); ``kind`` is
+``"total"`` (default), ``"report"`` or ``"trace"``; trace requests add
+``"scales"`` (list of activity scales) and optionally
+``"window_cycles"``.  Responses mirror the request identity and carry
+the payload field matching the kind — ``total`` (mW), ``report``
+(per-component power-group breakdown) or ``trace`` (per-window mW list).
+
+Decoding is strict and fails *before* anything reaches the model:
+
+* :class:`WireError` with status 400 — malformed request (unknown
+  fields, bad event names, empty scales, unknown config/workload, ...),
+* :class:`WireError` with status 422 — a well-formed request whose
+  ``kind`` the loaded model cannot serve (e.g. ``report`` against a
+  method without power-group reports).
+
+Floats survive the wire bitwise: ``json`` serializes via ``repr`` (the
+shortest round-tripping form), so a decoded response compares equal to
+the in-process :class:`~repro.api.service.PredictResponse` values.
+"""
+
+from __future__ import annotations
+
+from typing import Any
+
+from repro.api.service import PredictRequest, PredictResponse
+from repro.power.report import POWER_GROUPS, PowerReport
+
+__all__ = [
+    "WireError",
+    "decode_request",
+    "encode_error",
+    "encode_report",
+    "encode_request",
+    "encode_response",
+    "supported_kinds",
+]
+
+_REQUEST_FIELDS = frozenset(
+    {"config", "workload", "kind", "events", "scales", "window_cycles"}
+)
+
+
+class WireError(Exception):
+    """A request the gateway refuses, with the HTTP status to answer."""
+
+    def __init__(self, status: int, message: str) -> None:
+        super().__init__(message)
+        self.status = status
+        self.message = message
+
+
+def supported_kinds(model: Any) -> tuple[str, ...]:
+    """The request kinds a model can serve (mirrors service validation)."""
+    kinds = ["total"]
+    if callable(getattr(model, "predict_reports", None)) or callable(
+        getattr(model, "predict_report", None)
+    ):
+        kinds.append("report")
+    if callable(getattr(model, "predict_trace", None)):
+        kinds.append("trace")
+    return tuple(kinds)
+
+
+def decode_request(obj: Any, model: Any = None) -> PredictRequest:
+    """Decode one JSON request object into a :class:`PredictRequest`.
+
+    Raises :class:`WireError` (400) on any malformed payload; when
+    ``model`` is given, additionally raises :class:`WireError` (422) for
+    a kind the model cannot serve.
+    """
+    if not isinstance(obj, dict):
+        raise WireError(400, "request must be a JSON object")
+    unknown = set(obj) - _REQUEST_FIELDS
+    if unknown:
+        raise WireError(400, f"unknown request fields: {sorted(unknown)}")
+    config = obj.get("config")
+    if not isinstance(config, str):
+        raise WireError(400, "request needs a 'config' name string")
+    workload = obj.get("workload")
+    if workload is not None and not isinstance(workload, str):
+        raise WireError(400, "'workload' must be a name string or omitted")
+    kind = obj.get("kind", "total")
+    if not isinstance(kind, str):
+        raise WireError(400, "'kind' must be a string")
+    events_obj = obj.get("events")
+    if not isinstance(events_obj, dict):
+        raise WireError(400, "request needs an 'events' count object")
+
+    from repro.arch.events import EventParams
+
+    try:
+        counts = {str(k): float(v) for k, v in events_obj.items()}
+    except (TypeError, ValueError):
+        raise WireError(400, "event counts must be numbers") from None
+    kwargs: dict[str, Any] = {}
+    if "scales" in obj:
+        kwargs["scales"] = obj["scales"]
+    if "window_cycles" in obj:
+        window_cycles = obj["window_cycles"]
+        if not isinstance(window_cycles, (int, float)) or isinstance(
+            window_cycles, bool
+        ):
+            raise WireError(400, "'window_cycles' must be a number")
+        kwargs["window_cycles"] = window_cycles
+    try:
+        request = PredictRequest(
+            config=config,
+            events=EventParams(counts),
+            workload=workload,
+            kind=kind,
+            **kwargs,
+        )
+    except KeyError as exc:  # unknown config / workload name
+        raise WireError(400, str(exc.args[0] if exc.args else exc)) from None
+    except (TypeError, ValueError) as exc:
+        raise WireError(400, str(exc)) from None
+    if model is not None and request.kind not in supported_kinds(model):
+        raise WireError(
+            422,
+            f"{type(model).__name__} does not support "
+            f"{request.kind!r} requests",
+        )
+    return request
+
+
+def encode_request(request: PredictRequest) -> dict:
+    """The JSON object form of a request (the client side of the wire)."""
+    obj: dict[str, Any] = {
+        "config": request.config.name,
+        "kind": request.kind,
+        "events": dict(request.events.counts),
+    }
+    if request.workload is not None:
+        obj["workload"] = request.workload.name
+    if request.kind == "trace":
+        obj["scales"] = [float(s) for s in request.scales]
+        obj["window_cycles"] = request.window_cycles
+    return obj
+
+
+def encode_report(report: PowerReport) -> dict:
+    """Per-component power-group breakdown as plain JSON."""
+    return {
+        "total": float(report.total),
+        "groups": {g: float(report.group_total(g)) for g in POWER_GROUPS},
+        "components": [
+            {
+                "name": c.name,
+                "clock": float(c.clock),
+                "sram": float(c.sram),
+                "register": float(c.register),
+                "comb": float(c.comb),
+                "total": float(c.total),
+            }
+            for c in report.components
+        ],
+    }
+
+
+def encode_response(response: PredictResponse) -> dict:
+    """The JSON object form of one response (payload field per kind)."""
+    obj: dict[str, Any] = {
+        "config": response.config_name,
+        "workload": response.workload_name,
+        "kind": response.kind,
+    }
+    if response.total is not None:
+        obj["total"] = float(response.total)
+    if response.report is not None:
+        obj["report"] = encode_report(response.report)
+    if response.trace is not None:
+        obj["trace"] = [float(x) for x in response.trace]
+    return obj
+
+
+def encode_error(status: int, message: str) -> dict:
+    """The structured error body every non-2xx response carries."""
+    return {"error": {"status": status, "message": message}}

@@ -242,6 +242,33 @@ class TestPredictionService:
         with pytest.raises(ValueError, match="scales"):
             api.PredictRequest(c8, events, dhrystone, kind="trace")
 
+    @pytest.mark.parametrize(
+        "scales", [[], [0.0], [-1.0], [1.0, float("nan")]],
+        ids=["empty", "zero", "negative", "nan"],
+    )
+    def test_trace_rejects_unusable_scales_at_construction(
+        self, flow, c8, dhrystone, scales
+    ):
+        # Regression: empty or non-positive scale arrays used to survive
+        # construction and fail deep inside predict_trace, after other
+        # requests in the same submission had already run.
+        events = flow.run(c8, dhrystone).events
+        with pytest.raises(ValueError, match="scale"):
+            api.PredictRequest(
+                c8, events, dhrystone, kind="trace", scales=scales
+            )
+
+    @pytest.mark.parametrize("window_cycles", [0, -50])
+    def test_trace_rejects_nonpositive_window_at_construction(
+        self, flow, c8, dhrystone, window_cycles
+    ):
+        events = flow.run(c8, dhrystone).events
+        with pytest.raises(ValueError, match="window_cycles"):
+            api.PredictRequest(
+                c8, events, dhrystone, kind="trace",
+                scales=[0.9, 1.1], window_cycles=window_cycles,
+            )
+
     def test_batched_equals_single_bitwise(self, autopower2, requests):
         service = api.PredictionService(autopower2)
         batched = [r.total for r in service.submit_many(requests)]
@@ -348,6 +375,44 @@ class TestPredictionService:
         batched = service.submit_many(requests)
         assert [r.total for r in streamed] == [r.total for r in batched]
 
+    def test_stream_bad_buffer_keeps_prior_responses_and_stats(
+        self, fitted, requests
+    ):
+        # Pins the stream error semantics (documented on stream()): a bad
+        # request in buffer N surfaces at that buffer's yield point; the
+        # responses of earlier buffers were already yielded and stay
+        # valid, the failing buffer runs no model work and contributes
+        # nothing to stats, and later requests are never consumed.
+        service = api.PredictionService(fitted["mcpat-calib"])
+        bad = api.PredictRequest(
+            requests[0].config, requests[0].events, requests[0].workload,
+            kind="trace", scales=np.linspace(0.8, 1.2, 5),
+        )  # mcpat-calib has no predict_trace -> TypeError
+        consumed: list = []
+
+        def feed():
+            for request in requests[:4] + [bad] + requests[4:8]:
+                consumed.append(request)
+                yield request
+
+        stream = service.stream(feed(), chunk_size=4)
+        first_buffer = [next(stream) for _ in range(4)]
+        direct = api.PredictionService(fitted["mcpat-calib"]).submit_many(
+            requests[:4]
+        )
+        assert [r.total for r in first_buffer] == [r.total for r in direct]
+        with pytest.raises(TypeError, match="trace"):
+            next(stream)
+        # Only the good first buffer is on the books ...
+        expected_calls = len({r.config.name for r in requests[:4]})
+        assert service.stats.snapshot() == {
+            "requests": 4, "responses": 4, "model_calls": expected_calls,
+            "batched_intervals": 4,
+        }
+        # ... and nothing past the failing buffer was pulled from the
+        # iterable (4 good + 4 of the second buffer incl. the bad one).
+        assert len(consumed) == 8
+
     def test_stats_count_coalescing(self, autopower2, requests):
         service = api.PredictionService(autopower2)
         service.submit_many(requests)
@@ -356,6 +421,36 @@ class TestPredictionService:
         assert service.stats.responses == len(requests)
         assert service.stats.model_calls == n_configs
         assert service.stats.batched_intervals == len(requests)
+
+    def test_concurrent_submit_many_keeps_stats_consistent(
+        self, autopower2, requests
+    ):
+        # The re-entrancy contract the async gateway relies on: results
+        # are per-call and the stats counters are applied atomically per
+        # submission, so concurrent submitter threads can't drop or tear
+        # increments.
+        import threading
+
+        service = api.PredictionService(autopower2)
+        expected = [r.total for r in service.submit_many(requests)]
+        results: dict[int, list] = {}
+
+        def submit(slot: int) -> None:
+            results[slot] = [r.total for r in service.submit_many(requests)]
+
+        threads = [
+            threading.Thread(target=submit, args=(slot,)) for slot in range(4)
+        ]
+        for thread in threads:
+            thread.start()
+        for thread in threads:
+            thread.join()
+        for slot in range(4):
+            assert results[slot] == expected
+        snapshot = service.stats_snapshot()
+        assert snapshot["requests"] == 5 * len(requests)
+        assert snapshot["responses"] == 5 * len(requests)
+        assert snapshot["batched_intervals"] == 5 * len(requests)
 
     def test_parallel_fanout_matches_serial(self, autopower2, requests):
         serial = api.PredictionService(autopower2)
@@ -369,6 +464,45 @@ class TestPredictionService:
         bad = api.PredictRequest(requests[0].config, requests[0].events, None)
         with pytest.raises(ValueError, match="workload"):
             service.submit_many([requests[0], bad])
+
+    def test_report_chunk_workload_mix_rejected_before_any_model_call(
+        self, autopower2, requests
+    ):
+        # Regression: a workload mix inside a *report* chunk used to
+        # surface only while building report chunks — after every totals
+        # chunk had already run and mutated the stats, discarding the
+        # completed results.  The reject-before-work contract says the
+        # whole submission fails up front with the stats untouched.
+        service = api.PredictionService(autopower2)
+        request = requests[0]
+        mixed = [
+            request,  # a totals request that would have run first
+            api.PredictRequest(
+                request.config, request.events, request.workload, kind="report"
+            ),
+            api.PredictRequest(request.config, request.events, None, kind="report"),
+        ]
+        with pytest.raises(ValueError, match="workload"):
+            service.submit_many(mixed)
+        assert service.stats.snapshot() == {
+            "requests": 0, "responses": 0, "model_calls": 0,
+            "batched_intervals": 0,
+        }
+
+    def test_max_batch_size_split_that_separates_a_mix_stays_accepted(
+        self, fitted, requests
+    ):
+        # The mix check follows the exact chunks execution will use: when
+        # max_batch_size happens to split the workload-carrying and
+        # workload-free rows into different chunks, the submission is
+        # servable and must stay accepted (semantics unchanged by moving
+        # the check into _validate).
+        service = api.PredictionService(fitted["mcpat"], max_batch_size=1)
+        request = requests[0]
+        bare = api.PredictRequest(request.config, request.events, None)
+        responses = service.submit_many([request, bare])
+        assert responses[0].total == service.predict(request).total
+        assert responses[1].workload_name is None
 
 
 class TestRunnerRegistryIntegration:

@@ -2,7 +2,8 @@
 
 import pytest
 
-from repro.cli import EXPERIMENTS, main
+import repro.api as api
+from repro.cli import EXPERIMENTS, _format_prediction_row, main
 from repro.parallel import get_default_jobs
 
 
@@ -126,3 +127,47 @@ class TestModelCommands:
         capsys.readouterr()
         assert main(["predict", "--model", str(model_path), "--report"]) == 2
         assert "reports" in capsys.readouterr().err
+
+    def test_predict_unregistered_model_class_exits_two(
+        self, tmp_path, monkeypatch, capsys
+    ):
+        # Regression: a loaded model whose class is not registered used to
+        # escape as a raw KeyError traceback from api.spec_for.
+        class Unregistered:
+            pass
+
+        monkeypatch.setattr(api, "load_model", lambda path: Unregistered())
+        model_path = tmp_path / "m.json"
+        model_path.write_text("{}")
+        assert main(["predict", "--model", str(model_path)]) == 2
+        err = capsys.readouterr().err
+        assert "unregistered" in err
+        assert "Unregistered" in err
+
+    def test_prediction_row_prints_dash_for_missing_workload(self):
+        # Regression: f"{None:>12s}" used to raise TypeError for
+        # workload-free responses.
+        response = api.PredictResponse(
+            config_name="C8", workload_name=None, kind="total", total=123.456
+        )
+        row = _format_prediction_row(response)
+        assert "C8" in row
+        assert "-" in row
+        assert "123.46" in row
+
+    def test_serve_missing_model_exits_two(self, tmp_path, capsys):
+        assert main(["serve", "--model", str(tmp_path / "absent.json")]) == 2
+        assert "cannot load" in capsys.readouterr().err
+
+    def test_serve_rejects_bad_batching_knobs(self, tmp_path, capsys):
+        model_path = tmp_path / "mc.json"
+        assert main(["fit", "mcpat", "--out", str(model_path)]) == 0
+        capsys.readouterr()
+        assert main(
+            ["serve", "--model", str(model_path), "--max-wait-ms", "-1"]
+        ) == 2
+        assert "max-wait-ms" in capsys.readouterr().err
+
+    def test_listing_includes_serve_command(self, capsys):
+        assert main([]) == 0
+        assert "serve --model" in capsys.readouterr().out
