@@ -22,7 +22,7 @@ import pytest
 import repro.api as api
 from repro.arch.config import config_by_name
 from repro.arch.workloads import WORKLOADS
-from repro.serving import GatewayThread
+from repro.serving import GatewayThread, ResilienceConfig
 from repro.serving.wire import encode_request
 
 N_CLIENTS = 8
@@ -49,8 +49,14 @@ def live_gateway(flow):
         r.total for r in api.PredictionService(model).submit_many(requests)
     ]
     payloads = [json.dumps(encode_request(r)) for r in requests]
+    # An explicit (generous) queue bound: the benchmark runs through the
+    # real admission-control path, and the stats check below asserts it
+    # never sheds at this load.
     handle = GatewayThread(
-        api.PredictionService(model), max_batch_size=64, max_wait_ms=2.0
+        api.PredictionService(model),
+        max_batch_size=64,
+        max_wait_ms=2.0,
+        resilience=ResilienceConfig(queue_depth=256),
     ).start()
     yield handle, payloads, expected
     handle.stop()
@@ -139,3 +145,12 @@ def test_serving_gateway_stats_stay_consistent(live_gateway):
     assert gateway["queue_depth"] == 0
     assert gateway["flushed_requests"] == gateway["predict_requests"]
     assert gateway["max_flush_size"] >= 1
+    # The resilience layer was live but never in the way: nothing shed,
+    # breaker closed, service-time EWMA tracking the real load.
+    resilience = stats["resilience"]
+    assert resilience["draining"] is False
+    assert resilience["queue_capacity"] == 256
+    assert all(count == 0 for count in resilience["shed"].values())
+    assert resilience["model_timeouts"] == 0
+    assert resilience["circuit"]["state"] == "closed"
+    assert resilience["service_time_ms"] > 0

@@ -51,7 +51,10 @@ class PredictRequest:
 
     ``config`` and ``workload`` accept instances or names (names resolve
     at construction).  ``kind`` selects the response payload; ``scales``
-    and ``window_cycles`` apply to ``kind="trace"`` only.  Identity
+    and ``window_cycles`` apply to ``kind="trace"`` only.
+    ``deadline_ms`` is an optional latency budget the *serving* layer
+    enforces (:mod:`repro.serving`): an expired request is shed with 504
+    before reaching the model; the service itself ignores it.  Identity
     semantics (``eq=False``): the event/scale payloads are arrays, so
     requests compare and hash by object identity.
     """
@@ -62,6 +65,7 @@ class PredictRequest:
     kind: str = "total"
     scales: Any = None
     window_cycles: int = 50
+    deadline_ms: float | None = None
 
     def __post_init__(self) -> None:
         if isinstance(self.config, str):
@@ -87,6 +91,18 @@ class PredictRequest:
                 )
         elif self.scales is not None:
             raise ValueError("scales are only valid for trace requests")
+        if self.deadline_ms is not None:
+            deadline_ms = self.deadline_ms
+            if (
+                isinstance(deadline_ms, bool)
+                or not isinstance(deadline_ms, (int, float))
+                or not np.isfinite(deadline_ms)
+                or deadline_ms <= 0
+            ):
+                raise ValueError(
+                    f"deadline_ms must be a positive finite number, "
+                    f"got {self.deadline_ms!r}"
+                )
 
 
 @dataclass(frozen=True, eq=False)

@@ -75,6 +75,8 @@ def _print_overview() -> None:
         "\n  fit <method> --out model.json [--train C1,C15] [--jobs N]"
         "\n  predict --model model.json [--config C8[,C9]] [--workload dhrystone]"
         "\n  serve --model model.json [--port 8000] [--max-wait-ms W]"
+        "\n        [--queue-depth N] [--default-deadline-ms MS]"
+        " [--drain-timeout S]"
     )
 
 
@@ -269,7 +271,52 @@ def _cmd_serve(argv: list[str]) -> int:
         metavar="N",
         help="parallel fan-out of the per-configuration model calls",
     )
+    parser.add_argument(
+        "--queue-depth",
+        type=int,
+        default=1024,
+        metavar="N",
+        help=(
+            "admission bound: shed with 429 + Retry-After once this many "
+            "requests are queued (0 = unbounded; default: 1024)"
+        ),
+    )
+    parser.add_argument(
+        "--default-deadline-ms",
+        type=float,
+        default=None,
+        metavar="MS",
+        help=(
+            "server-side deadline for requests without their own "
+            "deadline_ms; expired requests answer 504 (default: none)"
+        ),
+    )
+    parser.add_argument(
+        "--drain-timeout",
+        type=float,
+        default=10.0,
+        metavar="S",
+        help=(
+            "on SIGTERM/SIGINT, how long to wait for in-flight requests "
+            "to complete before exiting (default: 10.0)"
+        ),
+    )
     args = parser.parse_args(argv)
+    if args.max_wait_ms < 0 or args.max_batch_size < 1:
+        print(
+            "error: --max-wait-ms must be >= 0 and --max-batch-size >= 1",
+            file=sys.stderr,
+        )
+        return 2
+    if args.queue_depth < 0 or args.drain_timeout < 0 or (
+        args.default_deadline_ms is not None and args.default_deadline_ms <= 0
+    ):
+        print(
+            "error: --queue-depth and --drain-timeout must be >= 0 and "
+            "--default-deadline-ms > 0",
+            file=sys.stderr,
+        )
+        return 2
     try:
         model = api.load_model(args.model)
     except (OSError, ValueError, KeyError) as exc:
@@ -279,15 +326,14 @@ def _cmd_serve(argv: list[str]) -> int:
         label = api.spec_for(model).display_name
     except KeyError:
         label = type(model).__name__
-    if args.max_wait_ms < 0 or args.max_batch_size < 1:
-        print(
-            "error: --max-wait-ms must be >= 0 and --max-batch-size >= 1",
-            file=sys.stderr,
-        )
-        return 2
 
-    from repro.serving import Gateway
+    from repro.serving import Gateway, ResilienceConfig
 
+    resilience = ResilienceConfig(
+        queue_depth=args.queue_depth or None,
+        default_deadline_ms=args.default_deadline_ms,
+        drain_timeout_s=args.drain_timeout,
+    )
     service = api.PredictionService(model, n_jobs=args.jobs)
     gateway = Gateway(
         service,
@@ -295,9 +341,12 @@ def _cmd_serve(argv: list[str]) -> int:
         port=args.port,
         max_batch_size=args.max_batch_size,
         max_wait_ms=args.max_wait_ms,
+        resilience=resilience,
     )
 
     async def run() -> None:
+        import signal
+
         await gateway.start()
         print(
             f"serving {label} ({args.model}) on "
@@ -306,13 +355,31 @@ def _cmd_serve(argv: list[str]) -> int:
         )
         print(
             "endpoints: POST /predict, GET /healthz, GET /stats "
-            "(Ctrl-C to stop)",
+            "(SIGTERM/Ctrl-C drains and exits)",
             flush=True,
         )
+        loop = asyncio.get_running_loop()
+        shutdown = asyncio.Event()
+        handled_signals = []
+        for signum in (signal.SIGTERM, signal.SIGINT):
+            try:
+                loop.add_signal_handler(signum, shutdown.set)
+            except (NotImplementedError, RuntimeError):
+                continue  # platform without loop signal handlers
+            handled_signals.append(signum)
         try:
-            await gateway.serve_forever()
+            if handled_signals:
+                await shutdown.wait()
+            else:
+                await gateway.serve_forever()
         finally:
-            await gateway.stop()
+            for signum in handled_signals:
+                loop.remove_signal_handler(signum)
+            print(
+                f"draining (up to {args.drain_timeout:g}s) ...", flush=True
+            )
+            await gateway.stop(drain=True, drain_timeout=args.drain_timeout)
+            print("drained; exiting", flush=True)
 
     try:
         asyncio.run(run())

@@ -15,21 +15,49 @@ responses bitwise-equal to direct per-request service calls.
 * :class:`GatewayThread` — a synchronous handle running the gateway on
   a background event loop (what tests and benchmarks use),
 * :mod:`repro.serving.wire` — the JSON request/response codec with
-  structured 400/422 errors.
+  structured 400/422 errors,
+* :mod:`repro.serving.resilience` — admission control (bounded queue,
+  429 + ``Retry-After``), per-request deadlines (504), a circuit
+  breaker around the model worker (503) and graceful drain
+  (:class:`ResilienceConfig` carries the knobs),
+* :class:`ServingClient` — the retrying HTTP client (capped exponential
+  backoff + jitter, honors ``Retry-After``),
+* :mod:`repro.serving.faults` — deterministic fault injection at the
+  service boundary, for testing all of the above without sleeps.
 
 Command line::
 
-    python -m repro serve --model model.json --port 8000 --max-wait-ms 2
+    python -m repro serve --model model.json --port 8000 --max-wait-ms 2 \
+        --queue-depth 1024 --default-deadline-ms 2000 --drain-timeout 10
 """
 
 from repro.serving.batcher import MicroBatcher
+from repro.serving.client import ServingClient, ServingError
 from repro.serving.gateway import Gateway, GatewayStats, GatewayThread
+from repro.serving.resilience import (
+    CircuitBreaker,
+    CircuitOpenError,
+    DeadlineExceededError,
+    DrainingError,
+    OverloadError,
+    ResilienceConfig,
+    ResilienceError,
+)
 from repro.serving.wire import WireError
 
 __all__ = [
+    "CircuitBreaker",
+    "CircuitOpenError",
+    "DeadlineExceededError",
+    "DrainingError",
     "Gateway",
     "GatewayStats",
     "GatewayThread",
     "MicroBatcher",
+    "OverloadError",
+    "ResilienceConfig",
+    "ResilienceError",
+    "ServingClient",
+    "ServingError",
     "WireError",
 ]

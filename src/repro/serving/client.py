@@ -1,0 +1,190 @@
+"""Retrying HTTP client for the serving gateway.
+
+The resilience layer *sheds* on purpose — 429 on a full queue, 503 while
+draining or with the circuit open — and every shed carries a
+``Retry-After`` hint.  :class:`ServingClient` is the cooperating caller:
+it retries exactly those statuses (and transport failures) with capped
+exponential backoff plus jitter, never sleeping less than the server's
+``Retry-After``, and surfaces everything else as a structured
+:class:`ServingError`.
+
+The sleep function and the jitter RNG are injectable, so retry behavior
+is tested deterministically (recorded sleeps, seeded jitter) without a
+single real wait.
+"""
+
+from __future__ import annotations
+
+import http.client
+import json
+import random
+import time
+from typing import Any, Callable, Sequence
+
+from repro.api.service import PredictRequest
+from repro.serving import wire
+
+__all__ = ["ServingClient", "ServingError"]
+
+# Statuses the resilience layer uses for "try again later".
+_RETRYABLE_STATUSES = frozenset({429, 503})
+
+
+class ServingError(Exception):
+    """A gateway answer (or transport failure) the client cannot retry.
+
+    ``status`` is the HTTP status, or ``None`` for transport-level
+    failures that exhausted the retry budget.
+    """
+
+    def __init__(self, status: int | None, message: str) -> None:
+        super().__init__(
+            message if status is None else f"HTTP {status}: {message}"
+        )
+        self.status = status
+        self.message = message
+
+
+class ServingClient:
+    """One gateway endpoint, with retries the resilience layer expects.
+
+    Parameters
+    ----------
+    host / port:
+        The gateway address.
+    timeout:
+        Per-attempt socket timeout in seconds.
+    max_retries:
+        How many times a retryable answer (429/503, connection failure)
+        is retried before giving up.
+    backoff_base_s / backoff_cap_s:
+        Exponential backoff: attempt ``k`` waits
+        ``min(cap, base * 2**k)`` scaled by jitter in ``[0.5, 1.0)`` —
+        but never less than the server's ``Retry-After``.
+    sleep / rng:
+        Injectable for deterministic tests (defaults: ``time.sleep``,
+        a private ``random.Random``).
+    """
+
+    def __init__(
+        self,
+        host: str = "127.0.0.1",
+        port: int = 8000,
+        *,
+        timeout: float = 30.0,
+        max_retries: int = 4,
+        backoff_base_s: float = 0.1,
+        backoff_cap_s: float = 5.0,
+        sleep: Callable[[float], None] = time.sleep,
+        rng: random.Random | None = None,
+    ) -> None:
+        if max_retries < 0:
+            raise ValueError("max_retries must be non-negative")
+        if backoff_base_s < 0 or backoff_cap_s < 0:
+            raise ValueError("backoff knobs must be non-negative")
+        self.host = host
+        self.port = port
+        self.timeout = timeout
+        self.max_retries = max_retries
+        self.backoff_base_s = backoff_base_s
+        self.backoff_cap_s = backoff_cap_s
+        self._sleep = sleep
+        self._rng = rng if rng is not None else random.Random()
+
+    # -- public surface -------------------------------------------------
+    def predict(
+        self, request: PredictRequest | dict, deadline_ms: float | None = None
+    ) -> dict:
+        """Serve one request; returns the decoded response object."""
+        obj = self._encode(request, deadline_ms)
+        return self._call("POST", "/predict", obj)
+
+    def predict_many(
+        self,
+        requests: Sequence[PredictRequest | dict],
+        deadline_ms: float | None = None,
+    ) -> list[dict]:
+        """Serve a list of requests in one HTTP call."""
+        objs = [self._encode(r, deadline_ms) for r in requests]
+        return self._call("POST", "/predict", objs)
+
+    def healthz(self) -> dict:
+        return self._call("GET", "/healthz")
+
+    def stats(self) -> dict:
+        return self._call("GET", "/stats")
+
+    # -- internals ------------------------------------------------------
+    @staticmethod
+    def _encode(
+        request: PredictRequest | dict, deadline_ms: float | None
+    ) -> dict:
+        obj = (
+            wire.encode_request(request)
+            if isinstance(request, PredictRequest)
+            else dict(request)
+        )
+        if deadline_ms is not None:
+            obj["deadline_ms"] = deadline_ms
+        return obj
+
+    def _send(
+        self, method: str, path: str, payload: Any
+    ) -> tuple[int, dict, Any]:
+        """One HTTP attempt; returns (status, lowercase headers, body)."""
+        conn = http.client.HTTPConnection(
+            self.host, self.port, timeout=self.timeout
+        )
+        try:
+            body = None if payload is None else json.dumps(payload)
+            conn.request(
+                method, path, body=body,
+                headers={"Content-Type": "application/json"},
+            )
+            response = conn.getresponse()
+            raw = response.read()
+            headers = {k.lower(): v for k, v in response.getheaders()}
+            try:
+                decoded = json.loads(raw.decode("utf-8")) if raw else None
+            except (UnicodeDecodeError, json.JSONDecodeError):
+                decoded = None
+            return response.status, headers, decoded
+        finally:
+            conn.close()
+
+    def _call(self, method: str, path: str, payload: Any = None) -> Any:
+        attempt = 0
+        while True:
+            try:
+                status, headers, decoded = self._send(method, path, payload)
+            except (OSError, http.client.HTTPException) as exc:
+                if attempt >= self.max_retries:
+                    raise ServingError(
+                        None, f"gateway unreachable after {attempt + 1} "
+                        f"attempts: {exc}"
+                    ) from exc
+                self._backoff(attempt, None)
+                attempt += 1
+                continue
+            if status < 400:
+                return decoded
+            message = ""
+            if isinstance(decoded, dict):
+                message = decoded.get("error", {}).get("message", "")
+            if status in _RETRYABLE_STATUSES and attempt < self.max_retries:
+                self._backoff(attempt, headers.get("retry-after"))
+                attempt += 1
+                continue
+            raise ServingError(status, message or f"no body ({method} {path})")
+
+    def _backoff(self, attempt: int, retry_after: str | None) -> None:
+        """Sleep before retry ``attempt``: capped exponential backoff with
+        jitter, floored by the server's ``Retry-After``."""
+        wait = min(self.backoff_cap_s, self.backoff_base_s * (2**attempt))
+        wait *= 0.5 + self._rng.random() / 2
+        if retry_after is not None:
+            try:
+                wait = max(wait, float(retry_after))
+            except ValueError:
+                pass
+        self._sleep(wait)

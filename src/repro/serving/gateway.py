@@ -13,14 +13,24 @@ Three endpoints:
   request kinds it can serve.
 * ``GET /stats`` — the service's :class:`~repro.api.service.ServiceStats`
   snapshot plus gateway-level counters: HTTP/predict request counts,
-  per-status error counts, live queue depth, flush count/sizes and
-  p50/p95 request latency over a sliding window.
+  per-status error counts, live queue depth, flush count/sizes,
+  p50/p95 request latency over a sliding window, and the resilience
+  state (queue bound, shed counts, circuit-breaker state, drain flag).
 
 Connections are keep-alive by default (``Connection: close`` honored);
 errors answer with the structured body from
 :func:`repro.serving.wire.encode_error` — 400 for malformed requests,
-422 for kinds the loaded model cannot serve, 404/405 for unknown
-routes, 500 for unexpected server-side failures.
+408 for a peer that stalls mid-request, 413/431 for oversized bodies or
+header blocks, 422 for kinds the loaded model cannot serve, 404/405 for
+unknown routes, 429/503/504 from the resilience layer (429 and
+circuit-open 503 carry ``Retry-After``), 500 for unexpected
+server-side failures.
+
+Shutdown is graceful by default: :meth:`Gateway.stop` (and
+``GatewayThread.stop``) closes the listener, cancels idle keep-alive
+connections, lets in-flight requests finish — their responses stay
+bitwise-equal to direct service calls — and only then tears the batcher
+down, all bounded by the config's ``drain_timeout_s``.
 """
 
 from __future__ import annotations
@@ -29,11 +39,13 @@ import asyncio
 import json
 import threading
 from collections import deque
+from concurrent.futures import TimeoutError as _FutureTimeoutError
 from typing import Any
 
 from repro.api.service import PredictionService
 from repro.serving import wire
 from repro.serving.batcher import MicroBatcher
+from repro.serving.resilience import ResilienceConfig, ResilienceError
 
 __all__ = ["Gateway", "GatewayStats", "GatewayThread"]
 
@@ -43,9 +55,14 @@ _REASONS = {
     400: "Bad Request",
     404: "Not Found",
     405: "Method Not Allowed",
+    408: "Request Timeout",
     413: "Payload Too Large",
     422: "Unprocessable Entity",
+    429: "Too Many Requests",
+    431: "Request Header Fields Too Large",
     500: "Internal Server Error",
+    503: "Service Unavailable",
+    504: "Gateway Timeout",
 }
 
 
@@ -104,7 +121,10 @@ class Gateway:
     """The HTTP front end: one service, one batcher, one listener.
 
     ``port=0`` binds an ephemeral port; the bound port is on
-    :attr:`port` after :meth:`start`.
+    :attr:`port` after :meth:`start`.  ``resilience`` carries the
+    admission/deadline/breaker/drain knobs
+    (:class:`~repro.serving.resilience.ResilienceConfig`); ``clock`` is
+    the injectable monotonic time source the fault-injection tests use.
     """
 
     def __init__(
@@ -114,16 +134,31 @@ class Gateway:
         port: int = 0,
         max_batch_size: int = 64,
         max_wait_ms: float = 2.0,
+        resilience: ResilienceConfig | None = None,
+        clock: Any = None,
     ) -> None:
         self.service = service
         self.host = host
         self.port: int | None = None
         self._requested_port = port
+        self.resilience = resilience if resilience is not None else ResilienceConfig()
         self.batcher = MicroBatcher(
-            service, max_batch_size=max_batch_size, max_wait_ms=max_wait_ms
+            service,
+            max_batch_size=max_batch_size,
+            max_wait_ms=max_wait_ms,
+            resilience=self.resilience,
+            clock=clock,
         )
         self.stats = GatewayStats()
         self._server: asyncio.base_events.Server | None = None
+        # Live connection handlers and their phase ("idle" = waiting for
+        # the next request on a keep-alive connection, "busy" = a parsed
+        # request is being served) — what graceful drain walks.
+        self._handlers: dict[asyncio.Task, dict] = {}
+
+    @property
+    def draining(self) -> bool:
+        return self.batcher.draining
 
     # ------------------------------------------------------------------
     async def start(self) -> None:
@@ -133,12 +168,55 @@ class Gateway:
         )
         self.port = self._server.sockets[0].getsockname()[1]
 
-    async def stop(self) -> None:
-        if self._server is not None:
-            self._server.close()
-            await self._server.wait_closed()
-            self._server = None
-        await self.batcher.stop()
+    async def stop(
+        self, drain: bool = True, drain_timeout: float | None = None
+    ) -> None:
+        """Stop the gateway.
+
+        ``drain=True`` (default) is the graceful path: close the
+        listener, stop admitting new requests (they answer 503), cancel
+        idle keep-alive connections, wait for busy handlers — their
+        in-flight responses complete bitwise-equal — then drain and stop
+        the batcher.  ``drain=False`` hard-cancels everything.  Both are
+        bounded by ``drain_timeout`` (default: the config's
+        ``drain_timeout_s``) and idempotent.
+        """
+        if drain_timeout is None:
+            drain_timeout = self.resilience.drain_timeout_s
+        server, self._server = self._server, None
+        if server is not None:
+            server.close()
+        if drain:
+            # New submissions refuse with 503 from this point on; busy
+            # handlers' already-submitted requests still complete.
+            self.batcher.begin_drain()
+            await self._drain_handlers(drain_timeout)
+        else:
+            for task in list(self._handlers):
+                task.cancel()
+            await self._drain_handlers(1.0)
+        await self.batcher.stop(drain=drain, drain_timeout=drain_timeout)
+        if server is not None:
+            # After the handlers above finished this returns promptly on
+            # every supported Python (3.12+ waits for handler tasks).
+            await server.wait_closed()
+
+    async def _drain_handlers(self, timeout: float) -> None:
+        """Cancel idle connections, then wait out the busy ones."""
+        loop = asyncio.get_running_loop()
+        deadline = loop.time() + timeout
+        for task, state in list(self._handlers.items()):
+            if state["phase"] == "idle":
+                task.cancel()
+        pending = [task for task in self._handlers if not task.done()]
+        if pending:
+            _done, still = await asyncio.wait(
+                pending, timeout=max(0.0, deadline - loop.time())
+            )
+            for task in still:  # drain budget exhausted: hard-cancel
+                task.cancel()
+            if still:
+                await asyncio.wait(still, timeout=1.0)
 
     async def serve_forever(self) -> None:
         await self._server.serve_forever()
@@ -147,11 +225,17 @@ class Gateway:
     async def _handle_client(
         self, reader: asyncio.StreamReader, writer: asyncio.StreamWriter
     ) -> None:
+        state = {"phase": "idle"}
+        task = asyncio.current_task()
+        self._handlers[task] = state
         try:
             while True:
+                state["phase"] = "idle"
                 try:
                     parsed = await self._read_request(reader)
                 except _HttpError as exc:
+                    state["phase"] = "busy"
+                    self.stats.record_error(exc.status)
                     await self._respond(
                         writer,
                         exc.status,
@@ -161,15 +245,23 @@ class Gateway:
                     break
                 if parsed is None:
                     break
+                state["phase"] = "busy"
                 method, path, headers, body = parsed
                 keep_alive = headers.get("connection", "").lower() != "close"
                 self.stats.http_requests += 1
+                extra_headers = None
                 try:
                     status, payload = await self._dispatch(method, path, body)
                 except wire.WireError as exc:
                     status, payload = exc.status, wire.encode_error(
                         exc.status, exc.message
                     )
+                except ResilienceError as exc:
+                    status, payload = exc.status, wire.encode_error(
+                        exc.status, exc.message
+                    )
+                    if exc.retry_after is not None:
+                        extra_headers = {"Retry-After": str(exc.retry_after)}
                 except asyncio.CancelledError:
                     raise
                 except Exception as exc:  # unexpected server-side failure
@@ -178,7 +270,10 @@ class Gateway:
                     )
                 if status >= 400:
                     self.stats.record_error(status)
-                await self._respond(writer, status, payload, keep_alive)
+                keep_alive = keep_alive and not self.draining
+                await self._respond(
+                    writer, status, payload, keep_alive, extra_headers
+                )
                 if not keep_alive:
                     break
         except (ConnectionResetError, BrokenPipeError, asyncio.IncompleteReadError):
@@ -189,16 +284,38 @@ class Gateway:
             # the cancellation as an unhandled task exception).
             pass
         finally:
+            self._handlers.pop(task, None)
             writer.close()
             try:
                 await writer.wait_closed()
             except (ConnectionResetError, BrokenPipeError):
                 pass
 
+    async def _read(self, coro, first_line: bool):
+        """One bounded stream read.
+
+        A peer that stalls mid-request answers 408 and loses the
+        connection — a slow client must not be able to hold a handler
+        (and therefore a drain) hostage.  A timeout while *waiting* for
+        the next request on an idle keep-alive connection is not an
+        error; the connection is just closed.
+        """
+        timeout = self.resilience.read_timeout_s
+        if timeout is None:
+            return await coro
+        try:
+            return await asyncio.wait_for(coro, timeout)
+        except asyncio.TimeoutError:
+            if first_line:
+                return None
+            raise _HttpError(
+                408, f"timed out reading request after {timeout:g}s"
+            ) from None
+
     async def _read_request(self, reader: asyncio.StreamReader):
         """Parse one HTTP request; ``None`` on a cleanly closed connection."""
         try:
-            line = await reader.readline()
+            line = await self._read(reader.readline(), first_line=True)
         except ValueError:  # request line longer than the stream limit
             raise _HttpError(400, "request line too long") from None
         if not line:
@@ -208,15 +325,29 @@ class Gateway:
         except (UnicodeDecodeError, ValueError):
             raise _HttpError(400, "malformed request line") from None
         headers: dict[str, str] = {}
+        header_bytes = 0
+        max_count = self.resilience.max_header_count
+        max_bytes = self.resilience.max_header_bytes
         while True:
             try:
-                header_line = await reader.readline()
+                header_line = await self._read(
+                    reader.readline(), first_line=False
+                )
             except ValueError:
                 raise _HttpError(400, "header line too long") from None
             if header_line in (b"\r\n", b"\n"):
                 break
             if not header_line:
                 return None
+            header_bytes += len(header_line)
+            if len(headers) >= max_count:
+                raise _HttpError(
+                    431, f"more than {max_count} request headers"
+                )
+            if header_bytes > max_bytes:
+                raise _HttpError(
+                    431, f"request headers exceed {max_bytes} bytes"
+                )
             name, sep, value = header_line.decode("latin-1").partition(":")
             if not sep:
                 raise _HttpError(400, "malformed header line")
@@ -229,7 +360,11 @@ class Gateway:
             raise _HttpError(400, "bad Content-Length")
         if length > _MAX_BODY_BYTES:
             raise _HttpError(413, f"body exceeds {_MAX_BODY_BYTES} bytes")
-        body = await reader.readexactly(length) if length else b""
+        body = (
+            await self._read(reader.readexactly(length), first_line=False)
+            if length
+            else b""
+        )
         return method.upper(), path, headers, body
 
     async def _respond(
@@ -238,12 +373,18 @@ class Gateway:
         status: int,
         payload: Any,
         keep_alive: bool,
+        extra_headers: dict | None = None,
     ) -> None:
         body = json.dumps(payload).encode("utf-8")
+        extra = "".join(
+            f"{name}: {value}\r\n"
+            for name, value in (extra_headers or {}).items()
+        )
         head = (
             f"HTTP/1.1 {status} {_REASONS.get(status, 'Unknown')}\r\n"
             f"Content-Type: application/json\r\n"
             f"Content-Length: {len(body)}\r\n"
+            f"{extra}"
             f"Connection: {'keep-alive' if keep_alive else 'close'}\r\n"
             f"\r\n"
         ).encode("ascii")
@@ -257,7 +398,7 @@ class Gateway:
             if method != "GET":
                 return 405, wire.encode_error(405, "use GET /healthz")
             return 200, {
-                "status": "ok",
+                "status": "draining" if self.draining else "ok",
                 "model": type(self.service.model).__name__,
                 "kinds": list(wire.supported_kinds(self.service.model)),
             }
@@ -278,6 +419,7 @@ class Gateway:
                     ),
                     "max_flush_size": batcher.max_flush_size,
                 },
+                "resilience": batcher.resilience_snapshot(),
             }
         if path == "/predict":
             if method != "POST":
@@ -298,11 +440,15 @@ class Gateway:
             raise wire.WireError(400, "request list is empty")
         model = self.service.model
         requests = [wire.decode_request(obj, model=model) for obj in items]
+        # Count at admission (not on success), so the /stats error ratio
+        # predict_responses / predict_requests means what it says.
+        self.stats.predict_requests += len(requests)
         loop = asyncio.get_running_loop()
         start = loop.time()
         # return_exceptions so one failing request doesn't leave its
         # siblings' exceptions unretrieved; wire validation already ran,
-        # so a failure here is a server-side error for the whole call.
+        # so a failure here is either a resilience shed (mapped to its
+        # status upstream) or a server-side error for the whole call.
         responses = await asyncio.gather(
             *(self.batcher.submit(request) for request in requests),
             return_exceptions=True,
@@ -311,7 +457,6 @@ class Gateway:
         for response in responses:
             if isinstance(response, BaseException):
                 raise response
-        self.stats.predict_requests += len(requests)
         self.stats.predict_responses += len(responses)
         encoded = [wire.encode_response(response) for response in responses]
         return 200, (encoded[0] if single else encoded)
@@ -321,8 +466,9 @@ class GatewayThread:
     """Run a :class:`Gateway` on a private event loop in a daemon thread.
 
     The synchronous-world handle tests, benchmarks and embedding callers
-    use: ``start()`` returns once the port is bound, ``stop()`` tears the
-    loop down.  Usable as a context manager.
+    use: ``start()`` returns once the port is bound, ``stop()`` drains
+    gracefully by default and tears the loop down.  Usable as a context
+    manager.
     """
 
     def __init__(self, service: PredictionService, **gateway_kwargs: Any) -> None:
@@ -359,7 +505,9 @@ class GatewayThread:
             try:
                 loop.run_forever()
             finally:
-                loop.run_until_complete(self.gateway.stop())
+                # Idempotent: a graceful stop() already ran the drain on
+                # this loop; this covers the hard-stop and crash paths.
+                loop.run_until_complete(self.gateway.stop(drain=False))
                 loop.close()
 
         self._thread = threading.Thread(
@@ -373,11 +521,50 @@ class GatewayThread:
             raise startup_error[0]
         return self
 
-    def stop(self) -> None:
+    def stop(
+        self, drain: bool = True, drain_timeout: float | None = None
+    ) -> None:
+        """Stop the gateway and its event-loop thread.
+
+        ``drain=True`` (default) completes in-flight requests first,
+        bounded by ``drain_timeout`` (default: the config's
+        ``drain_timeout_s``).  If the loop thread fails to stop within
+        its join budget this *raises* with diagnostic state instead of
+        silently leaking a wedged daemon thread — the handle keeps its
+        references so the caller can inspect or retry.
+        """
         if self._thread is None:
             return
+        if drain and self._loop.is_running():
+            budget = (
+                drain_timeout
+                if drain_timeout is not None
+                else self.gateway.resilience.drain_timeout_s
+            )
+            try:
+                asyncio.run_coroutine_threadsafe(
+                    self.gateway.stop(drain=True, drain_timeout=drain_timeout),
+                    self._loop,
+                ).result(timeout=budget + 10.0)
+            except _FutureTimeoutError:
+                pass  # diagnosed below: the join will time out too
+            except RuntimeError:
+                pass  # loop shut down concurrently; the join settles it
         self._loop.call_soon_threadsafe(self._loop.stop)
         self._thread.join(timeout=10)
+        if self._thread.is_alive():
+            # A wedged loop must not be silently leaked: keep the
+            # references (so the caller can inspect or retry) and raise
+            # with enough state to debug what is stuck.
+            batcher = self.gateway.batcher
+            raise RuntimeError(
+                "gateway event loop failed to stop within 10s: "
+                f"thread {self._thread.name!r} is still alive, "
+                f"loop running={self._loop.is_running()}, "
+                f"draining={self.gateway.draining}, "
+                f"queue_depth={batcher.queue_depth}, "
+                f"open_connections={len(self.gateway._handlers)}"
+            )
         self._thread = None
         self._loop = None
 

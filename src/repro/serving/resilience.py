@@ -1,0 +1,257 @@
+"""Resilience primitives for the serving stack.
+
+The gateway's failure story lives here, in four pieces the batcher and
+HTTP front end compose:
+
+* **Admission control** — :class:`ResilienceConfig` bounds the batcher
+  queue (``queue_depth``); a full queue refuses with
+  :class:`OverloadError` (HTTP 429) carrying a ``Retry-After`` estimate
+  computed from the live queue depth and the recent per-request service
+  time (:class:`ServiceTimeEstimator`), and a draining gateway refuses
+  with :class:`DrainingError` (503).
+* **Deadlines** — every request may carry ``deadline_ms`` (wire field or
+  the server-side ``default_deadline_ms``); an expired request is shed
+  before it reaches the model and answers
+  :class:`DeadlineExceededError` (504), and the model call itself is
+  bounded by the batch's remaining deadline budget.
+* **Circuit breaking** — :class:`CircuitBreaker` counts consecutive
+  model-call failures; past the threshold the circuit *opens* and
+  admission fast-fails with :class:`CircuitOpenError` (503 +
+  ``Retry-After`` = remaining cooldown) without touching the queue.
+  After the cooldown the circuit goes *half-open*: probe requests are
+  admitted, one success closes the circuit, one failure re-opens it.
+* **Graceful drain** — ``drain_timeout_s`` bounds how long a stopping
+  gateway waits for in-flight requests; the slow-client knobs
+  (``read_timeout_s``, ``max_header_count``, ``max_header_bytes``)
+  guarantee a stalled peer cannot hold a connection open forever.
+
+Everything here is clock-injectable (``clock`` is any ``() -> float``
+monotonic callable), so the fault-injection suite drives state
+transitions deterministically instead of sleeping and hoping.
+"""
+
+from __future__ import annotations
+
+import math
+import time
+from dataclasses import dataclass
+from typing import Callable
+
+__all__ = [
+    "CircuitBreaker",
+    "CircuitOpenError",
+    "DeadlineExceededError",
+    "DrainingError",
+    "OverloadError",
+    "ResilienceConfig",
+    "ResilienceError",
+    "ServiceTimeEstimator",
+]
+
+
+class ResilienceError(Exception):
+    """A request refused by the resilience layer.
+
+    Carries the HTTP ``status`` the gateway answers with and an optional
+    ``retry_after`` hint (integer seconds) for the ``Retry-After``
+    response header.
+    """
+
+    status = 503
+
+    def __init__(self, message: str, retry_after: int | None = None) -> None:
+        super().__init__(message)
+        self.message = message
+        self.retry_after = retry_after
+
+
+class OverloadError(ResilienceError):
+    """The batcher queue is full — shed with 429 + ``Retry-After``."""
+
+    status = 429
+
+
+class DrainingError(ResilienceError):
+    """The gateway is draining and no longer accepts requests (503)."""
+
+    status = 503
+
+
+class CircuitOpenError(ResilienceError):
+    """The circuit is open — fast-fail without queueing (503)."""
+
+    status = 503
+
+
+class DeadlineExceededError(ResilienceError):
+    """The request's deadline expired (504 Gateway Timeout)."""
+
+    status = 504
+
+
+@dataclass
+class ResilienceConfig:
+    """The serving stack's resilience knobs (one object, one place).
+
+    ``queue_depth`` bounds how many requests may wait in the batcher
+    queue (``None`` = unbounded, the pre-resilience behavior);
+    ``default_deadline_ms`` is the server-side deadline applied to
+    requests that do not carry their own (``None`` = no default);
+    ``breaker_failure_threshold`` consecutive model-call failures open
+    the circuit for ``breaker_cooldown_s`` seconds; ``drain_timeout_s``
+    bounds a graceful drain; the header/read limits keep one slow or
+    abusive client from tying up a connection.
+    """
+
+    queue_depth: int | None = 1024
+    default_deadline_ms: float | None = None
+    breaker_failure_threshold: int = 5
+    breaker_cooldown_s: float = 5.0
+    drain_timeout_s: float = 10.0
+    max_header_count: int = 100
+    max_header_bytes: int = 32 * 1024
+    read_timeout_s: float | None = 30.0
+
+    def __post_init__(self) -> None:
+        if self.queue_depth is not None and self.queue_depth < 1:
+            raise ValueError("queue_depth must be positive (or None = unbounded)")
+        if self.default_deadline_ms is not None and not self.default_deadline_ms > 0:
+            raise ValueError("default_deadline_ms must be positive (or None)")
+        if self.breaker_failure_threshold < 1:
+            raise ValueError("breaker_failure_threshold must be positive")
+        if self.breaker_cooldown_s < 0:
+            raise ValueError("breaker_cooldown_s must be non-negative")
+        if self.drain_timeout_s < 0:
+            raise ValueError("drain_timeout_s must be non-negative")
+        if self.max_header_count < 1 or self.max_header_bytes < 1:
+            raise ValueError("header limits must be positive")
+        if self.read_timeout_s is not None and not self.read_timeout_s > 0:
+            raise ValueError("read_timeout_s must be positive (or None)")
+
+
+class ServiceTimeEstimator:
+    """EWMA of per-request model-call service time, in seconds.
+
+    Feeds the ``Retry-After`` estimate on overload: a queue of depth
+    ``d`` will take roughly ``d x mean_s`` seconds to clear, so that is
+    what an overloaded client is told to wait.
+    """
+
+    def __init__(self, alpha: float = 0.2, default_s: float = 0.05) -> None:
+        if not 0 < alpha <= 1:
+            raise ValueError("alpha must be in (0, 1]")
+        self.alpha = alpha
+        self.default_s = default_s
+        self._mean_s: float | None = None
+
+    @property
+    def mean_s(self) -> float | None:
+        """The smoothed per-request service time (``None`` = no samples)."""
+        return self._mean_s
+
+    def observe(self, call_seconds: float, n_requests: int = 1) -> None:
+        """Fold one model call serving ``n_requests`` into the estimate."""
+        if n_requests < 1 or call_seconds < 0:
+            return
+        per_request = call_seconds / n_requests
+        if self._mean_s is None:
+            self._mean_s = per_request
+        else:
+            self._mean_s += self.alpha * (per_request - self._mean_s)
+
+    def retry_after(self, queue_depth: int) -> int:
+        """``Retry-After`` seconds for a queue of ``queue_depth`` requests."""
+        per_request = self._mean_s if self._mean_s is not None else self.default_s
+        return max(1, math.ceil(max(queue_depth, 1) * per_request))
+
+
+class CircuitBreaker:
+    """Consecutive-failure circuit breaker around the model worker.
+
+    States: ``closed`` (normal), ``open`` (fast-fail until the cooldown
+    elapses), ``half_open`` (probe traffic admitted; one success closes
+    the circuit, one failure re-opens it).  All transitions are driven
+    by the injected monotonic ``clock``, so tests advance state without
+    real waiting.
+    """
+
+    CLOSED = "closed"
+    OPEN = "open"
+    HALF_OPEN = "half_open"
+
+    def __init__(
+        self,
+        failure_threshold: int = 5,
+        cooldown_s: float = 5.0,
+        clock: Callable[[], float] | None = None,
+    ) -> None:
+        if failure_threshold < 1:
+            raise ValueError("failure_threshold must be positive")
+        if cooldown_s < 0:
+            raise ValueError("cooldown_s must be non-negative")
+        self.failure_threshold = failure_threshold
+        self.cooldown_s = cooldown_s
+        self._clock = clock or time.monotonic
+        self._state = self.CLOSED
+        self._consecutive_failures = 0
+        self._opened_at: float | None = None
+        self.opened_count = 0
+
+    @property
+    def state(self) -> str:
+        return self._state
+
+    @property
+    def consecutive_failures(self) -> int:
+        return self._consecutive_failures
+
+    def cooldown_remaining(self) -> float:
+        """Seconds until an open circuit admits its next probe (0 if not open)."""
+        if self._state != self.OPEN:
+            return 0.0
+        return max(0.0, self._opened_at + self.cooldown_s - self._clock())
+
+    def admit(self) -> None:
+        """Gate one request at admission time.
+
+        Raises :class:`CircuitOpenError` while the circuit is open and
+        the cooldown has not elapsed; transitions ``open -> half_open``
+        once it has (the admitted request becomes the probe).
+        """
+        if self._state == self.OPEN:
+            remaining = self.cooldown_remaining()
+            if remaining > 0:
+                raise CircuitOpenError(
+                    f"circuit open after {self._consecutive_failures} "
+                    f"consecutive model failures; retry in ~{remaining:.1f}s",
+                    retry_after=max(1, math.ceil(remaining)),
+                )
+            self._state = self.HALF_OPEN
+
+    def record_success(self) -> None:
+        """A model call succeeded: close the circuit, reset the count."""
+        self._state = self.CLOSED
+        self._consecutive_failures = 0
+        self._opened_at = None
+
+    def record_failure(self) -> None:
+        """A model call failed; open on threshold or a failed probe."""
+        self._consecutive_failures += 1
+        if (
+            self._state == self.HALF_OPEN
+            or self._consecutive_failures >= self.failure_threshold
+        ):
+            self._state = self.OPEN
+            self._opened_at = self._clock()
+            self.opened_count += 1
+
+    def snapshot(self) -> dict:
+        """The ``/stats`` view of the breaker."""
+        return {
+            "state": self._state,
+            "consecutive_failures": self._consecutive_failures,
+            "failure_threshold": self.failure_threshold,
+            "cooldown_s": self.cooldown_s,
+            "cooldown_remaining_s": round(self.cooldown_remaining(), 3),
+            "opened_count": self.opened_count,
+        }

@@ -9,9 +9,14 @@ One prediction request is one JSON object::
 (every name in :data:`repro.arch.events.EVENT_NAMES`); ``kind`` is
 ``"total"`` (default), ``"report"`` or ``"trace"``; trace requests add
 ``"scales"`` (list of activity scales) and optionally
-``"window_cycles"``.  Responses mirror the request identity and carry
-the payload field matching the kind — ``total`` (mW), ``report``
-(per-component power-group breakdown) or ``trace`` (per-window mW list).
+``"window_cycles"``.  Any request may carry ``"deadline_ms"`` — a
+positive millisecond budget the resilience layer enforces: the request
+is shed with 504 if it expires while queued (never reaching the model)
+and bounds the model call itself; requests without one fall back to the
+gateway's server-side default.  Responses mirror the request identity
+and carry the payload field matching the kind — ``total`` (mW),
+``report`` (per-component power-group breakdown) or ``trace``
+(per-window mW list).
 
 Decoding is strict and fails *before* anything reaches the model:
 
@@ -44,7 +49,15 @@ __all__ = [
 ]
 
 _REQUEST_FIELDS = frozenset(
-    {"config", "workload", "kind", "events", "scales", "window_cycles"}
+    {
+        "config",
+        "workload",
+        "kind",
+        "events",
+        "scales",
+        "window_cycles",
+        "deadline_ms",
+    }
 )
 
 
@@ -110,6 +123,14 @@ def decode_request(obj: Any, model: Any = None) -> PredictRequest:
         ):
             raise WireError(400, "'window_cycles' must be a number")
         kwargs["window_cycles"] = window_cycles
+    if "deadline_ms" in obj:
+        deadline_ms = obj["deadline_ms"]
+        if (
+            not isinstance(deadline_ms, (int, float))
+            or isinstance(deadline_ms, bool)
+        ):
+            raise WireError(400, "'deadline_ms' must be a number")
+        kwargs["deadline_ms"] = deadline_ms
     try:
         request = PredictRequest(
             config=config,
@@ -143,6 +164,8 @@ def encode_request(request: PredictRequest) -> dict:
     if request.kind == "trace":
         obj["scales"] = [float(s) for s in request.scales]
         obj["window_cycles"] = request.window_cycles
+    if request.deadline_ms is not None:
+        obj["deadline_ms"] = request.deadline_ms
     return obj
 
 

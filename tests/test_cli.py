@@ -168,6 +168,22 @@ class TestModelCommands:
         ) == 2
         assert "max-wait-ms" in capsys.readouterr().err
 
+    def test_serve_rejects_bad_resilience_knobs_before_model_load(
+        self, tmp_path, capsys
+    ):
+        # Knob validation runs before the model file is touched: a bad
+        # flag with an absent model reports the flag, not "cannot load".
+        absent = str(tmp_path / "absent.json")
+        for flags in (
+            ["--queue-depth", "-1"],
+            ["--default-deadline-ms", "0"],
+            ["--drain-timeout", "-0.5"],
+        ):
+            assert main(["serve", "--model", absent, *flags]) == 2
+            err = capsys.readouterr().err
+            assert "queue-depth" in err
+            assert "cannot load" not in err
+
     def test_listing_includes_serve_command(self, capsys):
         assert main([]) == 0
         assert "serve --model" in capsys.readouterr().out

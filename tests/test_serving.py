@@ -224,12 +224,13 @@ class TestMicroBatcher:
         assert first.total == service.predict(total_requests[0]).total
         assert second.total == service.predict(total_requests[1]).total
 
-    def test_stop_fails_in_flight_futures_instead_of_hanging(
+    def test_hard_stop_fails_in_flight_futures_instead_of_hanging(
         self, total_requests
     ):
         # Regression: stop() during an in-flight flush used to abandon
         # that batch's futures (they were already out of the queue), so
-        # their submitters awaited forever.
+        # their submitters awaited forever.  The hard stop must fail
+        # them promptly instead.
         import time
 
         class SlowService:
@@ -244,7 +245,7 @@ class TestMicroBatcher:
                 batcher.submit(total_requests[0])
             )
             await asyncio.sleep(0.05)  # let the flush start
-            await batcher.stop()
+            await batcher.stop(drain=False)
             return await asyncio.wait_for(
                 asyncio.gather(pending, return_exceptions=True), timeout=5
             )
@@ -252,6 +253,128 @@ class TestMicroBatcher:
         (outcome,) = asyncio.run(run())
         assert isinstance(outcome, RuntimeError)
         assert "stopped" in str(outcome)
+
+    def test_stop_drains_in_flight_futures_to_completion(
+        self, mcpat_model, total_requests
+    ):
+        # The graceful default: stop() completes everything already
+        # accepted — in-flight and still-queued — bitwise-equal to
+        # direct service calls, instead of failing the futures.
+        service = api.PredictionService(mcpat_model)
+        direct = [service.predict(r).total for r in total_requests[:4]]
+
+        async def run():
+            batcher = MicroBatcher(service, max_wait_ms=50.0)
+            await batcher.start()
+            pending = [
+                asyncio.ensure_future(batcher.submit(r))
+                for r in total_requests[:4]
+            ]
+            await asyncio.sleep(0)  # enqueue, but don't wait for a flush
+            await batcher.stop(drain=True, drain_timeout=30.0)
+            return await asyncio.gather(*pending)
+
+        responses = asyncio.run(run())
+        assert [r.total for r in responses] == direct
+
+    def test_queue_full_rejection_order_is_fifo(self, mcpat_model, total_requests):
+        # Admission is strictly first-come-first-admitted: with capacity
+        # k and a wedged collector, submissions 1..k are accepted and
+        # every later one is refused with 429 — never an earlier one.
+        import threading
+
+        from repro.serving import OverloadError, ResilienceConfig
+
+        service = api.PredictionService(mcpat_model)
+        release = threading.Event()
+
+        class GatedService:
+            def submit_many(self, requests):
+                release.wait(30)
+                return service.submit_many(requests)
+
+        async def run():
+            batcher = MicroBatcher(
+                GatedService(),
+                max_wait_ms=0.0,
+                resilience=ResilienceConfig(queue_depth=2),
+            )
+            await batcher.start()
+            # First submission is pulled by the collector and wedges in
+            # the gated model call; the queue is then free for exactly 2.
+            first = asyncio.ensure_future(batcher.submit(total_requests[0]))
+            await asyncio.sleep(0.05)
+            accepted = [
+                asyncio.ensure_future(batcher.submit(r))
+                for r in total_requests[1:3]
+            ]
+            await asyncio.sleep(0)  # let them enqueue
+            rejections = []
+            for request in total_requests[3:6]:
+                try:
+                    await batcher.submit(request)
+                except OverloadError as exc:
+                    rejections.append(exc)
+            release.set()
+            results = await asyncio.gather(first, *accepted)
+            await batcher.stop()
+            return results, rejections, batcher.shed_overload
+
+        results, rejections, shed = asyncio.run(run())
+        # The first k admitted all completed with real values ...
+        expected = [service.predict(r).total for r in total_requests[:3]]
+        assert [r.total for r in results] == expected
+        # ... and every late-comer was refused, with a Retry-After hint.
+        assert len(rejections) == 3 and shed == 3
+        assert all(exc.status == 429 for exc in rejections)
+        assert all(exc.retry_after >= 1 for exc in rejections)
+
+    def test_poison_isolation_under_concurrent_mixed_load(
+        self, mcpat_model, total_requests
+    ):
+        # A worst-case flush: workload-carrying, workload-free and
+        # poison (unsupported-kind) requests all land in one window from
+        # concurrent callers.  Every good request must resolve with its
+        # direct-call value; only the poison callers see failures.
+        service = api.PredictionService(mcpat_model)
+        good = [
+            api.PredictRequest(r.config, r.events, r.workload)
+            for r in total_requests[:4]
+        ] + [
+            api.PredictRequest(r.config, r.events, None)
+            for r in total_requests[4:8]
+        ]
+        poison = [
+            api.PredictRequest(
+                r.config, r.events, r.workload, kind="report"
+            )
+            for r in total_requests[:2]
+        ]
+        direct = [service.predict(r).total for r in good]
+
+        async def run():
+            batcher = MicroBatcher(service, max_wait_ms=50.0)
+            await batcher.start()
+            try:
+                interleaved = [
+                    batcher.submit(r)
+                    for pair in zip(good[:2], poison, good[2:4])
+                    for r in pair
+                ] + [batcher.submit(r) for r in good[4:]]
+                return await asyncio.gather(
+                    *interleaved, return_exceptions=True
+                )
+            finally:
+                await batcher.stop()
+
+        outcomes = asyncio.run(run())
+        failures = [o for o in outcomes if isinstance(o, BaseException)]
+        totals = [
+            o.total for o in outcomes if not isinstance(o, BaseException)
+        ]
+        assert len(failures) == 2
+        assert all(isinstance(f, TypeError) for f in failures)
+        assert sorted(totals) == sorted(direct)
 
     def test_submit_requires_running_batcher(self, mcpat_model):
         batcher = MicroBatcher(api.PredictionService(mcpat_model))
