@@ -14,6 +14,9 @@ from __future__ import annotations
 
 import http.client
 import json
+import os
+import subprocess
+import sys
 import threading
 import time
 
@@ -23,14 +26,15 @@ import repro.api as api
 from repro.arch.config import config_by_name
 from repro.arch.workloads import WORKLOADS
 from repro.serving import GatewayThread, ResilienceConfig
+from repro.serving.fleet import parse_announce, reuse_port_supported
 from repro.serving.wire import encode_request
 
 N_CLIENTS = 8
 
 
 @pytest.fixture(scope="module")
-def live_gateway(flow):
-    """A gateway over a fitted AutoPower model plus a realistic load.
+def served_load(flow):
+    """A fitted AutoPower model plus a realistic load.
 
     32 requests over 4 unseen configurations x 8 workloads (the same mix
     as the prediction-service benchmark), pre-encoded to JSON, plus the
@@ -49,6 +53,13 @@ def live_gateway(flow):
         r.total for r in api.PredictionService(model).submit_many(requests)
     ]
     payloads = [json.dumps(encode_request(r)) for r in requests]
+    return model, payloads, expected
+
+
+@pytest.fixture(scope="module")
+def live_gateway(served_load):
+    """A live in-process gateway thread over the fitted model."""
+    model, payloads, expected = served_load
     # An explicit (generous) queue bound: the benchmark runs through the
     # real admission-control path, and the stats check below asserts it
     # never sheds at this load.
@@ -127,6 +138,133 @@ def test_serving_gateway_concurrent_throughput(benchmark, live_gateway):
     # The acceptance bar: coalesced concurrent throughput >= the
     # one-request-per-HTTP-call baseline.
     assert concurrent_seconds <= sequential_seconds
+
+
+def _launch_serve(model_path, extra_args, come_up_timeout=120.0):
+    """One real ``python -m repro serve`` subprocess; returns
+    (proc, announce) once the REPRO-SERVING line has been printed."""
+    src = os.path.join(os.path.dirname(os.path.dirname(__file__)), "src")
+    env = dict(os.environ)
+    env["PYTHONPATH"] = src + os.pathsep + env.get("PYTHONPATH", "")
+    proc = subprocess.Popen(
+        [sys.executable, "-m", "repro", "serve",
+         "--model", str(model_path), "--port", "0",
+         "--max-wait-ms", "0", *extra_args],
+        stdout=subprocess.PIPE, stderr=subprocess.STDOUT, text=True, env=env,
+    )
+    lines = []
+    announce = [None]
+
+    def pump():
+        for line in proc.stdout:
+            lines.append(line)
+            if announce[0] is None:
+                announce[0] = parse_announce(line)
+
+    thread = threading.Thread(target=pump, daemon=True)
+    thread.start()
+    deadline = time.monotonic() + come_up_timeout
+    while announce[0] is None and time.monotonic() < deadline:
+        if proc.poll() is not None:
+            break
+        time.sleep(0.05)
+    if announce[0] is None:
+        proc.kill()
+        raise RuntimeError(f"serve never announced: {''.join(lines)}")
+    return proc, announce[0]
+
+
+def _spray(port, payloads, rounds):
+    """N_CLIENTS threads, each sending every payload ``rounds`` times."""
+    results = [None] * (N_CLIENTS * rounds * len(payloads))
+    per_client = rounds * len(payloads)
+    threads = [
+        threading.Thread(
+            target=_post_slice,
+            args=(port, payloads * rounds, results, i * per_client),
+        )
+        for i in range(N_CLIENTS)
+    ]
+    for thread in threads:
+        thread.start()
+    for thread in threads:
+        thread.join()
+    return results
+
+
+@pytest.mark.perf_smoke
+def test_serving_worker_pool_scaling(benchmark, served_load, tmp_path):
+    """``--workers 2`` vs one worker, through real serve subprocesses.
+
+    Bitwise correctness and merged-stats consistency are asserted
+    everywhere; the >= 1.5x throughput bar only on multicore hosts
+    (forked workers time-share a single core otherwise).
+    """
+    if not reuse_port_supported():
+        pytest.skip("worker pool needs os.fork and SO_REUSEPORT")
+    model, payloads, expected = served_load
+    model_path = tmp_path / "pool-model.json"
+    api.save_model(model, model_path)
+    rounds = 2
+    expected_spray = expected * rounds * N_CLIENTS
+
+    # Reference: a single-process serve under the identical client load.
+    proc, announce = _launch_serve(model_path, [])
+    try:
+        start = time.perf_counter()
+        results = _spray(announce["port"], payloads, rounds)
+        single_seconds = time.perf_counter() - start
+        assert sorted(results) == sorted(expected_spray)
+    finally:
+        proc.terminate()
+    assert proc.wait(timeout=60) == 0
+
+    proc, announce = _launch_serve(model_path, ["--workers", "2"])
+    try:
+        assert announce["workers"] == 2
+        results = benchmark(_spray, announce["port"], payloads, rounds)
+        assert sorted(results) == sorted(expected_spray)
+
+        # The parent control plane's merged view must stay consistent
+        # with the per-worker counters.
+        control_host, control_port = (
+            announce["control"].removeprefix("http://").rsplit(":", 1)
+        )
+        conn = http.client.HTTPConnection(
+            control_host, int(control_port), timeout=60
+        )
+        conn.request("GET", "/stats")
+        stats = json.loads(conn.getresponse().read())
+        conn.close()
+        per_worker = [w["body"]["gateway"] for w in stats["workers"]]
+        assert len(per_worker) == 2
+        merged = stats["merged"]["gateway"]
+        assert merged["predict_responses"] == sum(
+            w["predict_responses"] for w in per_worker
+        )
+        assert merged["predict_responses"] >= len(expected_spray)
+        assert all(w["predict_responses"] > 0 for w in per_worker)
+    finally:
+        proc.terminate()
+    assert proc.wait(timeout=60) == 0
+
+    pool_seconds = benchmark.stats.stats.mean
+    total = len(expected_spray)
+    benchmark.extra_info["single_worker_requests_per_second"] = (
+        total / single_seconds
+    )
+    benchmark.extra_info["two_worker_requests_per_second"] = (
+        total / pool_seconds
+    )
+    benchmark.extra_info["worker_scaling_speedup"] = (
+        single_seconds / pool_seconds
+    )
+    benchmark.extra_info["cpu_count"] = os.cpu_count()
+    if (os.cpu_count() or 1) >= 2:
+        assert single_seconds / pool_seconds >= 1.5, (
+            f"2-worker speedup {single_seconds / pool_seconds:.2f}x < 1.5x "
+            f"on a {os.cpu_count()}-CPU host"
+        )
 
 
 @pytest.mark.perf_smoke

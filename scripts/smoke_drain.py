@@ -1,0 +1,127 @@
+"""Drain smoke: SIGTERM under load exits 0 and in-flight requests arrive.
+
+Launches a real ``python -m repro serve`` subprocess on an ephemeral
+port, fires concurrent ``POST /predict`` requests, sends ``SIGTERM``
+while they are in flight, and requires:
+
+* the process drains and exits 0 (printing ``drained; exiting``),
+* every request either completes 200 **bitwise-equal** to the direct
+  service call, answers a retryable 503 (draining), or is refused at
+  the closed listener — never a corrupt or dropped-on-the-floor answer,
+* at least one in-flight request completes.
+
+Usage::
+
+    python scripts/smoke_drain.py [--model model.json] [--method autopower]
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+import tempfile
+import threading
+
+from smoke_common import ServeProcess, check, fit_model
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--model", default=None, metavar="PATH")
+    parser.add_argument("--method", default="autopower")
+    parser.add_argument("--clients", type=int, default=8)
+    args = parser.parse_args(argv)
+
+    import repro.api as api
+    from repro.arch.config import config_by_name
+    from repro.arch.workloads import workload_by_name
+    from repro.serving import wire
+    from repro.sim.perf import PerfSimulator
+
+    with tempfile.TemporaryDirectory(prefix="repro-smoke-") as tmp:
+        model_path = args.model
+        if model_path is None:
+            model_path = f"{tmp}/model.json"
+            print(f"fitting {args.method} -> {model_path}", flush=True)
+            fit_model(args.method, model_path)
+        model = api.load_model(model_path)
+
+        config = config_by_name("C8")
+        workload = workload_by_name("dhrystone")
+        request = api.PredictRequest(
+            config, PerfSimulator().run(config, workload), workload
+        )
+        expected = float(api.PredictionService(model).predict(request).total)
+        payload = json.dumps(wire.encode_request(request))
+
+        serve = ServeProcess(
+            ["--model", model_path, "--port", "0", "--drain-timeout", "15"]
+        )
+        try:
+            serve.wait_healthy()
+            print(f"gateway up on {serve.host}:{serve.port}", flush=True)
+
+            outcomes = []
+
+            def post() -> None:
+                import http.client
+
+                try:
+                    conn = http.client.HTTPConnection(
+                        serve.host, serve.port, timeout=30
+                    )
+                    conn.request(
+                        "POST", "/predict", body=payload,
+                        headers={"Content-Type": "application/json"},
+                    )
+                    response = conn.getresponse()
+                    outcomes.append(
+                        (response.status,
+                         json.loads(response.read().decode("utf-8")))
+                    )
+                    conn.close()
+                except OSError as exc:  # raced past the closed listener
+                    outcomes.append(("refused", str(exc)))
+
+            threads = [
+                threading.Thread(target=post) for _ in range(args.clients)
+            ]
+            for t in threads:
+                t.start()
+            # SIGTERM while the requests are in flight: the gateway must
+            # drain them to completion, then exit 0.
+            serve.terminate()
+            for t in threads:
+                t.join(60)
+        except BaseException:
+            serve.kill()
+            print(serve.output)
+            raise
+        code = serve.terminate_and_wait()
+        print(serve.output)
+        check(code == 0, f"serve must drain and exit 0, got {code}")
+        check("drained; exiting" in serve.output, "drain message")
+        served = [o for o in outcomes if o[0] == 200]
+        for status, body in outcomes:
+            if status == 200:
+                check(
+                    body["total"] == expected,
+                    "drained response must stay bitwise-equal",
+                    (body, expected),
+                )
+            else:
+                check(
+                    status in (503, "refused"),
+                    "non-200 outcomes must be a retryable shed or refusal",
+                    (status, body),
+                )
+        check(bool(served), f"no in-flight request completed: {outcomes}")
+    print(
+        f"drain smoke ok: {len(served)}/{args.clients} served bitwise, exit 0"
+    )
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

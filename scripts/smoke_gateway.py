@@ -1,0 +1,119 @@
+"""Gateway smoke: serve a fitted model, hit it over HTTP, verify bitwise.
+
+The end-to-end check CI (and any operator) runs against the real
+``python -m repro serve`` artifact:
+
+1. fit (or reuse) a model file,
+2. serve it on an ephemeral port (``--port 0``; the bound address comes
+   from the ``REPRO-SERVING`` announce line),
+3. ``GET /healthz``, ``POST /predict`` a total and a report request,
+   ``GET /stats``,
+4. assert the HTTP responses are bitwise-equal to direct
+   :class:`repro.api.PredictionService` calls,
+5. SIGTERM and require a clean (exit 0) drain.
+
+Usage::
+
+    python scripts/smoke_gateway.py [--model model.json] [--method autopower]
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+import tempfile
+
+from smoke_common import ServeProcess, check, fit_model, http_call
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument(
+        "--model", default=None, metavar="PATH",
+        help="model file to serve (default: fit --method into a temp file)",
+    )
+    parser.add_argument(
+        "--method", default="autopower",
+        help="method to fit when --model is absent (default: autopower)",
+    )
+    args = parser.parse_args(argv)
+
+    import repro.api as api
+    from repro.arch.config import config_by_name
+    from repro.arch.workloads import workload_by_name
+    from repro.serving import wire
+    from repro.sim.perf import PerfSimulator
+
+    with tempfile.TemporaryDirectory(prefix="repro-smoke-") as tmp:
+        model_path = args.model
+        if model_path is None:
+            model_path = f"{tmp}/model.json"
+            print(f"fitting {args.method} -> {model_path}", flush=True)
+            fit_model(args.method, model_path)
+        model = api.load_model(model_path)
+
+        config = config_by_name("C8")
+        workload = workload_by_name("dhrystone")
+        events = PerfSimulator().run(config, workload)
+        total_req = api.PredictRequest(config, events, workload)
+        report_req = api.PredictRequest(config, events, workload, kind="report")
+        direct = api.PredictionService(model).submit_many(
+            [total_req, report_req]
+        )
+
+        serve = ServeProcess(["--model", model_path, "--port", "0"])
+        try:
+            serve.wait_healthy()
+            print(f"gateway up on {serve.host}:{serve.port}", flush=True)
+
+            status, _h, health = http_call(
+                serve.host, serve.port, "GET", "/healthz"
+            )
+            check(status == 200 and health["status"] == "ok", "healthz", health)
+
+            status, _h, total = http_call(
+                serve.host, serve.port, "POST", "/predict",
+                wire.encode_request(total_req),
+            )
+            check(status == 200, "POST /predict (total)", total)
+            check(
+                total["total"] == float(direct[0].total),
+                "total response must be bitwise-equal to the direct call",
+                (total["total"], float(direct[0].total)),
+            )
+
+            status, _h, report = http_call(
+                serve.host, serve.port, "POST", "/predict",
+                wire.encode_request(report_req),
+            )
+            check(status == 200, "POST /predict (report)", report)
+            check(
+                report["report"]["total"] == float(direct[1].report.total),
+                "report total must be bitwise-equal to the direct call",
+                (report["report"]["total"], float(direct[1].report.total)),
+            )
+
+            status, _h, stats = http_call(
+                serve.host, serve.port, "GET", "/stats"
+            )
+            check(status == 200, "GET /stats", stats)
+            check(
+                stats["gateway"]["predict_responses"] == 2,
+                "stats must count both served requests",
+                stats["gateway"],
+            )
+        except BaseException:
+            serve.kill()
+            print(serve.output)
+            raise
+        code = serve.terminate_and_wait()
+        check(code == 0, f"serve must drain and exit 0, got {code}",
+              serve.output)
+        check("drained; exiting" in serve.output, "drain message",
+              serve.output)
+    print(f"gateway smoke ok: {total['total']} mW (bitwise), clean exit")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

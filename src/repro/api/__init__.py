@@ -45,7 +45,13 @@ from repro.api.registry import (
     register,
     spec_for,
 )
-from repro.api.persistence import FORMAT_VERSION, load_model, save_model
+from repro.api.persistence import (
+    FORMAT_VERSION,
+    load_model,
+    model_from_envelope,
+    model_to_envelope,
+    save_model,
+)
 from repro.api.service import (
     PredictRequest,
     PredictResponse,
@@ -69,6 +75,8 @@ __all__ = [
     "list_methods",
     "load_model",
     "method_names",
+    "model_from_envelope",
+    "model_to_envelope",
     "register",
     "register_builtin_methods",
     "save_model",

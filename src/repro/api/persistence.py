@@ -25,32 +25,50 @@ from typing import Any
 
 from repro.api.registry import get_method, spec_for
 
-__all__ = ["FORMAT_VERSION", "load_model", "save_model"]
+__all__ = [
+    "FORMAT_VERSION",
+    "load_model",
+    "model_from_envelope",
+    "model_to_envelope",
+    "save_model",
+]
 
 FORMAT_VERSION = 2
 
 
-def save_model(model: Any, path: str | Path) -> None:
-    """Serialize any registered method's fitted model to a JSON file."""
+def model_to_envelope(model: Any) -> dict:
+    """The format-v2 envelope dict for any registered fitted model.
+
+    This is the in-memory half of :func:`save_model` — the serving
+    gateway ships envelopes over the wire (``PUT /models/<name>``)
+    without touching the filesystem.
+    """
     spec = spec_for(model)
     library = getattr(model, "library", None)
-    envelope = {
+    return {
         "format_version": FORMAT_VERSION,
         "method": spec.name,
         "library": getattr(library, "name", None),
         "state": model.to_state(),
     }
-    Path(path).write_text(json.dumps(envelope))
 
 
-def load_model(path: str | Path, library: Any = None) -> Any:
-    """Load a fitted model saved by :func:`save_model`.
+def save_model(model: Any, path: str | Path) -> None:
+    """Serialize any registered method's fitted model to a JSON file."""
+    Path(path).write_text(json.dumps(model_to_envelope(model)))
 
-    Accepts both format-v2 envelopes and legacy format-v1 AutoPower
-    files.  ``library`` is resolved by name for methods that carry one
-    (pass it explicitly when using a non-default technology library).
+
+def model_from_envelope(envelope: Any, library: Any = None) -> Any:
+    """Reconstruct a fitted model from an envelope dict.
+
+    The in-memory half of :func:`load_model`: accepts format-v2
+    envelopes and legacy format-v1 AutoPower payloads.  ``library`` is
+    resolved by name for methods that carry one.
     """
-    envelope = json.loads(Path(path).read_text())
+    if not isinstance(envelope, dict):
+        raise ValueError(
+            f"model envelope must be a JSON object, got {type(envelope).__name__}"
+        )
     version = envelope.get("format_version")
     if version == 1:
         # v1 predates the envelope: AutoPower state at the top level.
@@ -73,3 +91,13 @@ def load_model(path: str | Path, library: Any = None) -> Any:
                 f"got {library.name!r}"
             )
     return spec.cls.from_state(state, library=library)
+
+
+def load_model(path: str | Path, library: Any = None) -> Any:
+    """Load a fitted model saved by :func:`save_model`.
+
+    Accepts both format-v2 envelopes and legacy format-v1 AutoPower
+    files.  ``library`` is resolved by name for methods that carry one
+    (pass it explicitly when using a non-default technology library).
+    """
+    return model_from_envelope(json.loads(Path(path).read_text()), library=library)

@@ -74,7 +74,9 @@ def _print_overview() -> None:
         "\nmodel commands:"
         "\n  fit <method> --out model.json [--train C1,C15] [--jobs N]"
         "\n  predict --model model.json [--config C8[,C9]] [--workload dhrystone]"
-        "\n  serve --model model.json [--port 8000] [--max-wait-ms W]"
+        "\n  serve --model [NAME=]model.json [--port 8000] [--workers N]"
+        "\n        [--auth-token T | --auth-token-env VAR | --auth-token-file F]"
+        "\n        [--rate-limit R --rate-burst B] [--max-wait-ms W]"
         "\n        [--queue-depth N] [--default-deadline-ms MS]"
         " [--drain-timeout S]"
     )
@@ -230,22 +232,199 @@ def _cmd_predict(argv: list[str]) -> int:
     return 0
 
 
+def _parse_model_specs(
+    specs: list[str], default_name: str
+) -> dict[str, str]:
+    """``[NAME=]PATH`` args into an ordered ``{name: path}`` map.
+
+    A bare ``PATH`` takes the default-model name; duplicate names and
+    invalid name syntax are errors (:class:`ValueError`).
+    """
+    from repro.serving.fleet import FleetError, validate_model_name
+
+    named: dict[str, str] = {}
+    for spec in specs:
+        name, sep, path = spec.partition("=")
+        if not sep:
+            name, path = default_name, spec
+        if not path:
+            raise ValueError(f"--model {spec!r} has an empty path")
+        try:
+            validate_model_name(name)
+        except FleetError as exc:
+            raise ValueError(str(exc)) from None
+        if name in named:
+            raise ValueError(f"duplicate model name {name!r} in --model")
+        named[name] = path
+    return named
+
+
+def _build_fleet(args, default_name: str, models: dict, resilience):
+    """One fresh fleet over the preloaded models (per process)."""
+    from repro.serving import ModelFleet
+
+    fleet = ModelFleet(
+        max_models=args.max_models,
+        default_model=default_name,
+        max_batch_size=args.max_batch_size,
+        max_wait_ms=args.max_wait_ms,
+        resilience=resilience,
+        service_kwargs={"n_jobs": args.jobs},
+    )
+    for name, (path, model) in models.items():
+        fleet.add_model(name, model, source=f"path:{path}")
+    return fleet
+
+
+def _serve_worker(
+    announce_fd: int,
+    bound_port: int,
+    args,
+    default_name: str,
+    models: dict,
+    resilience,
+    auth,
+) -> int:
+    """One ``--workers N`` child: its own gateway on the shared port."""
+    import signal
+
+    from repro.serving import Gateway, RateLimiter
+    from repro.serving.fleet import write_worker_announce
+
+    gateway = Gateway(
+        _build_fleet(args, default_name, models, resilience),
+        host=args.host,
+        port=bound_port,
+        resilience=resilience,
+        auth=auth,
+        rate_limiter=RateLimiter(args.rate_limit, args.rate_burst),
+        reuse_port=True,
+        control_port=0,
+    )
+
+    async def run() -> None:
+        await gateway.start()
+        write_worker_announce(announce_fd, gateway.port, gateway.control_port)
+        loop = asyncio.get_running_loop()
+        shutdown = asyncio.Event()
+        for signum in (signal.SIGTERM, signal.SIGINT):
+            try:
+                loop.add_signal_handler(signum, shutdown.set)
+            except (NotImplementedError, RuntimeError):
+                pass
+        await shutdown.wait()
+        await gateway.stop(drain=True, drain_timeout=args.drain_timeout)
+
+    try:
+        asyncio.run(run())
+    except KeyboardInterrupt:
+        pass
+    except Exception as exc:
+        print(f"worker error: {type(exc).__name__}: {exc}", file=sys.stderr)
+        return 1
+    return 0
+
+
 def _cmd_serve(argv: list[str]) -> int:
     """``python -m repro serve --model model.json --port N``."""
     parser = argparse.ArgumentParser(
         prog="python -m repro serve",
         description=(
-            "Serve a saved model over HTTP/JSON (repro.serving): concurrent "
-            "POST /predict requests coalesce into batched model calls; "
-            "GET /healthz and GET /stats expose liveness and serving counters."
+            "Serve saved models over HTTP/JSON (repro.serving): concurrent "
+            "POST /predict and /models/<name>/predict requests coalesce into "
+            "batched model calls; PUT/DELETE /models/<name> hot-reload and "
+            "unload models; GET /healthz and GET /stats expose liveness and "
+            "serving counters.  Once up, one machine-parseable line is "
+            "printed: 'REPRO-SERVING addr=http://HOST:PORT workers=N ...'."
         ),
     )
     parser.add_argument(
-        "--model", required=True, metavar="PATH", help="model JSON file to load"
+        "--model",
+        required=True,
+        action="append",
+        metavar="[NAME=]PATH",
+        help=(
+            "model JSON file to serve; repeatable, NAME= routes it at "
+            "POST /models/NAME/predict (a bare PATH is the default model)"
+        ),
+    )
+    parser.add_argument(
+        "--default-model",
+        default=None,
+        metavar="NAME",
+        help=(
+            "which model legacy POST /predict routes to (default: the "
+            "model named 'default', else the first --model)"
+        ),
+    )
+    parser.add_argument(
+        "--max-models",
+        type=int,
+        default=8,
+        metavar="N",
+        help=(
+            "LRU bound on concurrently loaded models; PUT beyond it "
+            "evicts the least-recently-routed non-default model "
+            "(default: 8)"
+        ),
     )
     parser.add_argument("--host", default="127.0.0.1", help="bind address")
     parser.add_argument(
         "--port", type=int, default=8000, help="bind port (0 = ephemeral)"
+    )
+    parser.add_argument(
+        "--workers",
+        type=int,
+        default=1,
+        metavar="N",
+        help=(
+            "process-per-core scale-out: fork N shared-nothing workers on "
+            "one SO_REUSEPORT socket, with a parent control plane that "
+            "merges /stats and fans out model admin (default: 1)"
+        ),
+    )
+    parser.add_argument(
+        "--auth-token",
+        default=None,
+        metavar="TOKEN",
+        help=(
+            "static bearer token clients must send as "
+            "'Authorization: Bearer <token>' (401/403 otherwise); "
+            "prefer --auth-token-env/--auth-token-file over a literal"
+        ),
+    )
+    parser.add_argument(
+        "--auth-token-env",
+        default=None,
+        metavar="VAR",
+        help="read a bearer token from this environment variable",
+    )
+    parser.add_argument(
+        "--auth-token-file",
+        default=None,
+        metavar="PATH",
+        help="read bearer tokens from a file, one per line (# comments)",
+    )
+    parser.add_argument(
+        "--rate-limit",
+        type=float,
+        default=None,
+        metavar="R",
+        help=(
+            "per-client rate limit in requests/second (per worker); an "
+            "exhausted client answers 429 + Retry-After while other "
+            "clients keep being served (default: unlimited)"
+        ),
+    )
+    parser.add_argument(
+        "--rate-burst",
+        type=int,
+        default=None,
+        metavar="B",
+        help=(
+            "per-client burst ceiling for --rate-limit "
+            "(default: ceil(R))"
+        ),
     )
     parser.add_argument(
         "--max-wait-ms",
@@ -317,45 +496,141 @@ def _cmd_serve(argv: list[str]) -> int:
             file=sys.stderr,
         )
         return 2
-    try:
-        model = api.load_model(args.model)
-    except (OSError, ValueError, KeyError) as exc:
-        print(f"error: cannot load {args.model}: {exc}", file=sys.stderr)
+    if args.workers < 1 or args.max_models < 1:
+        print(
+            "error: --workers and --max-models must be >= 1", file=sys.stderr
+        )
+        return 2
+    if args.rate_limit is not None and not args.rate_limit > 0:
+        print("error: --rate-limit must be > 0", file=sys.stderr)
+        return 2
+    if args.rate_burst is not None and args.rate_burst < 1:
+        print("error: --rate-burst must be >= 1", file=sys.stderr)
+        return 2
+    if args.rate_burst is not None and args.rate_limit is None:
+        print(
+            "error: --rate-burst needs --rate-limit", file=sys.stderr
+        )
+        return 2
+
+    from repro.serving import (
+        Authenticator,
+        Gateway,
+        RateLimiter,
+        ResilienceConfig,
+    )
+    from repro.serving.fleet import format_announce, reuse_port_supported
+
+    if args.workers > 1 and not reuse_port_supported():
+        print(
+            "error: --workers > 1 needs os.fork and SO_REUSEPORT "
+            "(unavailable on this platform)",
+            file=sys.stderr,
+        )
         return 2
     try:
-        label = api.spec_for(model).display_name
-    except KeyError:
-        label = type(model).__name__
+        auth = Authenticator.from_sources(
+            token=args.auth_token,
+            env=args.auth_token_env,
+            file=args.auth_token_file,
+        )
+    except (OSError, ValueError) as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
 
-    from repro.serving import Gateway, ResilienceConfig
+    # Resolve model names before touching any file, so name errors are
+    # cheap.  A bare PATH takes the default-model name; with named
+    # models only, the first one becomes the default unless
+    # --default-model picks another.
+    try:
+        specs = _parse_model_specs(
+            args.model, args.default_model or "default"
+        )
+    except ValueError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+    if args.default_model is not None:
+        default_name = args.default_model
+        if default_name not in specs:
+            print(
+                f"error: --default-model {default_name!r} is not among the "
+                f"--model names {sorted(specs)}",
+                file=sys.stderr,
+            )
+            return 2
+    else:
+        default_name = (
+            "default" if "default" in specs else next(iter(specs))
+        )
 
+    models: dict[str, tuple[str, object]] = {}
+    for name, path in specs.items():
+        try:
+            models[name] = (path, api.load_model(path))
+        except (OSError, ValueError, KeyError) as exc:
+            print(f"error: cannot load {path}: {exc}", file=sys.stderr)
+            return 2
+
+    def describe(model) -> str:
+        try:
+            return api.spec_for(model).display_name
+        except KeyError:
+            return type(model).__name__
+
+    label = ", ".join(
+        f"{name}={describe(model)}" for name, (_path, model) in models.items()
+    )
     resilience = ResilienceConfig(
         queue_depth=args.queue_depth or None,
         default_deadline_ms=args.default_deadline_ms,
         drain_timeout_s=args.drain_timeout,
     )
-    service = api.PredictionService(model, n_jobs=args.jobs)
+
+    if args.workers > 1:
+        # Process-per-core: models are loaded (validated) once here; the
+        # forked children each build their own fleet over their own copy.
+        from repro.serving.fleet import run_worker_pool
+
+        print(f"serving {label} with {args.workers} workers ...", flush=True)
+
+        def worker_main(announce_fd: int, bound_port: int) -> int:
+            return _serve_worker(
+                announce_fd,
+                bound_port,
+                args,
+                default_name,
+                models,
+                resilience,
+                auth,
+            )
+
+        try:
+            return run_worker_pool(
+                args.host, args.port, args.workers, worker_main
+            )
+        except OSError as exc:  # e.g. the port is already bound
+            print(f"error: {exc}", file=sys.stderr)
+            return 2
+
     gateway = Gateway(
-        service,
+        _build_fleet(args, default_name, models, resilience),
         host=args.host,
         port=args.port,
-        max_batch_size=args.max_batch_size,
-        max_wait_ms=args.max_wait_ms,
         resilience=resilience,
+        auth=auth,
+        rate_limiter=RateLimiter(args.rate_limit, args.rate_burst),
     )
 
     async def run() -> None:
         import signal
 
         await gateway.start()
+        print(format_announce(args.host, gateway.port, workers=1), flush=True)
+        print(f"serving {label} on http://{args.host}:{gateway.port}", flush=True)
         print(
-            f"serving {label} ({args.model}) on "
-            f"http://{gateway.host}:{gateway.port}",
-            flush=True,
-        )
-        print(
-            "endpoints: POST /predict, GET /healthz, GET /stats "
-            "(SIGTERM/Ctrl-C drains and exits)",
+            "endpoints: POST /predict, POST /models/<name>/predict, "
+            "PUT/DELETE/GET /models/<name>, GET /models, GET /healthz, "
+            "GET /stats (SIGTERM/Ctrl-C drains and exits)",
             flush=True,
         )
         loop = asyncio.get_running_loop()

@@ -10,10 +10,21 @@ from concurrent HTTP callers coalesce into shared
 responses bitwise-equal to direct per-request service calls.
 
 * :class:`Gateway` — the asyncio server (``POST /predict``,
+  ``POST /models/<name>/predict``, model admin under ``/models``,
   ``GET /healthz``, ``GET /stats``),
+* :class:`ModelFleet` — a size-bounded LRU map of named models, each
+  behind its own :class:`MicroBatcher`, with atomic hot reload
+  (``PUT /models/<name>``) and drain-then-unload
+  (``DELETE /models/<name>``),
 * :class:`MicroBatcher` — the queue/flush coalescing layer,
 * :class:`GatewayThread` — a synchronous handle running the gateway on
   a background event loop (what tests and benchmarks use),
+* :class:`Authenticator` / :class:`RateLimiter` — static bearer-token
+  auth (401/403) and per-client token buckets (429 + ``Retry-After``),
+  layered *before* any model work,
+* :func:`run_worker_pool` — ``serve --workers N``: shared-nothing
+  ``SO_REUSEPORT`` worker processes with a parent control plane that
+  merges ``/stats`` (:func:`merge_stats`) and fans out model admin,
 * :mod:`repro.serving.wire` — the JSON request/response codec with
   structured 400/422 errors,
 * :mod:`repro.serving.resilience` — admission control (bounded queue,
@@ -21,18 +32,35 @@ responses bitwise-equal to direct per-request service calls.
   breaker around the model worker (503) and graceful drain
   (:class:`ResilienceConfig` carries the knobs),
 * :class:`ServingClient` — the retrying HTTP client (capped exponential
-  backoff + jitter, honors ``Retry-After``),
+  backoff + jitter, honors ``Retry-After``; ``token=`` / ``model=``
+  select credentials and the routed model),
 * :mod:`repro.serving.faults` — deterministic fault injection at the
   service boundary, for testing all of the above without sleeps.
 
 Command line::
 
-    python -m repro serve --model model.json --port 8000 --max-wait-ms 2 \
+    python -m repro serve --model model.json --port 8000 --workers 2 \
+        --auth-token-env REPRO_TOKEN --rate-limit 50 --max-wait-ms 2 \
         --queue-depth 1024 --default-deadline-ms 2000 --drain-timeout 10
 """
 
+from repro.serving.auth import (
+    AuthError,
+    Authenticator,
+    RateLimitedError,
+    RateLimiter,
+)
 from repro.serving.batcher import MicroBatcher
 from repro.serving.client import ServingClient, ServingError
+from repro.serving.fleet import (
+    FleetEntry,
+    FleetError,
+    ModelFleet,
+    format_announce,
+    merge_stats,
+    parse_announce,
+    run_worker_pool,
+)
 from repro.serving.gateway import Gateway, GatewayStats, GatewayThread
 from repro.serving.resilience import (
     CircuitBreaker,
@@ -46,18 +74,29 @@ from repro.serving.resilience import (
 from repro.serving.wire import WireError
 
 __all__ = [
+    "AuthError",
+    "Authenticator",
     "CircuitBreaker",
     "CircuitOpenError",
     "DeadlineExceededError",
     "DrainingError",
+    "FleetEntry",
+    "FleetError",
     "Gateway",
     "GatewayStats",
     "GatewayThread",
     "MicroBatcher",
+    "ModelFleet",
     "OverloadError",
+    "RateLimitedError",
+    "RateLimiter",
     "ResilienceConfig",
     "ResilienceError",
     "ServingClient",
     "ServingError",
     "WireError",
+    "format_announce",
+    "merge_stats",
+    "parse_announce",
+    "run_worker_pool",
 ]

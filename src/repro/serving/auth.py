@@ -1,0 +1,262 @@
+"""Authentication and per-client rate limiting for the serving gateway.
+
+Two independent gates the gateway runs *before* any request body is
+decoded or any model work happens:
+
+* **Static bearer tokens** — :class:`Authenticator` holds a set of
+  tokens sourced from a literal, an environment variable, or a file
+  (one token per line).  A request must carry
+  ``Authorization: Bearer <token>``: a missing/malformed header answers
+  401 (with ``WWW-Authenticate: Bearer``), a wrong token answers 403.
+  Comparison is constant-time (:func:`hmac.compare_digest`) and the
+  tokens themselves never appear in counters, ``/stats`` or error
+  messages — clients are identified by a short one-way digest.
+* **Per-client token buckets** — :class:`RateLimiter` grants each
+  client identity (the token digest when auth is on, the peer address
+  otherwise) ``rate`` requests/second with a ``burst`` ceiling.  An
+  exhausted bucket answers :class:`RateLimitedError` (429) carrying the
+  computed ``Retry-After`` — the seconds until the bucket holds enough
+  tokens for the refused request — while *other* clients' buckets are
+  untouched and their requests keep being served bitwise.  This is the
+  per-client dimension layered on top of the global admission control
+  in :mod:`repro.serving.resilience` (which bounds the shared queue).
+
+Both gates are clock-injectable and allocation-light: the limiter keeps
+one ``(tokens, stamp)`` pair per client, capped by ``max_clients`` with
+least-recently-seen eviction so an address-spraying peer cannot grow
+the table without bound.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import hmac
+import math
+import os
+import time
+from pathlib import Path
+from typing import Callable, Iterable
+
+from repro.serving.resilience import ResilienceError
+
+__all__ = [
+    "AuthError",
+    "Authenticator",
+    "RateLimitedError",
+    "RateLimiter",
+    "client_digest",
+]
+
+
+class AuthError(Exception):
+    """A request refused by the authenticator (401 or 403)."""
+
+    def __init__(self, status: int, message: str) -> None:
+        super().__init__(message)
+        self.status = status
+        self.message = message
+
+
+class RateLimitedError(ResilienceError):
+    """A client's token bucket is empty — shed with 429 + ``Retry-After``.
+
+    Subclasses :class:`~repro.serving.resilience.ResilienceError` so the
+    gateway's existing error path maps it to its status and attaches the
+    ``Retry-After`` header.
+    """
+
+    status = 429
+
+
+def client_digest(token_or_peer: str) -> str:
+    """A short one-way client identifier safe to surface in ``/stats``.
+
+    Never reversible to the bearer token: sha256, truncated to 12 hex
+    characters (collision-safe for counter purposes).
+    """
+    return hashlib.sha256(token_or_peer.encode("utf-8")).hexdigest()[:12]
+
+
+class Authenticator:
+    """Static bearer-token check for every non-``/healthz`` route.
+
+    ``tokens`` empty means auth is disabled (:attr:`enabled` is False
+    and :meth:`check` admits everything).  Construction from CLI
+    sources goes through :meth:`from_sources`.
+    """
+
+    def __init__(self, tokens: Iterable[str] = ()) -> None:
+        self._tokens = tuple(t for t in tokens if t)
+        self.accepted = 0
+        self.rejected_missing = 0
+        self.rejected_bad = 0
+
+    @property
+    def enabled(self) -> bool:
+        return bool(self._tokens)
+
+    @classmethod
+    def from_sources(
+        cls,
+        token: str | None = None,
+        env: str | None = None,
+        file: str | Path | None = None,
+    ) -> "Authenticator":
+        """Collect tokens from a literal, an env var, and a token file.
+
+        The file holds one token per line (blank lines and ``#``
+        comments ignored).  A named-but-empty source is an error — a
+        server the operator *tried* to lock must not silently come up
+        open.
+        """
+        tokens: list[str] = []
+        if token:
+            tokens.append(token)
+        if env is not None:
+            value = os.environ.get(env, "")
+            if not value:
+                raise ValueError(
+                    f"auth token environment variable {env!r} is unset or empty"
+                )
+            tokens.append(value)
+        if file is not None:
+            lines = Path(file).read_text().splitlines()
+            file_tokens = [
+                line.strip()
+                for line in lines
+                if line.strip() and not line.strip().startswith("#")
+            ]
+            if not file_tokens:
+                raise ValueError(f"auth token file {file!r} holds no tokens")
+            tokens.extend(file_tokens)
+        return cls(tokens)
+
+    def check(self, authorization: str | None) -> str | None:
+        """Gate one request; returns the client digest for rate limiting.
+
+        ``authorization`` is the raw ``Authorization`` header value (or
+        ``None`` when absent).  Raises :class:`AuthError` 401 when the
+        header is missing or not a bearer credential, 403 when the
+        token is present but wrong.  With auth disabled, returns
+        ``None`` (the caller falls back to the peer address as the
+        client identity).
+        """
+        if not self.enabled:
+            return None
+        if authorization is None:
+            self.rejected_missing += 1
+            raise AuthError(401, "missing Authorization header")
+        scheme, _, credential = authorization.partition(" ")
+        credential = credential.strip()
+        if scheme.lower() != "bearer" or not credential:
+            self.rejected_missing += 1
+            raise AuthError(
+                401, "Authorization header must be 'Bearer <token>'"
+            )
+        for token in self._tokens:
+            if hmac.compare_digest(credential, token):
+                self.accepted += 1
+                return client_digest(credential)
+        self.rejected_bad += 1
+        raise AuthError(403, "invalid bearer token")
+
+    def snapshot(self) -> dict:
+        """The ``/stats`` view — counters only, never token material."""
+        return {
+            "enabled": self.enabled,
+            "tokens": len(self._tokens),
+            "accepted": self.accepted,
+            "rejected_missing": self.rejected_missing,
+            "rejected_bad": self.rejected_bad,
+        }
+
+
+class RateLimiter:
+    """Per-client token bucket: ``rate`` requests/s, ``burst`` ceiling.
+
+    ``rate=None`` disables the limiter (every :meth:`admit` is a
+    no-op).  ``admit(client, cost)`` spends ``cost`` tokens from the
+    client's bucket (one per prediction request, so a list-of-N HTTP
+    call costs N) and raises :class:`RateLimitedError` when the bucket
+    cannot cover it, with ``Retry-After`` computed from the deficit and
+    the refill rate.  Buckets refill continuously on the injected
+    monotonic clock.
+    """
+
+    def __init__(
+        self,
+        rate: float | None,
+        burst: int | None = None,
+        clock: Callable[[], float] | None = None,
+        max_clients: int = 4096,
+    ) -> None:
+        if rate is not None and not rate > 0:
+            raise ValueError("rate must be positive (or None = disabled)")
+        if burst is None:
+            burst = max(1, math.ceil(rate)) if rate is not None else 1
+        if burst < 1:
+            raise ValueError("burst must be at least 1")
+        if max_clients < 1:
+            raise ValueError("max_clients must be positive")
+        self.rate = rate
+        self.burst = burst
+        self.max_clients = max_clients
+        self._clock = clock or time.monotonic
+        # client -> [tokens, last refill stamp]; insertion order doubles
+        # as least-recently-seen for eviction (refreshed on every admit).
+        self._buckets: dict[str, list[float]] = {}
+        self.allowed = 0
+        self.limited = 0
+        self._limited_by_client: dict[str, int] = {}
+
+    @property
+    def enabled(self) -> bool:
+        return self.rate is not None
+
+    def admit(self, client: str, cost: int = 1) -> None:
+        """Spend ``cost`` tokens from ``client``'s bucket or shed 429."""
+        if self.rate is None:
+            return
+        if cost < 1:
+            cost = 1
+        now = self._clock()
+        bucket = self._buckets.pop(client, None)
+        if bucket is None:
+            bucket = [float(self.burst), now]
+            if len(self._buckets) >= self.max_clients:
+                # Evict the least-recently-seen client (first key).
+                self._buckets.pop(next(iter(self._buckets)))
+        else:
+            tokens, stamp = bucket
+            bucket[0] = min(self.burst, tokens + (now - stamp) * self.rate)
+            bucket[1] = now
+        self._buckets[client] = bucket  # re-insert = most recently seen
+        if bucket[0] >= cost:
+            bucket[0] -= cost
+            self.allowed += cost
+            return
+        self.limited += 1
+        self._limited_by_client[client] = (
+            self._limited_by_client.get(client, 0) + 1
+        )
+        deficit = cost - bucket[0]
+        retry_after = max(1, math.ceil(deficit / self.rate))
+        raise RateLimitedError(
+            f"client rate limit exceeded ({self.rate:g} req/s, "
+            f"burst {self.burst}); retry in ~{retry_after}s",
+            retry_after=retry_after,
+        )
+
+    def snapshot(self) -> dict:
+        """The ``/stats`` view — digest-keyed, never token material."""
+        return {
+            "enabled": self.enabled,
+            "rate_per_s": self.rate,
+            "burst": self.burst,
+            "allowed": self.allowed,
+            "limited": self.limited,
+            "clients_tracked": len(self._buckets),
+            "limited_by_client": dict(
+                sorted(self._limited_by_client.items())
+            ),
+        }

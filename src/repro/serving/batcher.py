@@ -159,6 +159,10 @@ class MicroBatcher:
         Monotonic ``() -> float`` used for deadlines and the breaker
         cooldown; defaults to the event loop's clock (tests inject a
         :class:`~repro.serving.faults.ManualClock`).
+    name:
+        Diagnostic label for this batcher (the fleet passes the model
+        name); names the model worker thread so a wedged fleet is
+        attributable in a thread dump.
     """
 
     def __init__(
@@ -168,12 +172,14 @@ class MicroBatcher:
         max_wait_ms: float = 2.0,
         resilience: ResilienceConfig | None = None,
         clock: Callable[[], float] | None = None,
+        name: str = "default",
     ) -> None:
         if max_batch_size < 1:
             raise ValueError("max_batch_size must be positive")
         if max_wait_ms < 0:
             raise ValueError("max_wait_ms must be non-negative")
         self.service = service
+        self.name = name
         self.max_batch_size = max_batch_size
         self.max_wait_ms = max_wait_ms
         self.resilience = resilience if resilience is not None else ResilienceConfig()
@@ -202,6 +208,10 @@ class MicroBatcher:
         self._worker: _ModelWorker | None = None
         self._idle: asyncio.Event | None = None
         self._draining = False
+
+    @property
+    def _worker_name(self) -> str:
+        return f"repro-serving-model-{self.name}"
 
     @property
     def queue_depth(self) -> int:
@@ -244,7 +254,7 @@ class MicroBatcher:
         self._idle = asyncio.Event()
         self._idle.set()
         self._draining = False
-        self._worker = _ModelWorker()
+        self._worker = _ModelWorker(name=self._worker_name)
         self._task = asyncio.create_task(self._run())
 
     def begin_drain(self) -> None:
@@ -460,7 +470,7 @@ class MicroBatcher:
             self.model_timeouts += 1
             self.worker_recycles += 1
             self._worker.stop()
-            self._worker = _ModelWorker()
+            self._worker = _ModelWorker(name=self._worker_name)
             raise
 
     async def _serve(self, items: list[_Pending]) -> None:

@@ -52,6 +52,14 @@ class ServingClient:
     ----------
     host / port:
         The gateway address.
+    token:
+        Optional static bearer token, sent as
+        ``Authorization: Bearer <token>`` on every request (the
+        gateway's :class:`~repro.serving.auth.Authenticator` contract).
+    model:
+        Optional model name — predictions go to
+        ``POST /models/<model>/predict`` instead of the default-model
+        ``/predict`` route.
     timeout:
         Per-attempt socket timeout in seconds.
     max_retries:
@@ -71,6 +79,8 @@ class ServingClient:
         host: str = "127.0.0.1",
         port: int = 8000,
         *,
+        token: str | None = None,
+        model: str | None = None,
         timeout: float = 30.0,
         max_retries: int = 4,
         backoff_base_s: float = 0.1,
@@ -84,6 +94,8 @@ class ServingClient:
             raise ValueError("backoff knobs must be non-negative")
         self.host = host
         self.port = port
+        self.token = token
+        self.model = model
         self.timeout = timeout
         self.max_retries = max_retries
         self.backoff_base_s = backoff_base_s
@@ -97,7 +109,7 @@ class ServingClient:
     ) -> dict:
         """Serve one request; returns the decoded response object."""
         obj = self._encode(request, deadline_ms)
-        return self._call("POST", "/predict", obj)
+        return self._call("POST", self._predict_path(), obj)
 
     def predict_many(
         self,
@@ -106,13 +118,39 @@ class ServingClient:
     ) -> list[dict]:
         """Serve a list of requests in one HTTP call."""
         objs = [self._encode(r, deadline_ms) for r in requests]
-        return self._call("POST", "/predict", objs)
+        return self._call("POST", self._predict_path(), objs)
 
     def healthz(self) -> dict:
         return self._call("GET", "/healthz")
 
     def stats(self) -> dict:
         return self._call("GET", "/stats")
+
+    def models(self) -> dict:
+        """The loaded-model listing (``GET /models``)."""
+        return self._call("GET", "/models")
+
+    def load_model(self, name: str, path_or_envelope: str | dict) -> dict:
+        """Load/hot-reload a model (``PUT /models/<name>``).
+
+        A string is a server-side model file path; a dict is a full
+        format-v2 envelope shipped in the request body.
+        """
+        body = (
+            {"path": path_or_envelope}
+            if isinstance(path_or_envelope, str)
+            else path_or_envelope
+        )
+        return self._call("PUT", f"/models/{name}", body)
+
+    def unload_model(self, name: str) -> dict:
+        """Drain-then-unload a model (``DELETE /models/<name>``)."""
+        return self._call("DELETE", f"/models/{name}")
+
+    def _predict_path(self) -> str:
+        if self.model is None:
+            return "/predict"
+        return f"/models/{self.model}/predict"
 
     # -- internals ------------------------------------------------------
     @staticmethod
@@ -137,10 +175,10 @@ class ServingClient:
         )
         try:
             body = None if payload is None else json.dumps(payload)
-            conn.request(
-                method, path, body=body,
-                headers={"Content-Type": "application/json"},
-            )
+            headers = {"Content-Type": "application/json"}
+            if self.token is not None:
+                headers["Authorization"] = f"Bearer {self.token}"
+            conn.request(method, path, body=body, headers=headers)
             response = conn.getresponse()
             raw = response.read()
             headers = {k.lower(): v for k, v in response.getheaders()}

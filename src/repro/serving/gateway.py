@@ -1,36 +1,53 @@
-"""Asyncio HTTP/JSON gateway over the prediction service.
+"""Asyncio HTTP/JSON gateway over the prediction service fleet.
 
 A deliberately small HTTP/1.1 server hand-rolled on
 :func:`asyncio.start_server` — no web framework, no new dependencies.
-Three endpoints:
+The data-plane endpoints:
 
 * ``POST /predict`` — one request object or a list of them (see
-  :mod:`repro.serving.wire`); single object in, single object out.
-  Every request flows through the cross-request
+  :mod:`repro.serving.wire`); routes to the *default* model.  Every
+  request flows through that model's cross-request
   :class:`~repro.serving.batcher.MicroBatcher`, so concurrent callers
   coalesce into shared model calls.
-* ``GET /healthz`` — liveness plus the loaded model's identity and the
-  request kinds it can serve.
-* ``GET /stats`` — the service's :class:`~repro.api.service.ServiceStats`
-  snapshot plus gateway-level counters: HTTP/predict request counts,
-  per-status error counts, live queue depth, flush count/sizes,
-  p50/p95 request latency over a sliding window, and the resilience
-  state (queue bound, shed counts, circuit-breaker state, drain flag).
+* ``POST /models/<name>/predict`` — the same contract against any
+  loaded model; each model batches independently.
+* ``GET /healthz`` — liveness plus the loaded models and the request
+  kinds the default model can serve.  Never requires auth (probes).
+* ``GET /stats`` — the default model's
+  :class:`~repro.api.service.ServiceStats` snapshot plus gateway-level
+  counters, the per-model fleet block, and the auth / per-client
+  rate-limit counters (client identities are one-way digests — bearer
+  tokens never appear).
+
+And the admin plane (:class:`~repro.serving.fleet.ModelFleet`):
+
+* ``PUT /models/<name>`` — load or hot-reload a model from a
+  server-side file path or a full v2 envelope in the body; the swap is
+  atomic and in-flight requests finish on the old model bitwise.
+* ``DELETE /models/<name>`` — drain-then-unload.
+* ``GET /models`` / ``GET /models/<name>`` — the loaded-model listing.
+
+When an :class:`~repro.serving.auth.Authenticator` is configured, every
+route except ``/healthz`` requires ``Authorization: Bearer <token>``
+(401 missing/malformed, 403 wrong) — checked before any body decoding
+or model work.  A configured :class:`~repro.serving.auth.RateLimiter`
+spends one token per prediction request from the per-client bucket and
+sheds 429 + ``Retry-After`` on exhaustion, independently per client.
 
 Connections are keep-alive by default (``Connection: close`` honored);
 errors answer with the structured body from
 :func:`repro.serving.wire.encode_error` — 400 for malformed requests,
+401/403 from auth, 404 for unknown routes *and* unknown model names,
 408 for a peer that stalls mid-request, 413/431 for oversized bodies or
-header blocks, 422 for kinds the loaded model cannot serve, 404/405 for
-unknown routes, 429/503/504 from the resilience layer (429 and
-circuit-open 503 carry ``Retry-After``), 500 for unexpected
-server-side failures.
+header blocks, 422 for kinds the routed model cannot serve, 429/503/504
+from the resilience and rate-limit layers (with ``Retry-After``), 500
+for unexpected server-side failures.
 
 Shutdown is graceful by default: :meth:`Gateway.stop` (and
-``GatewayThread.stop``) closes the listener, cancels idle keep-alive
+``GatewayThread.stop``) closes the listener(s), cancels idle keep-alive
 connections, lets in-flight requests finish — their responses stay
-bitwise-equal to direct service calls — and only then tears the batcher
-down, all bounded by the config's ``drain_timeout_s``.
+bitwise-equal to direct service calls — and only then tears every
+model's batcher down, all bounded by the config's ``drain_timeout_s``.
 """
 
 from __future__ import annotations
@@ -40,11 +57,13 @@ import json
 import threading
 from collections import deque
 from concurrent.futures import TimeoutError as _FutureTimeoutError
+from functools import partial
 from typing import Any
 
 from repro.api.service import PredictionService
 from repro.serving import wire
-from repro.serving.batcher import MicroBatcher
+from repro.serving.auth import AuthError, Authenticator, RateLimiter
+from repro.serving.fleet import FleetEntry, FleetError, ModelFleet
 from repro.serving.resilience import ResilienceConfig, ResilienceError
 
 __all__ = ["Gateway", "GatewayStats", "GatewayThread"]
@@ -53,14 +72,18 @@ _MAX_BODY_BYTES = 8 * 1024 * 1024
 _REASONS = {
     200: "OK",
     400: "Bad Request",
+    401: "Unauthorized",
+    403: "Forbidden",
     404: "Not Found",
     405: "Method Not Allowed",
     408: "Request Timeout",
+    409: "Conflict",
     413: "Payload Too Large",
     422: "Unprocessable Entity",
     429: "Too Many Requests",
     431: "Request Header Fields Too Large",
     500: "Internal Server Error",
+    502: "Bad Gateway",
     503: "Service Unavailable",
     504: "Gateway Timeout",
 }
@@ -118,55 +141,97 @@ class GatewayStats:
 
 
 class Gateway:
-    """The HTTP front end: one service, one batcher, one listener.
+    """The HTTP front end: one model fleet, one (or two) listeners.
 
-    ``port=0`` binds an ephemeral port; the bound port is on
-    :attr:`port` after :meth:`start`.  ``resilience`` carries the
+    ``service`` accepts either a single
+    :class:`~repro.api.service.PredictionService` (wrapped as the fleet's
+    default model — the pre-fleet call shape) or a ready
+    :class:`~repro.serving.fleet.ModelFleet`.  ``port=0`` binds an
+    ephemeral port; the bound port is on :attr:`port` after
+    :meth:`start`.  ``resilience`` carries the
     admission/deadline/breaker/drain knobs
     (:class:`~repro.serving.resilience.ResilienceConfig`); ``clock`` is
     the injectable monotonic time source the fault-injection tests use.
+
+    Fleet-worker extras: ``reuse_port=True`` binds the data listener
+    with ``SO_REUSEPORT`` (so sibling workers share the port), and
+    ``control_port`` (e.g. ``0``) binds a second loopback listener
+    serving the same routes — the per-worker admin/stats plane the pool
+    parent fans out to.
     """
 
     def __init__(
         self,
-        service: PredictionService,
+        service: PredictionService | ModelFleet,
         host: str = "127.0.0.1",
         port: int = 0,
         max_batch_size: int = 64,
         max_wait_ms: float = 2.0,
         resilience: ResilienceConfig | None = None,
         clock: Any = None,
+        auth: Authenticator | None = None,
+        rate_limiter: RateLimiter | None = None,
+        reuse_port: bool = False,
+        control_port: int | None = None,
     ) -> None:
-        self.service = service
         self.host = host
         self.port: int | None = None
         self._requested_port = port
         self.resilience = resilience if resilience is not None else ResilienceConfig()
-        self.batcher = MicroBatcher(
-            service,
-            max_batch_size=max_batch_size,
-            max_wait_ms=max_wait_ms,
-            resilience=self.resilience,
-            clock=clock,
+        if isinstance(service, ModelFleet):
+            self.fleet = service
+        else:
+            self.fleet = ModelFleet(
+                max_batch_size=max_batch_size,
+                max_wait_ms=max_wait_ms,
+                resilience=self.resilience,
+                clock=clock,
+            )
+            self.fleet.add_service(service)
+        self.auth = auth if auth is not None else Authenticator()
+        self.rate_limiter = (
+            rate_limiter if rate_limiter is not None else RateLimiter(None)
         )
+        self.reuse_port = reuse_port
+        self.control_port: int | None = None
+        self._requested_control_port = control_port
         self.stats = GatewayStats()
         self._server: asyncio.base_events.Server | None = None
+        self._control_server: asyncio.base_events.Server | None = None
         # Live connection handlers and their phase ("idle" = waiting for
         # the next request on a keep-alive connection, "busy" = a parsed
         # request is being served) — what graceful drain walks.
         self._handlers: dict[asyncio.Task, dict] = {}
 
+    # Back-compat accessors: the default model's service and batcher
+    # (the pre-fleet single-model surface tests and embedders use).
+    @property
+    def service(self) -> PredictionService:
+        return self.fleet.peek(self.fleet.default_model).service
+
+    @property
+    def batcher(self):
+        return self.fleet.peek(self.fleet.default_model).batcher
+
     @property
     def draining(self) -> bool:
-        return self.batcher.draining
+        return self.fleet.draining
 
     # ------------------------------------------------------------------
     async def start(self) -> None:
-        await self.batcher.start()
+        await self.fleet.start()
+        kwargs = {"reuse_port": True} if self.reuse_port else {}
         self._server = await asyncio.start_server(
-            self._handle_client, self.host, self._requested_port
+            self._handle_client, self.host, self._requested_port, **kwargs
         )
         self.port = self._server.sockets[0].getsockname()[1]
+        if self._requested_control_port is not None:
+            self._control_server = await asyncio.start_server(
+                self._handle_client, "127.0.0.1", self._requested_control_port
+            )
+            self.control_port = (
+                self._control_server.sockets[0].getsockname()[1]
+            )
 
     async def stop(
         self, drain: bool = True, drain_timeout: float | None = None
@@ -174,29 +239,35 @@ class Gateway:
         """Stop the gateway.
 
         ``drain=True`` (default) is the graceful path: close the
-        listener, stop admitting new requests (they answer 503), cancel
+        listeners, stop admitting new requests (they answer 503), cancel
         idle keep-alive connections, wait for busy handlers — their
         in-flight responses complete bitwise-equal — then drain and stop
-        the batcher.  ``drain=False`` hard-cancels everything.  Both are
-        bounded by ``drain_timeout`` (default: the config's
+        every model's batcher.  ``drain=False`` hard-cancels everything.
+        Both are bounded by ``drain_timeout`` (default: the config's
         ``drain_timeout_s``) and idempotent.
         """
         if drain_timeout is None:
             drain_timeout = self.resilience.drain_timeout_s
-        server, self._server = self._server, None
-        if server is not None:
+        servers = [
+            s
+            for s in (self._server, self._control_server)
+            if s is not None
+        ]
+        self._server = None
+        self._control_server = None
+        for server in servers:
             server.close()
         if drain:
             # New submissions refuse with 503 from this point on; busy
             # handlers' already-submitted requests still complete.
-            self.batcher.begin_drain()
+            self.fleet.begin_drain()
             await self._drain_handlers(drain_timeout)
         else:
             for task in list(self._handlers):
                 task.cancel()
             await self._drain_handlers(1.0)
-        await self.batcher.stop(drain=drain, drain_timeout=drain_timeout)
-        if server is not None:
+        await self.fleet.stop(drain=drain, drain_timeout=drain_timeout)
+        for server in servers:
             # After the handlers above finished this returns promptly on
             # every supported Python (3.12+ waits for handler tasks).
             await server.wait_closed()
@@ -228,6 +299,8 @@ class Gateway:
         state = {"phase": "idle"}
         task = asyncio.current_task()
         self._handlers[task] = state
+        peername = writer.get_extra_info("peername")
+        peer_host = peername[0] if isinstance(peername, tuple) else "unknown"
         try:
             while True:
                 state["phase"] = "idle"
@@ -251,8 +324,21 @@ class Gateway:
                 self.stats.http_requests += 1
                 extra_headers = None
                 try:
-                    status, payload = await self._dispatch(method, path, body)
+                    client = self._authenticate(path, headers, peer_host)
+                    status, payload = await self._dispatch(
+                        method, path, body, client
+                    )
+                except AuthError as exc:
+                    status, payload = exc.status, wire.encode_error(
+                        exc.status, exc.message
+                    )
+                    if exc.status == 401:
+                        extra_headers = {"WWW-Authenticate": "Bearer"}
                 except wire.WireError as exc:
+                    status, payload = exc.status, wire.encode_error(
+                        exc.status, exc.message
+                    )
+                except FleetError as exc:
                     status, payload = exc.status, wire.encode_error(
                         exc.status, exc.message
                     )
@@ -290,6 +376,21 @@ class Gateway:
                 await writer.wait_closed()
             except (ConnectionResetError, BrokenPipeError):
                 pass
+
+    def _authenticate(
+        self, path: str, headers: dict, peer_host: str
+    ) -> str:
+        """Gate one parsed request; returns the rate-limit client key.
+
+        ``/healthz`` stays open for liveness probes.  With auth enabled
+        the client identity is the token's one-way digest; without it,
+        the peer address — either way the raw token never lands in a
+        counter or a stats payload.
+        """
+        if path.split("?", 1)[0] == "/healthz":
+            return peer_host
+        digest = self.auth.check(headers.get("authorization"))
+        return digest if digest is not None else peer_host
 
     async def _read(self, coro, first_line: bool):
         """One bounded stream read.
@@ -392,42 +493,149 @@ class Gateway:
         await writer.drain()
 
     # ------------------------------------------------------------------
-    async def _dispatch(self, method: str, path: str, body: bytes):
+    async def _dispatch(self, method: str, path: str, body: bytes, client: str):
         path = path.split("?", 1)[0]
         if path == "/healthz":
             if method != "GET":
                 return 405, wire.encode_error(405, "use GET /healthz")
-            return 200, {
-                "status": "draining" if self.draining else "ok",
-                "model": type(self.service.model).__name__,
-                "kinds": list(wire.supported_kinds(self.service.model)),
-            }
+            return 200, self._healthz_payload()
         if path == "/stats":
             if method != "GET":
                 return 405, wire.encode_error(405, "use GET /stats")
-            batcher = self.batcher
-            flushes = batcher.flushes
-            return 200, {
-                "service": self.service.stats_snapshot(),
-                "gateway": {
-                    **self.stats.snapshot(),
-                    "queue_depth": batcher.queue_depth,
-                    "flushes": flushes,
-                    "flushed_requests": batcher.flushed_requests,
-                    "mean_flush_size": (
-                        batcher.flushed_requests / flushes if flushes else None
-                    ),
-                    "max_flush_size": batcher.max_flush_size,
-                },
-                "resilience": batcher.resilience_snapshot(),
-            }
+            return 200, self._stats_payload()
         if path == "/predict":
             if method != "POST":
                 return 405, wire.encode_error(405, "use POST /predict")
-            return await self._predict(body)
+            return await self._predict(body, self.fleet.entry(None), client)
+        if path == "/models":
+            if method != "GET":
+                return 405, wire.encode_error(
+                    405, "use GET /models (admin ops go to /models/<name>)"
+                )
+            return 200, self._models_payload()
+        if path.startswith("/models/"):
+            parts = [p for p in path[len("/models/") :].split("/") if p]
+            if len(parts) == 2 and parts[1] == "predict":
+                if method != "POST":
+                    return 405, wire.encode_error(
+                        405, f"use POST /models/{parts[0]}/predict"
+                    )
+                return await self._predict(
+                    body, self.fleet.entry(parts[0]), client
+                )
+            if len(parts) == 1:
+                name = parts[0]
+                if method == "PUT":
+                    return await self._load_model(name, body)
+                if method == "DELETE":
+                    return 200, await self.fleet.unload(name)
+                if method == "GET":
+                    return 200, self.fleet.peek(name).info()
+                return 405, wire.encode_error(
+                    405, f"use PUT/DELETE/GET /models/{name}"
+                )
         return 404, wire.encode_error(404, f"no route for {path!r}")
 
-    async def _predict(self, body: bytes):
+    def _healthz_payload(self) -> dict:
+        try:
+            default = self.fleet.peek(self.fleet.default_model)
+        except FleetError:
+            default = None
+        return {
+            "status": "draining" if self.draining else "ok",
+            "model": (
+                type(default.model).__name__ if default is not None else None
+            ),
+            "kinds": (
+                list(wire.supported_kinds(default.model))
+                if default is not None
+                else []
+            ),
+            "models": self.fleet.names(),
+            "default_model": self.fleet.default_model,
+            "workers": 1,
+        }
+
+    def _stats_payload(self) -> dict:
+        try:
+            default = self.fleet.peek(self.fleet.default_model)
+        except FleetError:
+            default = None
+        entries = [self.fleet.peek(name) for name in self.fleet.names()]
+        flushes = sum(e.batcher.flushes for e in entries)
+        flushed_requests = sum(e.batcher.flushed_requests for e in entries)
+        return {
+            "service": (
+                default.service.stats_snapshot()
+                if default is not None
+                else None
+            ),
+            "gateway": {
+                **self.stats.snapshot(),
+                "queue_depth": sum(e.batcher.queue_depth for e in entries),
+                "flushes": flushes,
+                "flushed_requests": flushed_requests,
+                "mean_flush_size": (
+                    flushed_requests / flushes if flushes else None
+                ),
+                "max_flush_size": max(
+                    (e.batcher.max_flush_size for e in entries), default=0
+                ),
+            },
+            "resilience": (
+                default.batcher.resilience_snapshot()
+                if default is not None
+                else None
+            ),
+            "fleet": self.fleet.snapshot(),
+            "auth": self.auth.snapshot(),
+            "rate_limit": self.rate_limiter.snapshot(),
+        }
+
+    def _models_payload(self) -> dict:
+        return {
+            "default_model": self.fleet.default_model,
+            "max_models": self.fleet.max_models,
+            "models": {
+                name: self.fleet.peek(name).info()
+                for name in self.fleet.names()
+            },
+        }
+
+    async def _load_model(self, name: str, body: bytes):
+        """``PUT /models/<name>``: load/hot-reload from a path or envelope.
+
+        The (possibly slow) model-state decode runs on the default
+        executor so the event loop keeps serving; the fleet swap itself
+        happens on the loop and is atomic.
+        """
+        from repro.serving.fleet import validate_model_name
+
+        validate_model_name(name)  # 400 before any body or model work
+        try:
+            payload = json.loads(body.decode("utf-8"))
+        except (UnicodeDecodeError, json.JSONDecodeError):
+            raise wire.WireError(400, "request body is not valid JSON") from None
+        kind, value = wire.decode_model_load(payload)
+        import repro.api as api
+
+        loader = (
+            partial(api.load_model, value)
+            if kind == "path"
+            else partial(api.model_from_envelope, value)
+        )
+        loop = asyncio.get_running_loop()
+        try:
+            model = await loop.run_in_executor(None, loader)
+        except (OSError, ValueError, KeyError) as exc:
+            source = value if kind == "path" else "request envelope"
+            raise wire.WireError(
+                400, f"cannot load model from {source!r}: {exc}"
+            ) from None
+        source = f"path:{value}" if kind == "path" else "envelope"
+        return 200, await self.fleet.load(name, model, source)
+
+    async def _predict(self, body: bytes, entry: FleetEntry, client: str):
         try:
             payload = json.loads(body.decode("utf-8"))
         except (UnicodeDecodeError, json.JSONDecodeError):
@@ -438,7 +646,10 @@ class Gateway:
             raise wire.WireError(400, "request must be an object or a list")
         if not items:
             raise wire.WireError(400, "request list is empty")
-        model = self.service.model
+        # Per-client rate limiting: one bucket token per prediction
+        # request, spent before any decoding or model work.
+        self.rate_limiter.admit(client, cost=len(items))
+        model = entry.service.model
         requests = [wire.decode_request(obj, model=model) for obj in items]
         # Count at admission (not on success), so the /stats error ratio
         # predict_responses / predict_requests means what it says.
@@ -450,7 +661,7 @@ class Gateway:
         # so a failure here is either a resilience shed (mapped to its
         # status upstream) or a server-side error for the whole call.
         responses = await asyncio.gather(
-            *(self.batcher.submit(request) for request in requests),
+            *(entry.batcher.submit(request) for request in requests),
             return_exceptions=True,
         )
         self.stats.record_latency(loop.time() - start)
@@ -471,7 +682,11 @@ class GatewayThread:
     manager.
     """
 
-    def __init__(self, service: PredictionService, **gateway_kwargs: Any) -> None:
+    def __init__(
+        self,
+        service: PredictionService | ModelFleet,
+        **gateway_kwargs: Any,
+    ) -> None:
         self.gateway = Gateway(service, **gateway_kwargs)
         self._loop: asyncio.AbstractEventLoop | None = None
         self._thread: threading.Thread | None = None
@@ -556,13 +771,17 @@ class GatewayThread:
             # A wedged loop must not be silently leaked: keep the
             # references (so the caller can inspect or retry) and raise
             # with enough state to debug what is stuck.
-            batcher = self.gateway.batcher
+            fleet = self.gateway.fleet
+            queue_depth = sum(
+                fleet.peek(name).batcher.queue_depth
+                for name in fleet.names()
+            )
             raise RuntimeError(
                 "gateway event loop failed to stop within 10s: "
                 f"thread {self._thread.name!r} is still alive, "
                 f"loop running={self._loop.is_running()}, "
                 f"draining={self.gateway.draining}, "
-                f"queue_depth={batcher.queue_depth}, "
+                f"queue_depth={queue_depth}, "
                 f"open_connections={len(self.gateway._handlers)}"
             )
         self._thread = None

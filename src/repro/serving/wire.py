@@ -40,6 +40,7 @@ from repro.power.report import POWER_GROUPS, PowerReport
 
 __all__ = [
     "WireError",
+    "decode_model_load",
     "decode_request",
     "encode_error",
     "encode_report",
@@ -150,6 +151,42 @@ def decode_request(obj: Any, model: Any = None) -> PredictRequest:
             f"{request.kind!r} requests",
         )
     return request
+
+
+def decode_model_load(obj: Any) -> tuple[str, Any]:
+    """Validate a ``PUT /models/<name>`` body into a load instruction.
+
+    Two accepted shapes, decided by their keys:
+
+    * ``{"path": "model.json"}`` — load a server-side model file
+      (``repro.api.load_model``),
+    * a full format-v2 envelope ``{"format_version": 2, "method": ...,
+      "library": ..., "state": ...}`` — load from the request body
+      itself (``repro.api.model_from_envelope``).
+
+    Returns ``("path", str)`` or ``("envelope", dict)``; raises
+    :class:`WireError` 400 on anything else, before any model state is
+    touched.
+    """
+    if not isinstance(obj, dict):
+        raise WireError(400, "model load body must be a JSON object")
+    if "path" in obj:
+        unknown = set(obj) - {"path"}
+        if unknown:
+            raise WireError(
+                400, f"unknown model load fields: {sorted(unknown)}"
+            )
+        path = obj["path"]
+        if not isinstance(path, str) or not path:
+            raise WireError(400, "'path' must be a non-empty string")
+        return "path", path
+    if "format_version" in obj:
+        return "envelope", obj
+    raise WireError(
+        400,
+        "model load body needs either a 'path' or a full "
+        "'format_version' model envelope",
+    )
 
 
 def encode_request(request: PredictRequest) -> dict:

@@ -184,6 +184,49 @@ class TestModelCommands:
             assert "queue-depth" in err
             assert "cannot load" not in err
 
+    def test_serve_rejects_bad_fleet_knobs_before_model_load(
+        self, tmp_path, capsys
+    ):
+        absent = str(tmp_path / "absent.json")
+        for flags, expect in (
+            (["--workers", "0"], "--workers"),
+            (["--max-models", "0"], "--max-models"),
+            (["--rate-limit", "0"], "--rate-limit"),
+            (["--rate-limit", "1", "--rate-burst", "0"], "--rate-burst"),
+            (["--rate-burst", "2"], "--rate-burst needs --rate-limit"),
+        ):
+            assert main(["serve", "--model", absent, *flags]) == 2
+            err = capsys.readouterr().err
+            assert expect in err
+            assert "cannot load" not in err
+
+    def test_serve_rejects_empty_auth_sources(self, tmp_path, capsys):
+        absent = str(tmp_path / "absent.json")
+        assert main(
+            ["serve", "--model", absent, "--auth-token-env",
+             "REPRO_NO_SUCH_TOKEN_VAR"]
+        ) == 2
+        assert "unset or empty" in capsys.readouterr().err
+        empty = tmp_path / "tokens.txt"
+        empty.write_text("# comments only\n")
+        assert main(
+            ["serve", "--model", absent, "--auth-token-file", str(empty)]
+        ) == 2
+        assert "no tokens" in capsys.readouterr().err
+
+    def test_serve_rejects_bad_model_specs(self, tmp_path, capsys):
+        absent = str(tmp_path / "absent.json")
+        assert main(
+            ["serve", "--model", f"a={absent}", "--model", f"a={absent}"]
+        ) == 2
+        assert "duplicate model name" in capsys.readouterr().err
+        assert main(["serve", "--model", f"bad/name={absent}"]) == 2
+        assert "model names" in capsys.readouterr().err
+        assert main(
+            ["serve", "--model", f"a={absent}", "--default-model", "b"]
+        ) == 2
+        assert "--default-model" in capsys.readouterr().err
+
     def test_listing_includes_serve_command(self, capsys):
         assert main([]) == 0
         assert "serve --model" in capsys.readouterr().out
