@@ -15,6 +15,7 @@ from __future__ import annotations
 import http.client
 import json
 import os
+import signal
 import subprocess
 import sys
 import threading
@@ -265,6 +266,71 @@ def test_serving_worker_pool_scaling(benchmark, served_load, tmp_path):
             f"2-worker speedup {single_seconds / pool_seconds:.2f}x < 1.5x "
             f"on a {os.cpu_count()}-CPU host"
         )
+
+
+@pytest.mark.perf_smoke
+def test_serving_pool_restart_recovery_latency(benchmark, served_load, tmp_path):
+    """SIGKILL one pool worker; measure time back to full capacity.
+
+    The supervised pool's recovery budget is backoff + fork + model load
+    + journal replay; this pins a number on it (exported as
+    ``recovery_seconds``) and asserts the pool answers bitwise-correct
+    predictions immediately after each heal.
+    """
+    if not reuse_port_supported():
+        pytest.skip("worker pool needs os.fork and SO_REUSEPORT")
+    model, payloads, expected = served_load
+    model_path = tmp_path / "recovery-model.json"
+    api.save_model(model, model_path)
+    # Every benchmark round is one crash: fund the breaker well past the
+    # round count and keep the backoff small so we measure respawn +
+    # reload, not sleep.
+    proc, announce = _launch_serve(
+        model_path,
+        ["--workers", "2", "--restart-backoff-ms", "25",
+         "--max-restarts", "1000"],
+    )
+    control_host, control_port = (
+        announce["control"].removeprefix("http://").rsplit(":", 1)
+    )
+
+    def ready_pids():
+        conn = http.client.HTTPConnection(
+            control_host, int(control_port), timeout=60
+        )
+        try:
+            conn.request("GET", "/healthz")
+            body = json.loads(conn.getresponse().read())
+        finally:
+            conn.close()
+        return body["status"], {
+            w["pid"] for w in body["workers"] if w.get("status") == 200
+        }
+
+    def kill_and_recover():
+        status, pids = ready_pids()
+        assert status == "ok" and len(pids) == 2
+        victim = min(pids)
+        os.kill(victim, signal.SIGKILL)
+        deadline = time.monotonic() + 120
+        while time.monotonic() < deadline:
+            status, pids = ready_pids()
+            if status == "ok" and len(pids) == 2 and victim not in pids:
+                return
+            time.sleep(0.01)
+        raise RuntimeError("pool never returned to full capacity")
+
+    try:
+        benchmark.pedantic(kill_and_recover, rounds=5, iterations=1)
+        # Post-heal correctness: the replacement serves bitwise answers.
+        results = [None] * len(payloads)
+        _post_slice(announce["port"], payloads, results, 0)
+        assert sorted(results) == sorted(expected)
+    finally:
+        proc.terminate()
+    assert proc.wait(timeout=60) == 0
+    benchmark.extra_info["recovery_seconds"] = benchmark.stats.stats.mean
+    benchmark.extra_info["restart_backoff_ms"] = 25
 
 
 @pytest.mark.perf_smoke

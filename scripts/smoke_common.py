@@ -72,15 +72,25 @@ class ServeProcess:
     Captures stdout on a pump thread (so the child never blocks on a
     full pipe), waits for the ``REPRO-SERVING`` announce line, and
     exposes ``host`` / ``port`` / ``control`` parsed from it.
+    ``env_extra`` adds environment variables (e.g. ``REPRO_CHAOS_DIR``
+    for the process-chaos smoke).
     """
 
-    def __init__(self, serve_args: list[str], come_up_timeout: float = 120.0):
+    def __init__(
+        self,
+        serve_args: list[str],
+        come_up_timeout: float = 120.0,
+        env_extra: dict | None = None,
+    ):
+        env = repro_env()
+        if env_extra:
+            env.update(env_extra)
         self.proc = subprocess.Popen(
             [sys.executable, "-m", "repro", "serve", *serve_args],
             stdout=subprocess.PIPE,
             stderr=subprocess.STDOUT,
             text=True,
-            env=repro_env(),
+            env=env,
         )
         self.lines: list[str] = []
         self._terminated = False
@@ -147,6 +157,30 @@ class ServeProcess:
         if self.proc.poll() is None:
             self.proc.kill()
             self.proc.wait(timeout=10)
+
+
+def wait_until(predicate, timeout: float = 30.0, interval: float = 0.1):
+    """Poll ``predicate`` until it returns a truthy value, or fail.
+
+    The predicate may raise ``OSError`` (e.g. a connection refused while
+    a worker restarts) — that counts as "not yet".  Returns the truthy
+    value.
+    """
+    deadline = time.monotonic() + timeout
+    last = None
+    while time.monotonic() < deadline:
+        try:
+            last = predicate()
+        except OSError as exc:
+            last = f"OSError: {exc}"
+        else:
+            if last:
+                return last
+        time.sleep(interval)
+    raise SystemExit(
+        f"SMOKE FAILURE: condition not reached within {timeout:g}s "
+        f"(last: {last!r})"
+    )
 
 
 def check(condition: bool, message: str, context=None) -> None:

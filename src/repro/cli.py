@@ -75,6 +75,8 @@ def _print_overview() -> None:
         "\n  fit <method> --out model.json [--train C1,C15] [--jobs N]"
         "\n  predict --model model.json [--config C8[,C9]] [--workload dhrystone]"
         "\n  serve --model [NAME=]model.json [--port 8000] [--workers N]"
+        "\n        [--max-restarts N] [--restart-backoff-ms MS]"
+        " [--no-supervise]"
         "\n        [--auth-token T | --auth-token-env VAR | --auth-token-file F]"
         "\n        [--rate-limit R --rate-burst B] [--max-wait-ms W]"
         "\n        [--queue-depth N] [--default-deadline-ms MS]"
@@ -289,7 +291,12 @@ def _serve_worker(
     import signal
 
     from repro.serving import Gateway, RateLimiter
+    from repro.serving.faults import ProcessChaos
     from repro.serving.fleet import write_worker_announce
+
+    chaos = ProcessChaos.from_env()
+    if chaos is not None:
+        chaos.enact("startup")  # may crash or hang here, by design
 
     gateway = Gateway(
         _build_fleet(args, default_name, models, resilience),
@@ -313,6 +320,8 @@ def _serve_worker(
             except (NotImplementedError, RuntimeError):
                 pass
         await shutdown.wait()
+        if chaos is not None:
+            chaos.enact("drain")  # may crash mid-drain, by design
         await gateway.stop(drain=True, drain_timeout=args.drain_timeout)
 
     try:
@@ -379,8 +388,49 @@ def _cmd_serve(argv: list[str]) -> int:
         metavar="N",
         help=(
             "process-per-core scale-out: fork N shared-nothing workers on "
-            "one SO_REUSEPORT socket, with a parent control plane that "
-            "merges /stats and fans out model admin (default: 1)"
+            "one SO_REUSEPORT socket, with a supervising parent control "
+            "plane that merges /stats, fans out model admin, and restarts "
+            "crashed workers (default: 1)"
+        ),
+    )
+    parser.add_argument(
+        "--max-restarts",
+        type=int,
+        default=5,
+        metavar="N",
+        help=(
+            "crash-loop breaker: give up, drain survivors and exit "
+            "non-zero after more than N worker crashes within 30s "
+            "(0 = the first crash is fatal; default: 5)"
+        ),
+    )
+    parser.add_argument(
+        "--restart-backoff-ms",
+        type=float,
+        default=100.0,
+        metavar="MS",
+        help=(
+            "base delay before restarting a crashed worker, doubling per "
+            "consecutive failure up to 5s (default: 100)"
+        ),
+    )
+    parser.add_argument(
+        "--startup-timeout",
+        type=float,
+        default=60.0,
+        metavar="S",
+        help=(
+            "kill a forked worker that has not announced readiness "
+            "within this many seconds (default: 60)"
+        ),
+    )
+    parser.add_argument(
+        "--no-supervise",
+        action="store_true",
+        help=(
+            "disable crash recovery: the first unexpected worker death "
+            "drains the pool and exits non-zero (the pre-supervision "
+            "fail-fast behavior)"
         ),
     )
     parser.add_argument(
@@ -501,6 +551,15 @@ def _cmd_serve(argv: list[str]) -> int:
             "error: --workers and --max-models must be >= 1", file=sys.stderr
         )
         return 2
+    if args.max_restarts < 0 or args.restart_backoff_ms < 0:
+        print(
+            "error: --max-restarts and --restart-backoff-ms must be >= 0",
+            file=sys.stderr,
+        )
+        return 2
+    if args.startup_timeout <= 0:
+        print("error: --startup-timeout must be > 0", file=sys.stderr)
+        return 2
     if args.rate_limit is not None and not args.rate_limit > 0:
         print("error: --rate-limit must be > 0", file=sys.stderr)
         return 2
@@ -606,7 +665,14 @@ def _cmd_serve(argv: list[str]) -> int:
 
         try:
             return run_worker_pool(
-                args.host, args.port, args.workers, worker_main
+                args.host,
+                args.port,
+                args.workers,
+                worker_main,
+                supervise=not args.no_supervise,
+                max_restarts=args.max_restarts,
+                restart_backoff_ms=args.restart_backoff_ms,
+                startup_timeout_s=args.startup_timeout,
             )
         except OSError as exc:  # e.g. the port is already bound
             print(f"error: {exc}", file=sys.stderr)

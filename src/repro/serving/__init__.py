@@ -22,9 +22,14 @@ responses bitwise-equal to direct per-request service calls.
 * :class:`Authenticator` / :class:`RateLimiter` — static bearer-token
   auth (401/403) and per-client token buckets (429 + ``Retry-After``),
   layered *before* any model work,
-* :func:`run_worker_pool` — ``serve --workers N``: shared-nothing
-  ``SO_REUSEPORT`` worker processes with a parent control plane that
-  merges ``/stats`` (:func:`merge_stats`) and fans out model admin,
+* :func:`run_worker_pool` / :class:`Supervisor` — ``serve --workers
+  N``: shared-nothing ``SO_REUSEPORT`` worker processes under a
+  self-healing parent control plane that merges ``/stats``
+  (:func:`merge_stats`), fans out model admin (journaled in an
+  :class:`AdminJournal` and replayed to restarted workers), restarts
+  crashed workers with exponential backoff behind a
+  :class:`CrashLoopBreaker`, and reports ``degraded`` while a
+  replacement comes up,
 * :mod:`repro.serving.wire` — the JSON request/response codec with
   structured 400/422 errors,
 * :mod:`repro.serving.resilience` — admission control (bounded queue,
@@ -35,7 +40,8 @@ responses bitwise-equal to direct per-request service calls.
   backoff + jitter, honors ``Retry-After``; ``token=`` / ``model=``
   select credentials and the routed model),
 * :mod:`repro.serving.faults` — deterministic fault injection at the
-  service boundary, for testing all of the above without sleeps.
+  service boundary (and, via :class:`ProcessChaos`, at the process
+  level), for testing all of the above without sleeps.
 
 Command line::
 
@@ -52,6 +58,7 @@ from repro.serving.auth import (
 )
 from repro.serving.batcher import MicroBatcher
 from repro.serving.client import ServingClient, ServingError
+from repro.serving.faults import ProcessChaos
 from repro.serving.fleet import (
     FleetEntry,
     FleetError,
@@ -71,13 +78,21 @@ from repro.serving.resilience import (
     ResilienceConfig,
     ResilienceError,
 )
+from repro.serving.supervisor import (
+    AdminJournal,
+    CrashLoopBreaker,
+    RestartBackoff,
+    Supervisor,
+)
 from repro.serving.wire import WireError
 
 __all__ = [
+    "AdminJournal",
     "AuthError",
     "Authenticator",
     "CircuitBreaker",
     "CircuitOpenError",
+    "CrashLoopBreaker",
     "DeadlineExceededError",
     "DrainingError",
     "FleetEntry",
@@ -88,12 +103,15 @@ __all__ = [
     "MicroBatcher",
     "ModelFleet",
     "OverloadError",
+    "ProcessChaos",
     "RateLimitedError",
     "RateLimiter",
     "ResilienceConfig",
     "ResilienceError",
+    "RestartBackoff",
     "ServingClient",
     "ServingError",
+    "Supervisor",
     "WireError",
     "format_announce",
     "merge_stats",

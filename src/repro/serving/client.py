@@ -69,6 +69,14 @@ class ServingClient:
         Exponential backoff: attempt ``k`` waits
         ``min(cap, base * 2**k)`` scaled by jitter in ``[0.5, 1.0)`` —
         but never less than the server's ``Retry-After``.
+    failover_retries:
+        Transport failures (connection reset/refused) retry
+        *immediately* — no backoff sleep — this many consecutive times
+        before exponential backoff kicks in.  Against an
+        ``SO_REUSEPORT`` worker pool a reset usually means *that
+        worker* died mid-connection; the kernel routes the very next
+        connection to a surviving worker, so waiting first only adds
+        latency.  The counter resets on any completed HTTP exchange.
     sleep / rng:
         Injectable for deterministic tests (defaults: ``time.sleep``,
         a private ``random.Random``).
@@ -85,6 +93,7 @@ class ServingClient:
         max_retries: int = 4,
         backoff_base_s: float = 0.1,
         backoff_cap_s: float = 5.0,
+        failover_retries: int = 1,
         sleep: Callable[[float], None] = time.sleep,
         rng: random.Random | None = None,
     ) -> None:
@@ -92,6 +101,8 @@ class ServingClient:
             raise ValueError("max_retries must be non-negative")
         if backoff_base_s < 0 or backoff_cap_s < 0:
             raise ValueError("backoff knobs must be non-negative")
+        if failover_retries < 0:
+            raise ValueError("failover_retries must be non-negative")
         self.host = host
         self.port = port
         self.token = token
@@ -100,6 +111,7 @@ class ServingClient:
         self.max_retries = max_retries
         self.backoff_base_s = backoff_base_s
         self.backoff_cap_s = backoff_cap_s
+        self.failover_retries = failover_retries
         self._sleep = sleep
         self._rng = rng if rng is not None else random.Random()
 
@@ -192,18 +204,24 @@ class ServingClient:
 
     def _call(self, method: str, path: str, payload: Any = None) -> Any:
         attempt = 0
+        transport_failures = 0
         while True:
             try:
                 status, headers, decoded = self._send(method, path, payload)
             except (OSError, http.client.HTTPException) as exc:
+                transport_failures += 1
                 if attempt >= self.max_retries:
                     raise ServingError(
                         None, f"gateway unreachable after {attempt + 1} "
                         f"attempts: {exc}"
                     ) from exc
-                self._backoff(attempt, None)
+                if transport_failures > self.failover_retries:
+                    self._backoff(attempt, None)
+                # else: immediate failover — a new connection usually
+                # lands on a surviving SO_REUSEPORT worker.
                 attempt += 1
                 continue
+            transport_failures = 0
             if status < 400:
                 return decoded
             message = ""

@@ -17,11 +17,15 @@ least-recently-routed entry (the default model is never evicted).
 forks N shared-nothing worker processes, each binding its own
 ``SO_REUSEPORT`` socket on the same data port (the kernel load-balances
 connections across them) and each loading its own copy of every model.
-The parent process is a pure control plane: it reserves the port before
-forking (so ``--port 0`` resolves once), collects each worker's
-announce line over a pipe, serves a small threaded HTTP endpoint that
-aggregates ``GET /stats`` into a merged view (:func:`merge_stats`) and
-fans ``PUT``/``DELETE /models/<name>`` out to every worker, and relays
+The parent process is a pure control plane — a
+:class:`repro.serving.supervisor.Supervisor`: it reserves the port
+before forking (so ``--port 0`` resolves once), collects each worker's
+announce line over a pipe (bounded by a startup deadline), serves a
+small threaded HTTP endpoint that aggregates ``GET /stats`` into a
+merged view (:func:`merge_stats`) and fans ``PUT``/``DELETE
+/models/<name>`` out to every worker, restarts crashed workers with
+exponential backoff (replaying the accepted-admin-op journal so
+replacements converge to the fleet's current model set), and relays
 ``SIGTERM``/``SIGINT`` to the workers so a fleet drain is one signal.
 
 The parent prints one machine-parseable line once every worker is up::
@@ -40,11 +44,9 @@ import http.client
 import json
 import os
 import re
-import signal
+import select
 import socket
-import sys
-import threading
-from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
+import time
 from typing import Any, Callable
 
 from repro.api.service import PredictionService
@@ -436,7 +438,11 @@ def merge_stats(snapshots: list[dict]) -> dict:
             for v in values
         ):
             merged[key] = sum(values)
-        elif all(v == values[0] for v in values):
+        elif all(
+            type(v) is type(values[0]) and v == values[0] for v in values
+        ):
+            # Type-strict equality: ``True == 1`` must not silently keep
+            # one worker's bool as the merged value for another's int.
             merged[key] = values[0]
         else:
             merged[key] = None
@@ -522,10 +528,30 @@ def write_worker_announce(fd: int, port: int, control_port: int) -> None:
     os.close(fd)
 
 
-def _read_announce(fd: int) -> dict | None:
-    """Read one worker's announce line off its pipe (None on EOF)."""
+def _read_announce(
+    fd: int,
+    timeout: float | None = None,
+    clock: Callable[[], float] = time.monotonic,
+) -> dict | None:
+    """Read one worker's announce line off its pipe (None on EOF).
+
+    With ``timeout`` set, waits at most that many seconds for the full
+    line and raises :class:`TimeoutError` past the deadline — a worker
+    hung in startup can no longer wedge the parent on a blocking
+    ``os.read`` forever.  ``timeout=None`` keeps the old blocking read.
+    """
+    deadline = None if timeout is None else clock() + timeout
     chunks = b""
     while b"\n" not in chunks:
+        if deadline is not None:
+            remaining = deadline - clock()
+            if remaining <= 0:
+                raise TimeoutError(
+                    f"no worker announce within {timeout:g}s"
+                )
+            readable, _, _ = select.select([fd], [], [], remaining)
+            if not readable:
+                continue
         chunk = os.read(fd, 4096)
         if not chunk:
             return None
@@ -542,7 +568,7 @@ def _worker_call(
     path: str,
     body: bytes | None,
     headers: dict,
-    timeout: float = 60.0,
+    timeout: float = 5.0,
 ) -> tuple[int, Any]:
     """One HTTP call to a worker's loopback control listener."""
     conn = http.client.HTTPConnection("127.0.0.1", port, timeout=timeout)
@@ -559,137 +585,13 @@ def _worker_call(
         conn.close()
 
 
-def _control_handler(records: list[dict]) -> type:
-    """Build the parent's control-plane HTTP handler over worker records.
-
-    The parent holds no model and answers no predictions — it forwards
-    admin operations to every worker's loopback control listener
-    (forwarding the ``Authorization`` header untouched, so the workers
-    enforce auth) and aggregates ``GET /stats`` with
-    :func:`merge_stats`.
-    """
-
-    class ControlHandler(BaseHTTPRequestHandler):
-        protocol_version = "HTTP/1.1"
-
-        def log_message(self, *args) -> None:  # quiet: parent is headless
-            pass
-
-        def _reply(self, status: int, payload: Any) -> None:
-            body = json.dumps(payload).encode("utf-8")
-            self.send_response(status)
-            self.send_header("Content-Type", "application/json")
-            self.send_header("Content-Length", str(len(body)))
-            self.end_headers()
-            self.wfile.write(body)
-
-        def _forward_headers(self) -> dict:
-            headers = {"Content-Type": "application/json"}
-            auth = self.headers.get("Authorization")
-            if auth is not None:
-                headers["Authorization"] = auth
-            return headers
-
-        def _fan_out(self, method: str, path: str, body: bytes | None):
-            headers = self._forward_headers()
-            results = []
-            for record in records:
-                try:
-                    status, decoded = _worker_call(
-                        record["control_port"], method, path, body, headers
-                    )
-                except OSError as exc:
-                    status, decoded = 502, {
-                        "error": {"status": 502, "message": str(exc)}
-                    }
-                results.append(
-                    {"pid": record["pid"], "status": status, "body": decoded}
-                )
-            return results
-
-        def do_GET(self) -> None:
-            path = self.path.split("?", 1)[0]
-            if path == "/healthz":
-                results = self._fan_out("GET", "/healthz", None)
-                ok = all(
-                    r["status"] == 200
-                    and isinstance(r["body"], dict)
-                    and r["body"].get("status") in ("ok", "draining")
-                    for r in results
-                )
-                self._reply(
-                    200 if ok else 502,
-                    {
-                        "status": "ok" if ok else "degraded",
-                        "role": "fleet-parent",
-                        "workers": results,
-                    },
-                )
-                return
-            if path in ("/stats", "/models"):
-                results = self._fan_out("GET", path, None)
-                failed = next(
-                    (r for r in results if r["status"] != 200), None
-                )
-                if failed is not None:
-                    self._reply(failed["status"], failed["body"])
-                    return
-                self._reply(
-                    200,
-                    {
-                        "workers": results,
-                        "merged": merge_stats([r["body"] for r in results]),
-                    },
-                )
-                return
-            self._reply(
-                404,
-                {
-                    "error": {
-                        "status": 404,
-                        "message": (
-                            "the control plane serves GET /healthz, /stats, "
-                            "/models and PUT/DELETE /models/<name>; "
-                            "predictions go to the shared data port"
-                        ),
-                    }
-                },
-            )
-
-        def _admin(self, method: str) -> None:
-            path = self.path.split("?", 1)[0]
-            if not path.startswith("/models/"):
-                self._reply(
-                    404,
-                    {
-                        "error": {
-                            "status": 404,
-                            "message": f"no control route for {path!r}",
-                        }
-                    },
-                )
-                return
-            length = int(self.headers.get("Content-Length", "0") or "0")
-            body = self.rfile.read(length) if length else None
-            results = self._fan_out(method, path, body)
-            ok = all(200 <= r["status"] < 300 for r in results)
-            self._reply(200 if ok else 502, {"workers": results})
-
-        def do_PUT(self) -> None:
-            self._admin("PUT")
-
-        def do_DELETE(self) -> None:
-            self._admin("DELETE")
-
-    return ControlHandler
-
-
 def run_worker_pool(
     host: str,
     port: int,
     n_workers: int,
     worker_main: Callable[[int, int], int],
     control_host: str = "127.0.0.1",
+    **supervisor_kwargs,
 ) -> int:
     """Fork ``n_workers`` gateway processes on one ``SO_REUSEPORT`` port.
 
@@ -699,114 +601,27 @@ def run_worker_pool(
     :func:`write_worker_announce`, serve until ``SIGTERM``/``SIGINT``,
     drain, and return its exit code.
 
-    The parent reserves the port (resolving ``--port 0`` exactly once),
-    waits for every worker's announce, prints the
-    :func:`format_announce` line, serves the merged control plane, and
-    fans ``SIGTERM``/``SIGINT`` out to the workers.  Returns the pool
-    exit code: 0 when every worker drained cleanly.
+    The parent is a :class:`repro.serving.supervisor.Supervisor`: it
+    reserves the port (resolving ``--port 0`` exactly once), waits for
+    every worker's announce (with a startup deadline), prints the
+    :func:`format_announce` line once all are ready, serves the merged
+    control plane, restarts crashed workers with exponential backoff
+    (replaying the admin journal so replacements converge to the
+    fleet's current model set), and fans ``SIGTERM``/``SIGINT`` out to
+    the workers.  Keyword arguments (``supervise``, ``max_restarts``,
+    ``restart_backoff_ms``, ``startup_timeout_s``, ...) pass through to
+    the Supervisor.  Returns the pool exit code: 0 when every worker
+    drained cleanly.
     """
-    if not reuse_port_supported():
-        raise RuntimeError(
-            "--workers > 1 needs os.fork and SO_REUSEPORT "
-            "(unavailable on this platform)"
-        )
     if n_workers < 2:
         raise ValueError("run_worker_pool needs n_workers >= 2")
-    reservation, bound_port = reserve_port(host, port)
-    children: list[dict] = []
-    try:
-        for _ in range(n_workers):
-            read_fd, write_fd = os.pipe()
-            pid = os.fork()
-            if pid == 0:  # child: run the worker, never return
-                os.close(read_fd)
-                reservation.close()
-                code = 1
-                try:
-                    code = worker_main(write_fd, bound_port)
-                finally:
-                    os._exit(code if isinstance(code, int) else 1)
-            os.close(write_fd)
-            children.append({"pid": pid, "read_fd": read_fd})
+    from repro.serving.supervisor import Supervisor
 
-        records: list[dict] = []
-        for child in children:
-            announce = _read_announce(child["read_fd"])
-            os.close(child["read_fd"])
-            if announce is None:
-                raise RuntimeError(
-                    f"worker pid {child['pid']} exited before coming up"
-                )
-            records.append(announce)
-    except Exception as exc:
-        reservation.close()
-        for child in children:
-            try:
-                os.kill(child["pid"], signal.SIGKILL)
-            except (ProcessLookupError, PermissionError):
-                pass
-        print(f"error: {exc}", file=sys.stderr)
-        return 1
-    reservation.close()
-
-    control = ThreadingHTTPServer(
-        (control_host, 0), _control_handler(records)
-    )
-    control.daemon_threads = True
-    control_port = control.server_address[1]
-    threading.Thread(
-        target=control.serve_forever, name="repro-fleet-control", daemon=True
-    ).start()
-
-    print(
-        format_announce(
-            host,
-            bound_port,
-            workers=n_workers,
-            control=f"http://{control_host}:{control_port}",
-        ),
-        flush=True,
-    )
-
-    stop_requested = False
-
-    def fan_out(_signum=None, _frame=None) -> None:
-        nonlocal stop_requested
-        stop_requested = True
-        for record in records:
-            try:
-                os.kill(record["pid"], signal.SIGTERM)
-            except (ProcessLookupError, PermissionError):
-                pass
-
-    previous = {
-        signum: signal.signal(signum, fan_out)
-        for signum in (signal.SIGTERM, signal.SIGINT)
-    }
-    exit_codes: dict[int, int] = {}
-    try:
-        while len(exit_codes) < len(records):
-            try:
-                pid, status = os.wait()
-            except ChildProcessError:
-                break
-            except InterruptedError:  # pre-3.5 semantics guard; harmless
-                continue
-            if pid not in {r["pid"] for r in records}:
-                continue
-            exit_codes[pid] = os.waitstatus_to_exitcode(status)
-            if exit_codes[pid] != 0 and not stop_requested:
-                # One worker died unexpectedly: drain the rest and report
-                # failure instead of limping along with reduced capacity.
-                fan_out()
-    finally:
-        for signum, handler in previous.items():
-            signal.signal(signum, handler)
-        control.shutdown()
-        control.server_close()
-    failed = {pid: code for pid, code in exit_codes.items() if code != 0}
-    if failed:
-        print(f"error: workers exited non-zero: {failed}", file=sys.stderr)
-        return 1
-    print("all workers drained; exiting", flush=True)
-    return 0
+    return Supervisor(
+        host,
+        port,
+        n_workers,
+        worker_main,
+        control_host=control_host,
+        **supervisor_kwargs,
+    ).run()

@@ -54,6 +54,7 @@ from __future__ import annotations
 
 import asyncio
 import json
+import os
 import threading
 from collections import deque
 from concurrent.futures import TimeoutError as _FutureTimeoutError
@@ -554,6 +555,9 @@ class Gateway:
             "models": self.fleet.names(),
             "default_model": self.fleet.default_model,
             "workers": 1,
+            # The worker's pid: the chaos harness and supervisor tests
+            # pick SIGKILL targets from the fleet /healthz fan-out.
+            "pid": os.getpid(),
         }
 
     def _stats_payload(self) -> dict:

@@ -200,6 +200,23 @@ class TestModelCommands:
             assert expect in err
             assert "cannot load" not in err
 
+    def test_serve_rejects_bad_supervision_knobs_before_fork(
+        self, tmp_path, capsys
+    ):
+        # Validated before any model load or fork: a bad knob must fail
+        # fast with exit 2, not bring up half a pool first.
+        absent = str(tmp_path / "absent.json")
+        for flags, expect in (
+            (["--max-restarts", "-1"], "--max-restarts"),
+            (["--restart-backoff-ms", "-5"], "--restart-backoff-ms"),
+            (["--startup-timeout", "0"], "--startup-timeout"),
+            (["--startup-timeout", "-3"], "--startup-timeout"),
+        ):
+            assert main(["serve", "--model", absent, *flags]) == 2
+            err = capsys.readouterr().err
+            assert expect in err
+            assert "cannot load" not in err
+
     def test_serve_rejects_empty_auth_sources(self, tmp_path, capsys):
         absent = str(tmp_path / "absent.json")
         assert main(

@@ -540,6 +540,28 @@ class TestMergeStats:
         assert merge_stats([]) == {}
         assert merge_stats([None, {"a": 1}]) == {"a": 1}
 
+    def test_key_missing_in_one_snapshot(self):
+        # The key union drives the merge: a key one worker lacks still
+        # sums over the workers that have it.
+        merged = merge_stats([{"a": 1, "only": 7}, {"a": 2}])
+        assert merged == {"a": 3, "only": 7}
+
+    def test_none_vs_number_is_dropped(self):
+        merged = merge_stats([{"deadline_ms": None}, {"deadline_ms": 250.0}])
+        assert merged["deadline_ms"] is None
+        # ... and agreeing Nones survive as None, not as a crash.
+        assert merge_stats([{"x": None}, {"x": None}])["x"] is None
+
+    def test_bool_vs_int_collision_is_dropped(self):
+        # True == 1 in Python; the merged view must not launder one
+        # worker's bool into another's counter (or vice versa).
+        merged = merge_stats([{"flag": True}, {"flag": 1}])
+        assert merged["flag"] is None
+
+    def test_dict_vs_scalar_collision_is_dropped(self):
+        merged = merge_stats([{"x": {"n": 1}}, {"x": 3}])
+        assert merged["x"] is None
+
 
 class TestAnnounce:
     def test_round_trip(self):
@@ -577,6 +599,44 @@ class TestAnnounce:
             "port": 8123,
             "control_port": 9001,
         }
+
+    def test_read_announce_timeout_on_silent_pipe(self):
+        # A worker hung in startup writes nothing: the deadline must
+        # fire instead of blocking the parent forever.
+        read_fd, write_fd = os.pipe()
+        try:
+            with pytest.raises(TimeoutError):
+                _read_announce(read_fd, timeout=0.05)
+        finally:
+            os.close(read_fd)
+            os.close(write_fd)
+
+    def test_read_announce_timeout_on_partial_line(self):
+        read_fd, write_fd = os.pipe()
+        try:
+            os.write(write_fd, b'{"pid": 1')  # never completes the line
+            with pytest.raises(TimeoutError):
+                _read_announce(read_fd, timeout=0.05)
+        finally:
+            os.close(read_fd)
+            os.close(write_fd)
+
+    def test_read_announce_eof_is_none_even_with_timeout(self):
+        read_fd, write_fd = os.pipe()
+        os.close(write_fd)  # the worker died before announcing
+        try:
+            assert _read_announce(read_fd, timeout=1.0) is None
+        finally:
+            os.close(read_fd)
+
+    def test_read_announce_data_beats_timeout(self):
+        read_fd, write_fd = os.pipe()
+        try:
+            write_worker_announce(write_fd, 8123, 9001)
+            announce = _read_announce(read_fd, timeout=5.0)
+        finally:
+            os.close(read_fd)
+        assert announce["port"] == 8123
 
 
 class TestModelNameValidation:

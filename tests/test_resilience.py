@@ -765,6 +765,58 @@ class TestServingClient:
             exhausted.healthz()
         assert excinfo.value.status is None
 
+    def test_first_transport_failure_fails_over_without_sleeping(self):
+        # Against an SO_REUSEPORT pool a reset means *that worker* died;
+        # the immediate reconnect lands on a survivor, so the first
+        # transport retry must not back off.
+        client = _ScriptedTransportClient(
+            [ConnectionResetError("worker died")] + [(200, {}, {"ok": 1})],
+            max_retries=3,
+        )
+        assert client.healthz() == {"ok": 1}
+        assert client.attempts == 2
+        assert client.sleeps == []
+
+    def test_repeated_transport_failures_back_off_after_failover_budget(self):
+        client = _ScriptedTransportClient(
+            [ConnectionResetError("down")] * 3 + [(200, {}, {"ok": 1})],
+            max_retries=3,
+            failover_retries=1,
+            backoff_base_s=0.01,
+        )
+        assert client.healthz() == {"ok": 1}
+        assert client.attempts == 4
+        # First transport failure: free failover; the next two sleep.
+        assert len(client.sleeps) == 2
+
+    def test_failover_counter_resets_on_completed_exchange(self):
+        # 503 (a completed HTTP exchange) resets the consecutive
+        # transport-failure count, so the next reset is again free.
+        client = _ScriptedTransportClient(
+            [
+                ConnectionResetError("worker died"),
+                (503, {}, _error_body(503)),
+                ConnectionResetError("worker died again"),
+                (200, {}, {"ok": 1}),
+            ],
+            max_retries=5,
+            backoff_base_s=0.01,
+        )
+        assert client.healthz() == {"ok": 1}
+        assert client.attempts == 4
+        assert len(client.sleeps) == 1  # only the 503 slept
+
+    def test_failover_knob_validation(self):
+        with pytest.raises(ValueError):
+            ServingClient(failover_retries=-1)
+        zero = _ScriptedTransportClient(
+            [ConnectionResetError("down"), (200, {}, {"ok": 1})],
+            failover_retries=0,
+            backoff_base_s=0.01,
+        )
+        assert zero.healthz() == {"ok": 1}
+        assert len(zero.sleeps) == 1  # no free failover with budget 0
+
     def test_live_round_trip_is_bitwise(
         self, service, requests8, direct_totals
     ):
