@@ -1,0 +1,73 @@
+"""Bench: DSE sweeps through the content-addressed flow cache.
+
+The cache contract quantified: a cold grid sweep pays one flow
+execution per (config, workload) pair; the warm resweep of the same
+grid — a fresh flow over the same store, as any later process would
+see it — performs *zero* executions and returns byte-identical
+results.  Both timings export into ``BENCH_ml_engine.json``
+(``cold_ms`` / ``warm_ms`` / ``speedup`` in ``extra_info``) so the
+per-PR trajectory tracks the cache's win alongside the engine numbers.
+
+    PYTHONPATH=src python -m pytest benchmarks/bench_dse.py -m perf_smoke
+"""
+
+from __future__ import annotations
+
+import pickle
+import time
+
+import pytest
+
+from repro.arch.workloads import workload_by_name
+from repro.dse.cache import FlowDiskCache
+from repro.dse.grid import generate_grid
+from repro.vlsi.flow import VlsiFlow
+
+AXES = {
+    "RobEntry": [64, 96, 128],
+    "FetchBufferEntry": [16, 24],
+    "MSHREntry": [2, 4],
+}
+WORKLOADS = ("qsort", "towers")
+
+
+def _grid():
+    configs, dropped = generate_grid("C8", AXES, None)
+    assert dropped == 0
+    workloads = [workload_by_name(n) for n in WORKLOADS]
+    return configs, workloads
+
+
+@pytest.mark.perf_smoke
+def test_dse_sweep_cold_vs_warm(benchmark, tmp_path):
+    """One 12-config x 2-workload grid: cold sweep, then pure-cache resweep."""
+    configs, workloads = _grid()
+    store_root = str(tmp_path / "dse-cache")
+
+    cold_flow = VlsiFlow(disk_cache=FlowDiskCache(store_root))
+    start = time.perf_counter()
+    cold = cold_flow.run_many(configs, workloads)
+    cold_ms = (time.perf_counter() - start) * 1000.0
+    assert cold_flow.executions == len(configs) * len(workloads)
+
+    def warm_sweep():
+        flow = VlsiFlow(disk_cache=FlowDiskCache(store_root))
+        results = flow.run_many(configs, workloads)
+        assert flow.executions == 0
+        assert flow.disk_cache.stats.misses == 0
+        return results
+
+    warm = benchmark.pedantic(warm_sweep, rounds=3, iterations=1)
+    assert [pickle.dumps(r) for r in warm] == [pickle.dumps(r) for r in cold]
+
+    warm_ms = benchmark.stats["mean"] * 1000.0
+    benchmark.extra_info["grid_pairs"] = len(configs) * len(workloads)
+    benchmark.extra_info["cold_ms"] = cold_ms
+    benchmark.extra_info["warm_ms"] = warm_ms
+    benchmark.extra_info["speedup"] = cold_ms / warm_ms if warm_ms else None
+    print(
+        f"\nDSE sweep {len(configs)}x{len(workloads)}: "
+        f"cold {cold_ms:.1f} ms -> warm {warm_ms:.1f} ms "
+        f"({cold_ms / warm_ms:.1f}x)"
+    )
+    assert warm_ms < cold_ms

@@ -62,6 +62,20 @@ def bench_jobs(request) -> int:
     return request.config.getoption("--jobs")
 
 
+@pytest.fixture(scope="session", autouse=True)
+def _hermetic_flow_cache(tmp_path_factory):
+    """Point the flow disk cache at a per-session temp dir.
+
+    Benchmark timings must not depend on whatever a previous run left
+    in ``~/.cache/repro/flow-cache`` — every session starts cold.
+    """
+    root = tmp_path_factory.mktemp("flow-cache")
+    mp = pytest.MonkeyPatch()
+    mp.setenv("REPRO_FLOW_CACHE_DIR", str(root))
+    yield str(root)
+    mp.undo()
+
+
 @pytest.fixture(scope="session")
-def flow() -> VlsiFlow:
+def flow(_hermetic_flow_cache) -> VlsiFlow:
     return VlsiFlow()

@@ -42,20 +42,26 @@ def _git_sha() -> str:
 
 
 def collect_stats(benchmarks) -> dict:
-    """``{test name: {mean_ms, min_ms, stddev_ms, rounds}}`` from a
-    pytest-benchmark session's fixture list."""
+    """``{test name: {mean_ms, min_ms, stddev_ms, rounds, extra...}}``
+    from a pytest-benchmark session's fixture list.  A benchmark's
+    ``extra_info`` (derived numbers like req/s or cold-vs-warm cache
+    timings) rides along under ``"extra"``."""
     records: dict = {}
     for bench in benchmarks:
         stats = getattr(bench, "stats", None)
         stats = getattr(stats, "stats", stats)  # Metadata wraps Stats
         if stats is None:
             continue
-        records[bench.name] = {
+        record = {
             "mean_ms": stats.mean * 1e3,
             "min_ms": stats.min * 1e3,
             "stddev_ms": stats.stddev * 1e3,
             "rounds": int(getattr(stats, "rounds", 0)),
         }
+        extra = getattr(bench, "extra_info", None)
+        if extra:
+            record["extra"] = dict(extra)
+        records[bench.name] = record
     return records
 
 

@@ -13,7 +13,9 @@ Three command families:
   EDA flow involved),
 * ``python -m repro serve --model model.json --port N`` — the same
   hand-off as a long-running asyncio HTTP/JSON gateway
-  (:mod:`repro.serving`) with cross-request micro-batching.
+  (:mod:`repro.serving`) with cross-request micro-batching,
+* ``python -m repro cache stats|path|clear`` — inspect or reset the
+  persistent flow result cache (:mod:`repro.dse.cache`).
 
 Bare ``python -m repro`` lists the experiments and registered methods.
 """
@@ -81,6 +83,7 @@ def _print_overview() -> None:
         "\n        [--rate-limit R --rate-burst B] [--max-wait-ms W]"
         "\n        [--queue-depth N] [--default-deadline-ms MS]"
         " [--drain-timeout S]"
+        "\n  cache {stats|path|clear}  inspect / reset the flow disk cache"
     )
 
 
@@ -732,6 +735,51 @@ def _cmd_serve(argv: list[str]) -> int:
     return 0
 
 
+def _cmd_cache(argv: list[str]) -> int:
+    """``python -m repro cache {stats|path|clear}``."""
+    parser = argparse.ArgumentParser(
+        prog="python -m repro cache",
+        description=(
+            "Inspect or reset the persistent flow-result cache "
+            "(repro.dse.cache).  Honors REPRO_FLOW_CACHE_DIR, "
+            "REPRO_NO_FLOW_CACHE and REPRO_FLOW_CACHE_MAX_MB."
+        ),
+    )
+    parser.add_argument(
+        "action",
+        choices=("stats", "path", "clear"),
+        help=(
+            "stats: entry count / size / bound; path: print the cache "
+            "root; clear: remove every cached entry"
+        ),
+    )
+    args = parser.parse_args(argv)
+
+    from repro.dse import cache as flow_cache
+
+    root = flow_cache.flow_cache_root()
+    if args.action == "path":
+        print(root)
+        return 0
+
+    store = flow_cache.FlowDiskCache(root)
+    if args.action == "clear":
+        removed = store.clear()
+        print(f"cleared {removed} cached flow result(s) from {root}")
+        return 0
+
+    count = store.entry_count()
+    size = store.size_bytes()
+    enabled = flow_cache.cache_enabled()
+    print(f"root:     {root}")
+    print(f"enabled:  {'yes' if enabled else 'no (REPRO_NO_FLOW_CACHE)'}")
+    print(f"entries:  {count}")
+    print(f"size:     {size / (1024 * 1024):.2f} MiB ({size} bytes)")
+    print(f"bound:    {store.max_bytes / (1024 * 1024):.0f} MiB")
+    print(f"version:  {flow_cache.FLOW_CACHE_VERSION}")
+    return 0
+
+
 def main(argv: list[str] | None = None) -> int:
     argv = list(sys.argv[1:]) if argv is None else list(argv)
     if argv and argv[0] == "fit":
@@ -740,6 +788,8 @@ def main(argv: list[str] | None = None) -> int:
         return _cmd_predict(argv[1:])
     if argv and argv[0] == "serve":
         return _cmd_serve(argv[1:])
+    if argv and argv[0] == "cache":
+        return _cmd_cache(argv[1:])
 
     parser = argparse.ArgumentParser(
         prog="python -m repro",

@@ -1,0 +1,38 @@
+"""Design-space exploration over a persistent content-addressed flow cache.
+
+Two halves:
+
+* :mod:`repro.dse.cache` — :class:`FlowDiskCache`, the on-disk
+  content-addressed store :class:`~repro.vlsi.flow.VlsiFlow` writes
+  every flow result through, shared across processes and runs.  A
+  repeated sweep is a pure cache hit returning in milliseconds,
+  byte-identical to the cold run.
+* :mod:`repro.dse.grid` + :mod:`repro.dse.jobs` — parameter-grid
+  generation over the raw Table II rows and the asynchronous DSE job
+  manager the serving gateway exposes at ``POST /dse`` /
+  ``GET /dse/<id>`` / ``GET /dse/<id>/results`` / ``DELETE /dse/<id>``.
+"""
+
+from repro.dse.cache import (
+    FlowDiskCache,
+    cache_enabled,
+    content_key,
+    default_flow_cache,
+    flow_cache_root,
+)
+from repro.dse.grid import generate_grid, grid_size, raw_rows_of
+from repro.dse.jobs import DseError, DseJob, DseJobManager
+
+__all__ = [
+    "DseError",
+    "DseJob",
+    "DseJobManager",
+    "FlowDiskCache",
+    "cache_enabled",
+    "content_key",
+    "default_flow_cache",
+    "flow_cache_root",
+    "generate_grid",
+    "grid_size",
+    "raw_rows_of",
+]

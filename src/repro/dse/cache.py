@@ -1,0 +1,393 @@
+"""On-disk content-addressed cache for flow results.
+
+:class:`~repro.vlsi.flow.VlsiFlow` caches only in-process; every sweep,
+CLI run, and serve worker used to re-run the synthetic EDA flow from
+scratch.  :class:`FlowDiskCache` keys every flow result by a canonical
+content hash of (flow version, technology library, simulator state,
+configuration, workload) and stores it in a directory shared across
+processes and runs.
+
+Design points:
+
+* **Canonical hashing.**  Keys come from :func:`content_key`, a
+  deterministic encoder over plain values, dataclasses and simple
+  objects — floats via ``repr`` (shortest round-tripping form), dicts
+  and sets in sorted order — so the same inputs hash identically in
+  every process regardless of ``PYTHONHASHSEED``.  Raw ``pickle`` bytes
+  are *not* used for keys (set/dict iteration order is not canonical).
+* **Atomic, cross-process-safe writes.**  Each entry is written to a
+  temp file in the target directory and published with ``os.replace``;
+  readers never observe a partial entry and concurrent writers of the
+  same key are idempotent (last writer wins with identical bytes).
+* **Versioned envelopes.**  Entries carry ``FLOW_CACHE_VERSION`` and
+  their own key; a version bump, a key mismatch (hash collision /
+  renamed file) or any unpickling failure is treated as a miss, never
+  an error.
+* **LRU / size-bounded eviction.**  The store is bounded by
+  ``REPRO_FLOW_CACHE_MAX_MB`` (default 512); when a write pushes the
+  total over the bound, the least-recently-used entries (by mtime —
+  reads touch their entry) are evicted.
+* **Counters.** ``hits`` / ``misses`` / ``stores`` / ``evictions`` /
+  ``errors`` per cache handle, surfaced through ``/stats`` DSE blocks
+  and ``python -m repro cache stats``.
+
+Environment knobs:
+
+* ``REPRO_FLOW_CACHE_DIR`` — cache root (default
+  ``~/.cache/repro/flow-cache``),
+* ``REPRO_NO_FLOW_CACHE=1`` — escape hatch: :func:`default_flow_cache`
+  returns ``None`` and flows run fully in-process,
+* ``REPRO_FLOW_CACHE_MAX_MB`` — size bound in MiB (default 512).
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import hashlib
+import os
+import pickle
+import tempfile
+import threading
+
+__all__ = [
+    "FLOW_CACHE_VERSION",
+    "CacheStats",
+    "FlowDiskCache",
+    "cache_enabled",
+    "canonical_bytes",
+    "content_key",
+    "default_flow_cache",
+    "flow_cache_root",
+]
+
+# Bump when the canonical encoding, the envelope layout, or the meaning
+# of cached flow results changes — old entries then read as misses.
+FLOW_CACHE_VERSION = 1
+
+_ENV_DIR = "REPRO_FLOW_CACHE_DIR"
+_ENV_DISABLE = "REPRO_NO_FLOW_CACHE"
+_ENV_MAX_MB = "REPRO_FLOW_CACHE_MAX_MB"
+_DEFAULT_MAX_MB = 512.0
+_SUFFIX = ".pkl"
+
+
+# ---------------------------------------------------------------------------
+# Canonical hashing
+# ---------------------------------------------------------------------------
+def _encode(obj: object, out: list[bytes]) -> None:
+    if obj is None:
+        out.append(b"N;")
+    elif obj is True:
+        out.append(b"T;")
+    elif obj is False:
+        out.append(b"F;")
+    elif isinstance(obj, int):
+        out.append(b"i" + str(obj).encode("ascii") + b";")
+    elif isinstance(obj, float):
+        # repr is the shortest round-tripping form: identical across
+        # processes and identical to the float json puts on the wire.
+        out.append(b"f" + repr(obj).encode("ascii") + b";")
+    elif isinstance(obj, str):
+        raw = obj.encode("utf-8")
+        out.append(b"s" + str(len(raw)).encode("ascii") + b":" + raw)
+    elif isinstance(obj, bytes):
+        out.append(b"b" + str(len(obj)).encode("ascii") + b":" + obj)
+    elif isinstance(obj, (tuple, list)):
+        out.append(b"(")
+        for item in obj:
+            _encode(item, out)
+        out.append(b")")
+    elif isinstance(obj, dict):
+        # Sort by the keys' canonical encodings, not their hash order.
+        out.append(b"{")
+        for key_bytes, value in sorted(
+            (canonical_bytes(k), v) for k, v in obj.items()
+        ):
+            out.append(key_bytes)
+            _encode(value, out)
+        out.append(b"}")
+    elif isinstance(obj, (set, frozenset)):
+        out.append(b"<")
+        out.extend(sorted(canonical_bytes(item) for item in obj))
+        out.append(b">")
+    elif dataclasses.is_dataclass(obj) and not isinstance(obj, type):
+        out.append(b"D" + type(obj).__qualname__.encode("utf-8") + b"{")
+        for field in dataclasses.fields(obj):
+            _encode(field.name, out)
+            _encode(getattr(obj, field.name), out)
+        out.append(b"}")
+    elif hasattr(obj, "__dict__"):
+        # Plain objects (simulators, the SRAM compiler): type identity
+        # plus every instance attribute, in sorted attribute order.
+        out.append(b"O" + type(obj).__qualname__.encode("utf-8") + b"{")
+        for name in sorted(vars(obj)):
+            _encode(name, out)
+            _encode(vars(obj)[name], out)
+        out.append(b"}")
+    else:
+        raise TypeError(
+            f"cannot canonically encode {type(obj).__qualname__} for a "
+            "flow-cache key"
+        )
+
+
+def canonical_bytes(obj: object) -> bytes:
+    """Deterministic byte encoding of ``obj`` (see module docstring)."""
+    out: list[bytes] = []
+    _encode(obj, out)
+    return b"".join(out)
+
+
+def content_key(*parts: object) -> str:
+    """SHA-256 hex digest of the canonical encoding of ``parts``."""
+    return hashlib.sha256(canonical_bytes(tuple(parts))).hexdigest()
+
+
+# ---------------------------------------------------------------------------
+# The store
+# ---------------------------------------------------------------------------
+def cache_enabled() -> bool:
+    """Whether the disk cache is on (``REPRO_NO_FLOW_CACHE`` unset)."""
+    return os.environ.get(_ENV_DISABLE, "").strip() not in ("1", "true", "yes")
+
+
+def flow_cache_root() -> str:
+    """The configured cache root directory (may not exist yet)."""
+    root = os.environ.get(_ENV_DIR, "").strip()
+    if root:
+        return os.path.abspath(os.path.expanduser(root))
+    return os.path.join(
+        os.path.expanduser("~"), ".cache", "repro", "flow-cache"
+    )
+
+
+def _max_bytes_from_env() -> int:
+    raw = os.environ.get(_ENV_MAX_MB, "").strip()
+    try:
+        mb = float(raw) if raw else _DEFAULT_MAX_MB
+    except ValueError:
+        mb = _DEFAULT_MAX_MB
+    return max(0, int(mb * 1024 * 1024))
+
+
+def default_flow_cache() -> "FlowDiskCache | None":
+    """The cache a fresh :class:`~repro.vlsi.flow.VlsiFlow` adopts.
+
+    ``None`` with ``REPRO_NO_FLOW_CACHE=1`` — the escape hatch that
+    keeps flows fully in-process.  Each call returns a fresh handle
+    (cheap: no I/O until the first get/put) so per-flow counters stay
+    attributable; all handles share the same on-disk store.
+    """
+    if not cache_enabled():
+        return None
+    return FlowDiskCache()
+
+
+class CacheStats:
+    """Hit/miss/store/evict/error counters of one cache handle."""
+
+    def __init__(self) -> None:
+        self.hits = 0
+        self.misses = 0
+        self.stores = 0
+        self.evictions = 0
+        self.errors = 0
+
+    def snapshot(self) -> dict:
+        return {
+            "hits": self.hits,
+            "misses": self.misses,
+            "stores": self.stores,
+            "evictions": self.evictions,
+            "errors": self.errors,
+        }
+
+
+class FlowDiskCache:
+    """Content-addressed pickle store with atomic writes and LRU eviction.
+
+    Entries live at ``<root>/<key[:2]>/<key>.pkl`` (two-level fan-out
+    keeps directories small).  The handle is picklable — worker
+    processes of :meth:`~repro.vlsi.flow.VlsiFlow.run_many` receive a
+    copy pointing at the same directory, so results computed in workers
+    are immediately visible to every later run on the machine.
+    """
+
+    def __init__(
+        self, root: str | None = None, max_bytes: int | None = None
+    ) -> None:
+        self.root = os.path.abspath(root) if root else flow_cache_root()
+        self.max_bytes = (
+            int(max_bytes) if max_bytes is not None else _max_bytes_from_env()
+        )
+        self.stats = CacheStats()
+        self._lock = threading.Lock()
+        self._approx_bytes: int | None = None  # lazily scanned on first put
+
+    # Pickle support: the lock is per-process; counters travel (they are
+    # merged nowhere, so a worker copy simply counts its own traffic).
+    def __getstate__(self) -> dict:
+        return {"root": self.root, "max_bytes": self.max_bytes}
+
+    def __setstate__(self, state: dict) -> None:
+        self.root = state["root"]
+        self.max_bytes = state["max_bytes"]
+        self.stats = CacheStats()
+        self._lock = threading.Lock()
+        self._approx_bytes = None
+
+    # ------------------------------------------------------------------
+    def path_for(self, key: str) -> str:
+        return os.path.join(self.root, key[:2], key + _SUFFIX)
+
+    def get(self, key: str) -> object | None:
+        """The cached payload for ``key``, or ``None`` on a miss.
+
+        A corrupt, truncated, version-skewed or mis-keyed entry counts
+        as a miss (plus the ``errors`` counter when the file existed but
+        could not be used) — the caller recomputes and overwrites it.
+        """
+        path = self.path_for(key)
+        try:
+            with open(path, "rb") as handle:
+                envelope = pickle.load(handle)
+        except FileNotFoundError:
+            with self._lock:
+                self.stats.misses += 1
+            return None
+        except Exception:  # corrupt / truncated / unpicklable entry
+            with self._lock:
+                self.stats.misses += 1
+                self.stats.errors += 1
+            return None
+        if (
+            not isinstance(envelope, dict)
+            or envelope.get("version") != FLOW_CACHE_VERSION
+            or envelope.get("key") != key
+            or "payload" not in envelope
+        ):
+            with self._lock:
+                self.stats.misses += 1
+                self.stats.errors += 1
+            return None
+        try:  # LRU touch: reads refresh the entry's eviction age
+            os.utime(path)
+        except OSError:
+            pass
+        with self._lock:
+            self.stats.hits += 1
+        return envelope["payload"]
+
+    def put(self, key: str, payload: object) -> None:
+        """Store ``payload`` under ``key`` atomically (temp + rename)."""
+        envelope = {
+            "version": FLOW_CACHE_VERSION,
+            "key": key,
+            "payload": payload,
+        }
+        blob = pickle.dumps(envelope, protocol=pickle.HIGHEST_PROTOCOL)
+        path = self.path_for(key)
+        directory = os.path.dirname(path)
+        os.makedirs(directory, exist_ok=True)
+        fd, tmp_path = tempfile.mkstemp(
+            prefix=".tmp-", suffix=_SUFFIX, dir=directory
+        )
+        try:
+            with os.fdopen(fd, "wb") as handle:
+                handle.write(blob)
+            os.replace(tmp_path, path)  # atomic publish
+        except BaseException:
+            try:
+                os.unlink(tmp_path)
+            except OSError:
+                pass
+            raise
+        with self._lock:
+            self.stats.stores += 1
+            if self._approx_bytes is not None:
+                self._approx_bytes += len(blob)
+        self._maybe_evict()
+
+    # ------------------------------------------------------------------
+    def _entries(self) -> list[tuple[float, int, str]]:
+        """Every entry as (mtime, size, path), oldest first."""
+        found: list[tuple[float, int, str]] = []
+        try:
+            shards = os.scandir(self.root)
+        except FileNotFoundError:
+            return found
+        with shards:
+            for shard in shards:
+                if not shard.is_dir():
+                    continue
+                try:
+                    files = os.scandir(shard.path)
+                except FileNotFoundError:
+                    continue  # concurrent clear
+                with files:
+                    for entry in files:
+                        if not entry.name.endswith(_SUFFIX):
+                            continue
+                        try:
+                            stat = entry.stat()
+                        except FileNotFoundError:
+                            continue  # concurrent eviction
+                        found.append(
+                            (stat.st_mtime, stat.st_size, entry.path)
+                        )
+        found.sort()
+        return found
+
+    def _maybe_evict(self) -> None:
+        if self.max_bytes <= 0:
+            return
+        with self._lock:
+            if self._approx_bytes is None:
+                self._approx_bytes = sum(s for _, s, _ in self._entries())
+            if self._approx_bytes <= self.max_bytes:
+                return
+            # Over budget: rescan (cross-process writers drift the
+            # estimate) and drop least-recently-used entries.
+            entries = self._entries()
+            total = sum(s for _, s, _ in entries)
+            for _mtime, size, path in entries:
+                if total <= self.max_bytes:
+                    break
+                try:
+                    os.unlink(path)
+                except OSError:
+                    continue  # another process got there first
+                total -= size
+                self.stats.evictions += 1
+            self._approx_bytes = total
+
+    # ------------------------------------------------------------------
+    def clear(self) -> int:
+        """Remove every entry; returns how many were removed."""
+        removed = 0
+        for _mtime, _size, path in self._entries():
+            try:
+                os.unlink(path)
+                removed += 1
+            except OSError:
+                pass
+        with self._lock:
+            self._approx_bytes = 0
+        return removed
+
+    def entry_count(self) -> int:
+        return len(self._entries())
+
+    def size_bytes(self) -> int:
+        return sum(size for _mtime, size, _path in self._entries())
+
+    def snapshot(self) -> dict:
+        """Counters plus configuration (no directory scan)."""
+        with self._lock:
+            counters = self.stats.snapshot()
+        return {
+            "root": self.root,
+            "max_bytes": self.max_bytes,
+            "enabled": cache_enabled(),
+            **counters,
+        }

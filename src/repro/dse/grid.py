@@ -1,0 +1,119 @@
+"""Parameter-grid generation over the raw Table II rows.
+
+A DSE grid is the cross product of *axes*: raw Table II row names
+(``RobEntry``, ``DCache/ICacheWay``, ...) each mapped to a list of
+candidate values.  Every grid point starts from a base configuration's
+raw rows, overrides the axis rows, expands to the canonical 18-parameter
+set (:func:`repro.arch.params.expand_raw_parameters`) and becomes a
+:class:`~repro.arch.config.BoomConfig` named ``dse-<hash12>`` — a pure
+content hash of its parameters, so the same point gets the same name in
+every process and run (which is what makes grid sweeps disk-cacheable).
+
+Validity is gated by the ground-truth SRAM scaling laws: a point whose
+position plans evaluate to a non-positive or (for exact laws)
+non-integral block shape is dropped, not errored —
+:func:`generate_grid` reports how many points survived.  With the
+banked (``rounding="up"``) laws on the BTB and ROB positions most
+positive parameter combinations are valid, so modest axes already reach
+1000+ configurations.
+"""
+
+from __future__ import annotations
+
+import itertools
+from typing import Iterable, Mapping
+
+from repro.arch.config import BoomConfig, config_by_name
+from repro.arch.params import (
+    _RAW_EXPANSION,
+    RAW_PARAMETER_ROWS,
+    expand_raw_parameters,
+)
+from repro.dse.cache import content_key
+from repro.rtl.sram_plan import plan_violations
+
+__all__ = ["generate_grid", "grid_size", "raw_rows_of"]
+
+
+def raw_rows_of(config: BoomConfig) -> dict[str, int]:
+    """Reconstruct a configuration's 14 raw Table II rows.
+
+    Every raw row expands to parameters sharing its value, so reading
+    the first expanded parameter back recovers the row exactly.
+    """
+    return {
+        row: config[_RAW_EXPANSION[row][0]] for row in RAW_PARAMETER_ROWS
+    }
+
+
+def grid_size(axes: Mapping[str, Iterable[int]]) -> int:
+    """How many points the cross product of ``axes`` spans."""
+    size = 1
+    for values in axes.values():
+        size *= len(list(values))
+    return size
+
+
+def _point_name(params: Mapping[str, int]) -> str:
+    return "dse-" + content_key(dict(params))[:12]
+
+
+def generate_grid(
+    base: BoomConfig | str,
+    axes: Mapping[str, Iterable[int]],
+    max_configs: int | None = None,
+) -> tuple[list[BoomConfig], int]:
+    """Materialize the valid configurations of a parameter grid.
+
+    Returns ``(configs, dropped)`` where ``dropped`` counts grid points
+    that violated a scaling law (non-positive / non-integral block
+    shape).  Point order is deterministic: the cross product iterates
+    the axes in the given order, last axis fastest.  Duplicate points
+    (axes that repeat a value) collapse onto one config by content hash.
+
+    Raises ``KeyError`` for an unknown base-config name, ``ValueError``
+    for unknown axis rows, empty/non-positive axis values, or a grid
+    larger than ``max_configs`` points.
+    """
+    if isinstance(base, str):
+        base = config_by_name(base)
+    axes = {row: [int(v) for v in values] for row, values in axes.items()}
+    unknown = set(axes) - set(RAW_PARAMETER_ROWS)
+    if unknown:
+        raise ValueError(
+            f"unknown parameter rows {sorted(unknown)}; axes must use raw "
+            f"Table II row names {list(RAW_PARAMETER_ROWS)}"
+        )
+    if not axes:
+        raise ValueError("a DSE grid needs at least one axis")
+    for row, values in axes.items():
+        if not values:
+            raise ValueError(f"axis {row!r} has no values")
+        if any(v <= 0 for v in values):
+            raise ValueError(f"axis {row!r} values must be positive")
+    size = grid_size(axes)
+    if max_configs is not None and size > max_configs:
+        raise ValueError(
+            f"grid spans {size} points, more than the {max_configs} allowed; "
+            "shrink an axis or raise max_configs"
+        )
+
+    base_rows = raw_rows_of(base)
+    rows = list(axes)
+    configs: list[BoomConfig] = []
+    seen: set[str] = set()
+    dropped = 0
+    for point in itertools.product(*(axes[row] for row in rows)):
+        raw = dict(base_rows)
+        raw.update(zip(rows, point))
+        params = expand_raw_parameters(raw)
+        name = _point_name(params)
+        if name in seen:
+            continue
+        config = BoomConfig(name=name, params=params)
+        if plan_violations(config):
+            dropped += 1
+            continue
+        seen.add(name)
+        configs.append(config)
+    return configs, dropped

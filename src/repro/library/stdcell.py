@@ -19,7 +19,7 @@ from dataclasses import dataclass, field
 
 from repro.library.sram_compiler import SramCompiler
 
-__all__ = ["CombCellSpec", "TechLibrary", "default_library"]
+__all__ = ["CombCellSpec", "TechLibrary", "default_library", "extended_library"]
 
 
 @dataclass(frozen=True)
@@ -117,3 +117,15 @@ class TechLibrary:
 def default_library() -> TechLibrary:
     """The library used by every experiment (the flow's single .lib)."""
     return TechLibrary()
+
+
+def extended_library() -> TechLibrary:
+    """The same cells over the DSE-widened SRAM shape grid.
+
+    Identical standard cells and energy model, but the memory compiler
+    offers :meth:`SramCompiler.extended`'s interleaved shapes — tighter
+    macro mappings for off-grid block shapes the DSE sweeps produce.
+    A distinct ``name`` keeps its flow fingerprint (and therefore its
+    disk-cache key space) separate from the default library's.
+    """
+    return TechLibrary(name="synth40x", sram=SramCompiler.extended())

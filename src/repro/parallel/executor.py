@@ -144,6 +144,13 @@ class Executor:
     ``map`` consumes the iterable eagerly, submits tasks in order and
     returns their results in submission order — the contract every caller
     relies on for backend-independent determinism.
+
+    Pooled backends keep their worker pool alive *across* ``map``
+    calls, so chunked fan-outs (``VlsiFlow.run_many`` batches, the DSE
+    job loop) pay the pool spin-up once, not per chunk.  The pool's
+    lifetime is tied to the executor: ``close()`` (or use as a context
+    manager) releases it deterministically, and dropping the last
+    reference releases it via ``__del__``.
     """
 
     backend = "serial"
@@ -161,6 +168,15 @@ class Executor:
     def map(self, fn, iterable) -> list:
         raise NotImplementedError
 
+    def close(self) -> None:
+        """Release the worker pool (no-op for the serial backend)."""
+
+    def __enter__(self) -> "Executor":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()
+
     def __repr__(self) -> str:  # pragma: no cover - debugging aid
         return f"{type(self).__name__}(n_jobs={self.n_jobs})"
 
@@ -177,20 +193,52 @@ class SerialExecutor(Executor):
         return [fn(item) for item in iterable]
 
 
-class ThreadExecutor(Executor):
+class _PooledExecutor(Executor):
+    """Shared pool lifecycle for the thread and process backends."""
+
+    _pool_factory = ThreadPoolExecutor
+
+    def __init__(self, n_jobs: int = 1) -> None:
+        super().__init__(n_jobs)
+        self._pool = None
+
+    def _ensure_pool(self):
+        if self._pool is None:
+            self._pool = self._pool_factory(max_workers=self.n_jobs)
+        return self._pool
+
+    def close(self) -> None:
+        pool, self._pool = self._pool, None
+        if pool is not None:
+            pool.shutdown(wait=True)
+
+    def _discard_pool(self) -> None:
+        """Drop a (possibly broken) pool without waiting on it."""
+        pool, self._pool = self._pool, None
+        if pool is not None:
+            try:
+                pool.shutdown(wait=False)
+            except Exception:  # pragma: no cover - interpreter teardown
+                pass
+
+    def __del__(self) -> None:  # pragma: no cover - gc timing
+        self._discard_pool()
+
+
+class ThreadExecutor(_PooledExecutor):
     """Thread-pool backend (shared memory, no pickling requirements)."""
 
     backend = "thread"
+    _pool_factory = ThreadPoolExecutor
 
     def map(self, fn, iterable) -> list:
         items = list(iterable)
         if len(items) <= 1:
             return [fn(item) for item in items]
-        with ThreadPoolExecutor(max_workers=self.n_jobs) as pool:
-            return list(pool.map(fn, items))
+        return list(self._ensure_pool().map(fn, items))
 
 
-class ProcessExecutor(Executor):
+class ProcessExecutor(_PooledExecutor):
     """Process-pool backend for true multi-core execution.
 
     Task functions, payloads and results must be picklable; when the
@@ -200,6 +248,7 @@ class ProcessExecutor(Executor):
     """
 
     backend = "process"
+    _pool_factory = ProcessPoolExecutor
 
     def map(self, fn, iterable) -> list:
         items = list(iterable)
@@ -218,14 +267,16 @@ class ProcessExecutor(Executor):
         # whole map serially after a mid-pool failure is safe — a genuine
         # task error reproduces identically on the serial rerun.  CPython
         # raises TypeError/AttributeError (not just PicklingError) for
-        # most unpicklable payloads and results.
+        # most unpicklable payloads and results.  Either way the pool is
+        # discarded: a fresh one is forked on the next map.
         try:
-            with ProcessPoolExecutor(max_workers=self.n_jobs) as pool:
-                return list(pool.map(fn, items))
+            return list(self._ensure_pool().map(fn, items))
         except (pickle.PicklingError, TypeError, AttributeError) as exc:
+            self._discard_pool()
             self.fallback_reason = f"tasks not picklable ({exc!r}); ran serially"
             return [fn(item) for item in items]
         except BrokenProcessPool as exc:
+            self._discard_pool()
             self.fallback_reason = f"process pool broke ({exc!r}); ran serially"
             return [fn(item) for item in items]
 

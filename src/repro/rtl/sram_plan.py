@@ -20,12 +20,19 @@ the block shapes of the 2-3 training configurations.
 
 from __future__ import annotations
 
+import math
 from dataclasses import dataclass
 
 from repro.arch.config import BoomConfig
 from repro.rtl.design import SramBlockSpec
 
-__all__ = ["SRAM_POSITION_PLANS", "ScalingLaw", "SramPositionPlan", "positions_for"]
+__all__ = [
+    "SRAM_POSITION_PLANS",
+    "ScalingLaw",
+    "SramPositionPlan",
+    "plan_violations",
+    "positions_for",
+]
 
 
 @dataclass(frozen=True)
@@ -37,11 +44,26 @@ class ScalingLaw:
     fits direct proportionality on capacity and throughput — matching the
     paper's note that width/depth/count themselves often do not scale
     linearly.
+
+    ``rounding`` widens the valid configuration space for design-space
+    exploration: ``"exact"`` (the default) rejects non-integral values,
+    while ``"up"`` rounds them up — the hardware answer for a banked or
+    derived quantity (a 1.5-bank BTB is built as 2 banks, a 33.3-row ROB
+    payload as 34 rows).  On every value that *is* integral the two modes
+    agree, so the paper's C1–C15 shapes are untouched.
     """
 
     coefficient: float
     params: tuple[str, ...] = ()
     inverse_params: tuple[str, ...] = ()
+    rounding: str = "exact"
+
+    def __post_init__(self) -> None:
+        if self.rounding not in ("exact", "up"):
+            raise ValueError(
+                f"unknown rounding mode {self.rounding!r}; "
+                "expected 'exact' or 'up'"
+            )
 
     def evaluate(self, config: BoomConfig) -> float:
         value = self.coefficient
@@ -53,12 +75,15 @@ class ScalingLaw:
 
     def evaluate_int(self, config: BoomConfig) -> int:
         value = self.evaluate(config)
-        rounded = round(value)
-        if abs(value - rounded) > 1e-6:
-            raise ValueError(
-                f"scaling law {self.coefficient} * {self.params} gives "
-                f"non-integral value {value} for {config.name}"
-            )
+        if self.rounding == "up":
+            rounded = math.ceil(value - 1e-6)
+        else:
+            rounded = round(value)
+            if abs(value - rounded) > 1e-6:
+                raise ValueError(
+                    f"scaling law {self.coefficient} * {self.params} gives "
+                    f"non-integral value {value} for {config.name}"
+                )
         if rounded < 1:
             raise ValueError(
                 f"scaling law {self.coefficient} * {self.params} gives "
@@ -101,13 +126,15 @@ SRAM_POSITION_PLANS: tuple[SramPositionPlan, ...] = (
         count=ScalingLaw(4.0),
         mask_sectors=1,
     ),
-    # BTB: banked by fetch width, entries scale with branch budget.
+    # BTB: banked by fetch width, entries scale with branch budget.  The
+    # bank count rounds up (a fractional bank is built whole), which is
+    # what keeps fetch widths off the 4-multiple grid explorable.
     SramPositionPlan(
         name="btb",
         component="BPBTB",
         width=ScalingLaw(40.0),
         depth=ScalingLaw(16.0, ("BranchCount",)),
-        count=ScalingLaw(0.25, ("FetchWidth",)),
+        count=ScalingLaw(0.25, ("FetchWidth",), rounding="up"),
         mask_sectors=1,
     ),
     # I$ tags: all ways probed in parallel -> width scales with ways.
@@ -131,12 +158,19 @@ SRAM_POSITION_PLANS: tuple[SramPositionPlan, ...] = (
     # ROB payload: one row holds DecodeWidth uops -> width scales with
     # DecodeWidth, depth is RobEntry / DecodeWidth.  This is the paper's
     # example of a position where width/depth/count do NOT individually
-    # scale linearly but capacity (24*RobEntry) and throughput do.
+    # scale linearly but capacity (24*RobEntry) and throughput do.  The
+    # derived depth rounds up (a partial last row is still a row), so
+    # ROB sizes need not divide evenly by the decode width.
     SramPositionPlan(
         name="rob_payload",
         component="ROB",
         width=ScalingLaw(24.0, ("DecodeWidth",)),
-        depth=ScalingLaw(1.0, ("RobEntry",), inverse_params=("DecodeWidth",)),
+        depth=ScalingLaw(
+            1.0,
+            ("RobEntry",),
+            inverse_params=("DecodeWidth",),
+            rounding="up",
+        ),
         count=ScalingLaw(1.0),
         mask_sectors=1,
     ),
@@ -226,3 +260,19 @@ SRAM_POSITION_PLANS: tuple[SramPositionPlan, ...] = (
 def positions_for(component_name: str) -> tuple[SramPositionPlan, ...]:
     """Ground-truth position plans of one component (possibly empty)."""
     return tuple(p for p in SRAM_POSITION_PLANS if p.component == component_name)
+
+
+def plan_violations(config: BoomConfig) -> list[str]:
+    """Which position plans a configuration violates (empty = valid).
+
+    The DSE grid generator's validity gate: a grid point whose
+    parameters drive any plan to a non-positive or (for exact laws)
+    non-integral block shape cannot be built.
+    """
+    violations = []
+    for plan in SRAM_POSITION_PLANS:
+        try:
+            plan.block(config)
+        except ValueError as exc:
+            violations.append(f"{plan.component}/{plan.name}: {exc}")
+    return violations

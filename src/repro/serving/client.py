@@ -159,6 +159,48 @@ class ServingClient:
         """Drain-then-unload a model (``DELETE /models/<name>``)."""
         return self._call("DELETE", f"/models/{name}")
 
+    # -- design-space exploration ---------------------------------------
+    def submit_dse(self, spec: dict) -> dict:
+        """Submit a DSE sweep (``POST /dse``); returns the 202 job ticket."""
+        return self._call("POST", "/dse", dict(spec))
+
+    def dse_jobs(self) -> dict:
+        """All tracked DSE jobs (``GET /dse``)."""
+        return self._call("GET", "/dse")
+
+    def dse_status(self, job_id: str) -> dict:
+        """One job's status + progress (``GET /dse/<id>``)."""
+        return self._call("GET", f"/dse/{job_id}")
+
+    def dse_results(self, job_id: str, top: int | None = None) -> dict:
+        """A finished job's ranked results (409 until it is done)."""
+        path = f"/dse/{job_id}/results"
+        if top is not None:
+            path += f"?top={top}"
+        return self._call("GET", path)
+
+    def cancel_dse(self, job_id: str) -> dict:
+        """Request cancellation (``DELETE /dse/<id>``)."""
+        return self._call("DELETE", f"/dse/{job_id}")
+
+    def wait_dse(
+        self, job_id: str, timeout: float = 300.0, poll_s: float = 0.25
+    ) -> dict:
+        """Poll until the job leaves pending/running; returns the final
+        status snapshot (raises :class:`ServingError` on timeout)."""
+        deadline = time.monotonic() + timeout
+        while True:
+            status = self.dse_status(job_id)
+            if status.get("state") not in ("pending", "running"):
+                return status
+            if time.monotonic() >= deadline:
+                raise ServingError(
+                    None,
+                    f"DSE job {job_id} still {status.get('state')} "
+                    f"after {timeout:g}s",
+                )
+            self._sleep(poll_s)
+
     def _predict_path(self) -> str:
         if self.model is None:
             return "/predict"

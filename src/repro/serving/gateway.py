@@ -19,6 +19,19 @@ The data-plane endpoints:
   rate-limit counters (client identities are one-way digests — bearer
   tokens never appear).
 
+The DSE plane (:mod:`repro.dse.jobs` — async design-space exploration):
+
+* ``POST /dse`` — submit a parameter grid (axes over raw Table II rows
+  x workloads x method); answers 202 with a job id immediately, the
+  sweep runs on a background thread through the disk-cached flow.
+* ``GET /dse`` / ``GET /dse/<id>`` — job listing / status + progress.
+* ``GET /dse/<id>/results?top=N`` — ranked results (409 until done).
+* ``DELETE /dse/<id>`` — request cancellation.
+
+DSE jobs live in *this* worker's memory: poll the same worker that
+accepted the submit (with ``SO_REUSEPORT`` pools, use one worker or the
+per-worker control port).
+
 And the admin plane (:class:`~repro.serving.fleet.ModelFleet`):
 
 * ``PUT /models/<name>`` — load or hot-reload a model from a
@@ -62,6 +75,7 @@ from functools import partial
 from typing import Any
 
 from repro.api.service import PredictionService
+from repro.dse.jobs import DseError, DseJobManager
 from repro.serving import wire
 from repro.serving.auth import AuthError, Authenticator, RateLimiter
 from repro.serving.fleet import FleetEntry, FleetError, ModelFleet
@@ -72,6 +86,7 @@ __all__ = ["Gateway", "GatewayStats", "GatewayThread"]
 _MAX_BODY_BYTES = 8 * 1024 * 1024
 _REASONS = {
     200: "OK",
+    202: "Accepted",
     400: "Bad Request",
     401: "Unauthorized",
     403: "Forbidden",
@@ -97,6 +112,20 @@ class _HttpError(Exception):
         super().__init__(message)
         self.status = status
         self.message = message
+
+
+def _top_from_query(query: str) -> int | None:
+    """``top=N`` from a raw query string (None when absent)."""
+    for part in query.split("&"):
+        name, sep, value = part.partition("=")
+        if sep and name == "top":
+            try:
+                return int(value)
+            except ValueError:
+                raise wire.WireError(
+                    400, f"'top' must be an integer, got {value!r}"
+                ) from None
+    return None
 
 
 class GatewayStats:
@@ -193,6 +222,7 @@ class Gateway:
         self.rate_limiter = (
             rate_limiter if rate_limiter is not None else RateLimiter(None)
         )
+        self.dse = DseJobManager()
         self.reuse_port = reuse_port
         self.control_port: int | None = None
         self._requested_control_port = control_port
@@ -258,6 +288,11 @@ class Gateway:
         self._control_server = None
         for server in servers:
             server.close()
+        # Background DSE sweeps stop first: they check their cancel flag
+        # between chunks, so they wind down while the handlers drain.
+        await asyncio.get_running_loop().run_in_executor(
+            None, partial(self.dse.stop, drain_timeout if drain else 1.0)
+        )
         if drain:
             # New submissions refuse with 503 from this point on; busy
             # handlers' already-submitted requests still complete.
@@ -336,6 +371,10 @@ class Gateway:
                     if exc.status == 401:
                         extra_headers = {"WWW-Authenticate": "Bearer"}
                 except wire.WireError as exc:
+                    status, payload = exc.status, wire.encode_error(
+                        exc.status, exc.message
+                    )
+                except DseError as exc:
                     status, payload = exc.status, wire.encode_error(
                         exc.status, exc.message
                     )
@@ -495,7 +534,7 @@ class Gateway:
 
     # ------------------------------------------------------------------
     async def _dispatch(self, method: str, path: str, body: bytes, client: str):
-        path = path.split("?", 1)[0]
+        path, _, query = path.partition("?")
         if path == "/healthz":
             if method != "GET":
                 return 405, wire.encode_error(405, "use GET /healthz")
@@ -514,6 +553,31 @@ class Gateway:
                     405, "use GET /models (admin ops go to /models/<name>)"
                 )
             return 200, self._models_payload()
+        if path == "/dse":
+            if method == "POST":
+                return self._dse_submit(body, client)
+            if method == "GET":
+                return 200, self.dse.list_payload()
+            return 405, wire.encode_error(405, "use POST or GET /dse")
+        if path.startswith("/dse/"):
+            parts = [p for p in path[len("/dse/") :].split("/") if p]
+            if len(parts) == 1:
+                job_id = parts[0]
+                if method == "GET":
+                    return 200, self.dse.get(job_id).snapshot()
+                if method == "DELETE":
+                    return 200, self.dse.cancel(job_id)
+                return 405, wire.encode_error(
+                    405, f"use GET/DELETE /dse/{job_id}"
+                )
+            if len(parts) == 2 and parts[1] == "results":
+                if method != "GET":
+                    return 405, wire.encode_error(
+                        405, f"use GET /dse/{parts[0]}/results"
+                    )
+                return 200, self.dse.get(parts[0]).results_payload(
+                    _top_from_query(query)
+                )
         if path.startswith("/models/"):
             parts = [p for p in path[len("/models/") :].split("/") if p]
             if len(parts) == 2 and parts[1] == "predict":
@@ -536,6 +600,29 @@ class Gateway:
                     405, f"use PUT/DELETE/GET /models/{name}"
                 )
         return 404, wire.encode_error(404, f"no route for {path!r}")
+
+    def _dse_submit(self, body: bytes, client: str):
+        """``POST /dse``: validate synchronously, run on a daemon thread.
+
+        Submission is cheap (grid arithmetic, no flow work), so it runs
+        on the event loop; the sweep itself never touches the loop.
+        Draining gateways refuse with 503, and a submission spends one
+        rate-limit token like a prediction request.
+        """
+        if self.draining:
+            raise DseError(503, "gateway is draining; not accepting DSE jobs")
+        self.rate_limiter.admit(client, cost=1)
+        try:
+            payload = json.loads(body.decode("utf-8"))
+        except (UnicodeDecodeError, json.JSONDecodeError):
+            raise wire.WireError(400, "request body is not valid JSON") from None
+        spec = wire.decode_dse_submit(payload)
+        job = self.dse.submit(spec)
+        return 202, {
+            **job.snapshot(),
+            "poll": f"/dse/{job.id}",
+            "results": f"/dse/{job.id}/results",
+        }
 
     def _healthz_payload(self) -> dict:
         try:
@@ -592,6 +679,7 @@ class Gateway:
                 else None
             ),
             "fleet": self.fleet.snapshot(),
+            "dse": self.dse.snapshot(),
             "auth": self.auth.snapshot(),
             "rate_limit": self.rate_limiter.snapshot(),
         }

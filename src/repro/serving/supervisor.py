@@ -157,11 +157,24 @@ class AdminJournal:
 
     :meth:`snapshot` never exposes bodies or headers (bearer tokens
     ride in them) — it lists ``seq``/``method``/``path`` only.
+
+    Long-running pools accumulate ops linearly in hot reloads, so a
+    restarted worker would replay every reload ever accepted.
+    :meth:`compact` rewrites the journal to its state-equivalent
+    minimum — the last ``PUT`` per model path, plus trailing ``DELETE``\\s
+    (paired with their preceding ``PUT`` where one exists, so the replay
+    never ``DELETE``\\s a model that was never loaded) — making replay
+    O(models), not O(ops).  Compaction trades generation-counter
+    fidelity for that bound (a replayed worker counts one PUT where the
+    survivors saw many), which is why the supervisor only compacts past
+    ``journal_compact_threshold`` and never mid-replay.
     """
 
     def __init__(self) -> None:
         self._lock = threading.Lock()
         self._ops: list[dict] = []
+        self.compactions = 0
+        self.dropped_ops = 0
 
     def append(
         self, method: str, path: str, body: bytes | None, headers: dict
@@ -187,10 +200,48 @@ class AdminJournal:
         with self._lock:
             return list(self._ops[seq:])
 
+    def compact(self) -> dict:
+        """Rewrite the journal to its state-equivalent minimum.
+
+        Kept, in original relative order, then renumbered from 0:
+
+        * the *last* ``PUT`` of every path whose final op is a ``PUT``
+          (earlier reloads of the same model are shadowed),
+        * for every path whose final op is a ``DELETE``: its last
+          ``PUT`` (if the journal holds one) followed by that
+          ``DELETE`` — so the replayed ``DELETE`` always targets a
+          loaded model.  A bare ``DELETE`` with no earlier ``PUT``
+          removed a CLI-preloaded model and is kept alone.
+
+        Returns ``{"kept": ..., "dropped": ...}``.  Callers must
+        guarantee no replay is consuming the old numbering (the
+        supervisor skips compaction while any slot is replaying).
+        """
+        with self._lock:
+            last_put: dict[str, dict] = {}
+            last_op: dict[str, dict] = {}
+            for op in self._ops:
+                last_op[op["path"]] = op
+                if op["method"] == "PUT":
+                    last_put[op["path"]] = op
+            keep_ids = set()
+            for path, final in last_op.items():
+                keep_ids.add(id(final))
+                if final["method"] != "PUT" and path in last_put:
+                    keep_ids.add(id(last_put[path]))
+            kept = [op for op in self._ops if id(op) in keep_ids]
+            dropped = len(self._ops) - len(kept)
+            self._ops = [dict(op, seq=seq) for seq, op in enumerate(kept)]
+            self.compactions += 1
+            self.dropped_ops += dropped
+            return {"kept": len(self._ops), "dropped": dropped}
+
     def snapshot(self, tail: int = 20) -> dict:
         with self._lock:
             return {
                 "entries": len(self._ops),
+                "compactions": self.compactions,
+                "dropped_ops": self.dropped_ops,
                 "tail": [
                     {"seq": o["seq"], "method": o["method"], "path": o["path"]}
                     for o in self._ops[-tail:]
@@ -270,6 +321,13 @@ class Supervisor:
         (model loads are slower than stats reads).
     poll_interval_s:
         Supervision loop tick.
+    journal_compact_threshold:
+        Once the admin journal holds at least this many ops, it is
+        compacted (:meth:`AdminJournal.compact`) after the next accepted
+        admin op — replay stays O(models) instead of O(ops).  Compaction
+        is skipped while any worker is mid-replay and collapses
+        per-model generation counters, so keep the threshold well above
+        any test that asserts cross-worker generations.  ``0`` disables.
     clock / sleep:
         Injectable time sources (tests).
 
@@ -296,6 +354,7 @@ class Supervisor:
         call_timeout_s: float = 5.0,
         poll_interval_s: float = 0.05,
         give_up_grace_s: float = 30.0,
+        journal_compact_threshold: int = 64,
         clock: Callable[[], float] = time.monotonic,
         sleep: Callable[[float], None] = time.sleep,
     ) -> None:
@@ -319,6 +378,7 @@ class Supervisor:
         self.admin_timeout_s = max(float(call_timeout_s), 30.0)
         self.poll_interval_s = float(poll_interval_s)
         self.give_up_grace_s = float(give_up_grace_s)
+        self.journal_compact_threshold = int(journal_compact_threshold)
         self._clock = clock
         self._sleep = sleep
         self.slots = [WorkerSlot(i) for i in range(n_workers)]
@@ -835,8 +895,26 @@ class Supervisor:
                                 flush=True,
                             )
                             self._kill_pid(r["pid"], signal.SIGKILL)
+                self._maybe_compact_journal()
             status = 200 if len(accepted) == len(targets) else 502
             return status, payload
+
+    def _maybe_compact_journal(self) -> None:
+        """Compact the journal once it crosses the threshold.
+
+        Runs under the admin lock (no concurrent append) and under the
+        slot lock *across* the replaying-check and the rewrite, so no
+        slot can enter replay mid-compaction — a slot that starts replay
+        afterwards begins at seq 0 of the compacted journal, which is
+        exactly the state-equivalent sequence.
+        """
+        threshold = self.journal_compact_threshold
+        if threshold <= 0 or len(self.journal) < threshold:
+            return
+        with self._lock:
+            if any(s.state == "replaying" for s in self.slots):
+                return  # old numbering in use; try after the next op
+            self.journal.compact()
 
     def snapshot(self) -> dict:
         """The ``/stats`` supervisor block: worker counts + restart state."""

@@ -40,6 +40,7 @@ from repro.power.report import POWER_GROUPS, PowerReport
 
 __all__ = [
     "WireError",
+    "decode_dse_submit",
     "decode_model_load",
     "decode_request",
     "encode_error",
@@ -187,6 +188,53 @@ def decode_model_load(obj: Any) -> tuple[str, Any]:
         "model load body needs either a 'path' or a full "
         "'format_version' model envelope",
     )
+
+
+_DSE_FIELDS = frozenset(
+    {
+        "base",
+        "axes",
+        "workloads",
+        "method",
+        "train",
+        "library",
+        "jobs",
+        "chunk",
+        "max_configs",
+    }
+)
+
+
+def decode_dse_submit(obj: Any) -> dict:
+    """Structurally validate a ``POST /dse`` body into a job spec.
+
+    Only the *shape* is checked here (it must be an object, with known
+    field names and JSON-typed values); name resolution and semantic
+    validation (unknown rows, grid bounds, method names) belong to
+    :func:`repro.dse.jobs.normalize_spec`, which answers 400 through
+    :class:`~repro.dse.jobs.DseError` — both run before any flow work.
+    """
+    if not isinstance(obj, dict):
+        raise WireError(400, "DSE submission must be a JSON object")
+    unknown = set(obj) - _DSE_FIELDS
+    if unknown:
+        raise WireError(400, f"unknown DSE fields: {sorted(unknown)}")
+    for name in ("base", "method", "library"):
+        if name in obj and not isinstance(obj[name], str):
+            raise WireError(400, f"{name!r} must be a name string")
+    for name in ("workloads", "train"):
+        if name in obj and (
+            not isinstance(obj[name], list)
+            or not all(isinstance(x, str) for x in obj[name])
+        ):
+            raise WireError(400, f"{name!r} must be a list of name strings")
+    if "axes" not in obj:
+        raise WireError(400, "DSE submission needs an 'axes' object")
+    if not isinstance(obj["axes"], dict):
+        raise WireError(
+            400, "'axes' must map raw parameter rows to value lists"
+        )
+    return dict(obj)
 
 
 def encode_request(request: PredictRequest) -> dict:

@@ -15,8 +15,22 @@ from repro.core.autopower import AutoPower
 from repro.vlsi.flow import VlsiFlow
 
 
+@pytest.fixture(scope="session", autouse=True)
+def _hermetic_flow_cache(tmp_path_factory):
+    """Point the flow disk cache at a per-session temp dir.
+
+    Keeps the suite hermetic: tests never read stale entries from (or
+    pollute) the user's ``~/.cache/repro/flow-cache``.
+    """
+    root = tmp_path_factory.mktemp("flow-cache")
+    mp = pytest.MonkeyPatch()
+    mp.setenv("REPRO_FLOW_CACHE_DIR", str(root))
+    yield str(root)
+    mp.undo()
+
+
 @pytest.fixture(scope="session")
-def flow() -> VlsiFlow:
+def flow(_hermetic_flow_cache) -> VlsiFlow:
     return VlsiFlow()
 
 

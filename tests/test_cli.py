@@ -247,3 +247,50 @@ class TestModelCommands:
     def test_listing_includes_serve_command(self, capsys):
         assert main([]) == 0
         assert "serve --model" in capsys.readouterr().out
+
+
+class TestCacheCommand:
+    @pytest.fixture()
+    def cache_dir(self, tmp_path, monkeypatch):
+        root = tmp_path / "flow-cache"
+        monkeypatch.setenv("REPRO_FLOW_CACHE_DIR", str(root))
+        return root
+
+    def test_path_prints_the_root(self, cache_dir, capsys):
+        assert main(["cache", "path"]) == 0
+        assert capsys.readouterr().out.strip() == str(cache_dir)
+
+    def test_stats_on_an_empty_store(self, cache_dir, capsys):
+        assert main(["cache", "stats"]) == 0
+        out = capsys.readouterr().out
+        assert "entries:  0" in out
+        assert "enabled:  yes" in out
+
+    def test_stats_reports_the_disable_flag(self, cache_dir, monkeypatch,
+                                            capsys):
+        monkeypatch.setenv("REPRO_NO_FLOW_CACHE", "1")
+        assert main(["cache", "stats"]) == 0
+        assert "REPRO_NO_FLOW_CACHE" in capsys.readouterr().out
+
+    def test_clear_empties_a_populated_store(self, cache_dir, capsys):
+        from repro.dse.cache import FlowDiskCache, content_key
+
+        store = FlowDiskCache(str(cache_dir))
+        store.put(content_key("a"), "x")
+        store.put(content_key("b"), "y")
+        assert main(["cache", "stats"]) == 0
+        assert "entries:  2" in capsys.readouterr().out
+        assert main(["cache", "clear"]) == 0
+        assert "cleared 2" in capsys.readouterr().out
+        assert main(["cache", "stats"]) == 0
+        assert "entries:  0" in capsys.readouterr().out
+
+    def test_unknown_action_exits_nonzero(self, cache_dir, capsys):
+        with pytest.raises(SystemExit) as excinfo:
+            main(["cache", "shrink"])
+        assert excinfo.value.code == 2
+        assert "invalid choice" in capsys.readouterr().err
+
+    def test_listing_includes_cache_command(self, capsys):
+        assert main([]) == 0
+        assert "cache {stats|path|clear}" in capsys.readouterr().out

@@ -168,6 +168,33 @@ class TestExecutorMap:
         ex = ProcessExecutor(2)
         assert ex.map(_square, [3]) == [9]
 
+    def test_pool_is_reused_across_maps_and_released_on_close(self):
+        # Chunked fan-outs (run_many batches, DSE jobs) call map many
+        # times; the pool must persist between calls, not re-fork.
+        with ThreadExecutor(2) as ex:
+            assert ex.map(_square, [1, 2]) == [1, 4]
+            pool = ex._pool
+            assert pool is not None
+            assert ex.map(_square, [3, 4]) == [9, 16]
+            assert ex._pool is pool
+        assert ex._pool is None
+        # A closed executor transparently builds a fresh pool.
+        assert ex.map(_square, [5, 6]) == [25, 36]
+        ex.close()
+
+    def test_process_pool_is_reused_across_maps(self):
+        with ProcessExecutor(2) as ex:
+            assert ex.map(_square, [1, 2]) == [1, 4]
+            pool = ex._pool
+            assert ex.map(_square, [3, 4]) == [9, 16]
+            assert ex._pool is pool
+        assert ex._pool is None
+
+    def test_serial_close_is_a_no_op(self):
+        ex = SerialExecutor()
+        ex.close()
+        assert ex.map(_square, [2]) == [4]
+
 
 def _first_of(pair):
     return pair[0]

@@ -119,6 +119,114 @@ class TestAdminJournal:
         assert journal.snapshot()["tail"][0]["path"] == "/models/a"
 
 
+class TestAdminJournalCompaction:
+    def test_keeps_only_the_last_put_per_model(self):
+        journal = AdminJournal()
+        for generation in range(5):
+            journal.append("PUT", "/models/a", f"g{generation}".encode(), {})
+        journal.append("PUT", "/models/b", b"only", {})
+        summary = journal.compact()
+        assert summary == {"kept": 2, "dropped": 4}
+        ops = journal.since(0)
+        assert [(op["path"], op["body"]) for op in ops] == [
+            ("/models/a", b"g4"),
+            ("/models/b", b"only"),
+        ]
+        # Replay numbering is contiguous from zero again.
+        assert [op["seq"] for op in ops] == [0, 1]
+
+    def test_trailing_delete_keeps_its_put_so_replay_never_404s(self):
+        journal = AdminJournal()
+        journal.append("PUT", "/models/a", b"1", {})
+        journal.append("PUT", "/models/a", b"2", {})
+        journal.append("DELETE", "/models/a", None, {})
+        journal.compact()
+        ops = journal.since(0)
+        # A fresh worker replays PUT-then-DELETE: the DELETE lands on a
+        # model that exists, exactly like the uncompacted history.
+        assert [op["method"] for op in ops] == ["PUT", "DELETE"]
+        assert ops[0]["body"] == b"2"
+
+    def test_bare_delete_of_a_preloaded_model_is_kept(self):
+        # CLI-preloaded models have no journaled PUT; their DELETE must
+        # survive compaction or replay would resurrect them.
+        journal = AdminJournal()
+        journal.append("DELETE", "/models/preloaded", None, {})
+        journal.append("PUT", "/models/b", b"x", {})
+        assert journal.compact() == {"kept": 2, "dropped": 0}
+        assert [op["method"] for op in journal.since(0)] == ["DELETE", "PUT"]
+
+    def test_compaction_is_counted_in_the_snapshot(self):
+        journal = AdminJournal()
+        for _ in range(3):
+            journal.append("PUT", "/models/a", b"x", {})
+        journal.compact()
+        snap = journal.snapshot()
+        assert snap["entries"] == 1
+        assert snap["compactions"] == 1
+        assert snap["dropped_ops"] == 2
+
+    def test_replay_after_compaction_is_state_equivalent(self):
+        journal = AdminJournal()
+        models: dict[str, bytes] = {}
+        script = [
+            ("PUT", "/models/a", b"a1"),
+            ("PUT", "/models/b", b"b1"),
+            ("PUT", "/models/a", b"a2"),
+            ("DELETE", "/models/b", None),
+            ("PUT", "/models/c", b"c1"),
+        ]
+        for method, path, body in script:
+            journal.append(method, path, body, {})
+            if method == "PUT":
+                models[path] = body
+            else:
+                models.pop(path, None)
+        journal.compact()
+        replayed: dict[str, bytes] = {}
+        for op in journal.since(0):
+            if op["method"] == "PUT":
+                replayed[op["path"]] = op["body"]
+            else:
+                replayed.pop(op["path"], None)
+        assert replayed == models
+
+    def test_supervisor_threshold_gates_compaction(self):
+        supervisor = Supervisor(
+            "127.0.0.1", 0, 1, lambda *_: 0, journal_compact_threshold=4
+        )
+        for _ in range(3):
+            supervisor.journal.append("PUT", "/models/a", b"x", {})
+        supervisor._maybe_compact_journal()
+        assert len(supervisor.journal) == 3  # below threshold: untouched
+        supervisor.journal.append("PUT", "/models/a", b"x", {})
+        supervisor._maybe_compact_journal()
+        assert len(supervisor.journal) == 1
+        assert supervisor.journal.compactions == 1
+
+    def test_compaction_skipped_while_any_slot_replays(self):
+        supervisor = Supervisor(
+            "127.0.0.1", 0, 1, lambda *_: 0, journal_compact_threshold=2
+        )
+        for _ in range(4):
+            supervisor.journal.append("PUT", "/models/a", b"x", {})
+        supervisor.slots[0].state = "replaying"
+        supervisor._maybe_compact_journal()
+        assert len(supervisor.journal) == 4  # old numbering still in use
+        supervisor.slots[0].state = "ready"
+        supervisor._maybe_compact_journal()
+        assert len(supervisor.journal) == 1
+
+    def test_zero_threshold_disables_compaction(self):
+        supervisor = Supervisor(
+            "127.0.0.1", 0, 1, lambda *_: 0, journal_compact_threshold=0
+        )
+        for _ in range(10):
+            supervisor.journal.append("PUT", "/models/a", b"x", {})
+        supervisor._maybe_compact_journal()
+        assert len(supervisor.journal) == 10
+
+
 class TestSupervisorUnit:
     def test_knob_validation(self):
         for kwargs in (
