@@ -16,11 +16,11 @@ trajectory artifact and gates on the committed baseline.
 from __future__ import annotations
 
 import importlib.util
-import os
 import pathlib
 
 import pytest
 
+from repro.env import get_path
 from repro.vlsi.flow import VlsiFlow
 
 
@@ -41,7 +41,7 @@ def pytest_addoption(parser):
     )
     parser.addoption(
         "--bench-json",
-        default=os.environ.get("REPRO_BENCH_JSON"),
+        default=get_path("REPRO_BENCH_JSON"),
         help="write benchmark stats (mean/min ms + git sha + date) to this JSON file",
     )
 

@@ -60,7 +60,7 @@ def http_call(
         response = conn.getresponse()
         raw = response.read()
         lowered = {k.lower(): v for k, v in response.getheaders()}
-        decoded = json.loads(raw.decode("utf-8")) if raw else None
+        decoded = json.loads(raw.decode()) if raw else None
         return response.status, lowered, decoded
     finally:
         conn.close()

@@ -78,7 +78,7 @@ def main(argv: list[str] | None = None) -> int:
                     response = conn.getresponse()
                     outcomes.append(
                         (response.status,
-                         json.loads(response.read().decode("utf-8")))
+                         json.loads(response.read().decode()))
                     )
                     conn.close()
                 except OSError as exc:  # raced past the closed listener

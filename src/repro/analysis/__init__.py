@@ -1,0 +1,50 @@
+"""Project-invariant static analysis (``python -m repro lint``).
+
+A small AST-based linter for the invariants this repo's tests cannot
+see locally: determinism of the reproduction layers (DET), asyncio
+event-loop discipline in the gateway (ASYNC), checked lock-discipline
+annotations (LOCK), the central ``REPRO_*`` env registry (ENV), and
+the downward-only import DAG (LAYER).  Rules, suppression syntax, and
+the layer map are documented in the submodules; the README carries the
+user-facing rule table.
+
+Importing this package registers every rule (the ``rules_*`` imports
+below are the registration side effect).
+"""
+
+from repro.analysis.engine import (
+    PARSE_RULE_ID,
+    RULES,
+    SUPPRESSION_RULE_ID,
+    FileContext,
+    Finding,
+    Rule,
+    lint_file,
+    lint_paths,
+    module_for_path,
+    register,
+)
+from repro.analysis import (  # noqa: F401  (imported for rule registration)
+    rules_async,
+    rules_det,
+    rules_env,
+    rules_layer,
+    rules_lock,
+)
+from repro.analysis.report import FORMATS, format_findings, rule_table
+
+__all__ = [
+    "FORMATS",
+    "FileContext",
+    "Finding",
+    "PARSE_RULE_ID",
+    "RULES",
+    "Rule",
+    "SUPPRESSION_RULE_ID",
+    "format_findings",
+    "lint_file",
+    "lint_paths",
+    "module_for_path",
+    "register",
+    "rule_table",
+]

@@ -1,0 +1,274 @@
+"""Rule registry, per-file dispatch, and suppression handling.
+
+The engine is deliberately small: one :func:`ast.parse` and one
+:mod:`tokenize` pass per file produce a :class:`FileContext` (tree,
+comment map, inferred module name); every registered :class:`Rule` that
+:meth:`~Rule.applies` to the file runs over that context and yields
+:class:`Finding`\\ s; the engine then applies ``# repro: noqa[RULE-ID]``
+suppressions and reports any suppression that matched nothing (a stale
+or typo'd noqa is itself a finding — ``SUP001`` — so suppressions can
+never silently rot).
+
+Suppression syntax, on the reported line::
+
+    something_flagged()  # repro: noqa[DET001] -- why this is deliberate
+
+Multiple ids separate with commas (``noqa[DET001,DET002]``).  The
+justification text after the closing bracket is free-form but strongly
+encouraged; the comment must live on the line the finding reports.
+
+Files that fail to parse report a single ``PARSE001`` finding instead
+of crashing the run, so one syntax error cannot hide every other file's
+results.
+"""
+
+from __future__ import annotations
+
+import ast
+import io
+import os
+import re
+import tokenize
+from dataclasses import asdict, dataclass
+from collections.abc import Iterable, Iterator
+
+__all__ = [
+    "Finding",
+    "FileContext",
+    "Rule",
+    "RULES",
+    "register",
+    "lint_file",
+    "lint_paths",
+    "iter_python_files",
+    "module_for_path",
+    "dotted_name",
+    "PARSE_RULE_ID",
+    "SUPPRESSION_RULE_ID",
+]
+
+PARSE_RULE_ID = "PARSE001"
+SUPPRESSION_RULE_ID = "SUP001"
+
+_NOQA_RE = re.compile(r"#\s*repro:\s*noqa\[([A-Za-z0-9_,\s]+)\]")
+
+
+@dataclass(frozen=True)
+class Finding:
+    """One reported violation, anchored to a file position."""
+
+    rule: str
+    path: str
+    line: int
+    col: int
+    message: str
+
+    def sort_key(self) -> tuple:
+        return (self.path, self.line, self.col, self.rule)
+
+    def to_dict(self) -> dict:
+        return asdict(self)
+
+
+class Rule:
+    """Base class for one lint rule.
+
+    Subclasses set ``id`` / ``name`` / ``description`` (the README rule
+    table renders from them), narrow :meth:`applies` to the files the
+    invariant covers, and yield findings from :meth:`check`.
+    """
+
+    id: str = ""
+    name: str = ""
+    description: str = ""
+
+    def applies(self, ctx: FileContext) -> bool:
+        return True
+
+    def check(self, ctx: FileContext) -> Iterable[Finding]:
+        raise NotImplementedError
+
+    def finding(self, ctx: FileContext, node: ast.AST, message: str) -> Finding:
+        return Finding(
+            rule=self.id,
+            path=ctx.path,
+            line=getattr(node, "lineno", 1),
+            col=getattr(node, "col_offset", 0),
+            message=message,
+        )
+
+
+#: Every registered rule, by id, in registration order.
+RULES: dict[str, Rule] = {}
+
+
+def register(rule_cls: type) -> type:
+    """Class decorator: instantiate and register a :class:`Rule`."""
+    rule = rule_cls()
+    if not rule.id:
+        raise ValueError(f"{rule_cls.__name__} has no rule id")
+    if rule.id in RULES:
+        raise ValueError(f"duplicate rule id {rule.id!r}")
+    RULES[rule.id] = rule
+    return rule_cls
+
+
+def dotted_name(node: ast.AST) -> str | None:
+    """``a.b.c`` for a Name/Attribute chain, ``None`` for anything else."""
+    parts: list[str] = []
+    while isinstance(node, ast.Attribute):
+        parts.append(node.attr)
+        node = node.value
+    if isinstance(node, ast.Name):
+        parts.append(node.id)
+        return ".".join(reversed(parts))
+    return None
+
+
+def module_for_path(path: str) -> str | None:
+    """Infer the ``repro.*`` module name from a file path.
+
+    The last path component named ``repro`` is taken as the package
+    root, so both the real tree (``src/repro/ml/gbm.py``) and test
+    fixtures (``<tmp>/src/repro/ml/case.py``) resolve; files outside a
+    ``repro`` tree (scripts, benchmarks) return ``None`` and module-
+    scoped rules skip them.
+    """
+    parts = list(os.path.abspath(path).split(os.sep))
+    if "repro" not in parts:
+        return None
+    idx = len(parts) - 1 - parts[::-1].index("repro")
+    names = parts[idx:]
+    if not names[-1].endswith(".py"):
+        return None
+    names[-1] = names[-1][: -len(".py")]
+    if names[-1] == "__init__":
+        names.pop()
+    return ".".join(names)
+
+
+class FileContext:
+    """Everything the rules need about one file, computed once."""
+
+    def __init__(self, path: str, source: str, module: str | None = None) -> None:
+        self.path = path
+        self.source = source
+        self.module = module if module is not None else module_for_path(path)
+        self.tree = ast.parse(source, filename=path)
+        #: ``{line: comment_text}`` for every comment token.
+        self.comments: dict[int, str] = {}
+        #: ``{line: {rule ids}}`` for every ``# repro: noqa[...]`` comment.
+        self.noqa: dict[int, set[str]] = {}
+        try:
+            tokens = tokenize.generate_tokens(io.StringIO(source).readline)
+            for tok in tokens:
+                if tok.type == tokenize.COMMENT:
+                    self.comments[tok.start[0]] = tok.string
+        except (tokenize.TokenError, IndentationError):  # pragma: no cover
+            pass  # ast.parse accepted it; comments stay best-effort
+        for line, comment in self.comments.items():
+            match = _NOQA_RE.search(comment)
+            if match:
+                ids = {p.strip() for p in match.group(1).split(",") if p.strip()}
+                if ids:
+                    self.noqa[line] = ids
+
+    def module_is(self, *prefixes: str) -> bool:
+        """Whether the module equals, or lives under, any given prefix."""
+        if self.module is None:
+            return False
+        return any(
+            self.module == p or self.module.startswith(p + ".")
+            for p in prefixes
+        )
+
+
+def _apply_suppressions(ctx: FileContext, findings: list[Finding]) -> list[Finding]:
+    """Drop suppressed findings; report suppressions that match nothing."""
+    used: set[tuple[int, str]] = set()
+    kept: list[Finding] = []
+    for finding in findings:
+        if finding.rule in ctx.noqa.get(finding.line, ()):
+            used.add((finding.line, finding.rule))
+        else:
+            kept.append(finding)
+    for line in sorted(ctx.noqa):
+        for rule_id in sorted(ctx.noqa[line]):
+            if (line, rule_id) in used:
+                continue
+            if rule_id in RULES:
+                message = (
+                    f"unused suppression: noqa[{rule_id}] matches no "
+                    f"{rule_id} finding on this line — delete it"
+                )
+            else:
+                message = (
+                    f"unknown rule id {rule_id!r} in noqa "
+                    f"(known: {', '.join(sorted(RULES))})"
+                )
+            kept.append(
+                Finding(
+                    rule=SUPPRESSION_RULE_ID,
+                    path=ctx.path,
+                    line=line,
+                    col=0,
+                    message=message,
+                )
+            )
+    return sorted(kept, key=Finding.sort_key)
+
+
+def lint_file(
+    path: str, source: str | None = None, module: str | None = None
+) -> list[Finding]:
+    """Run every applicable rule over one file."""
+    if source is None:
+        with open(path, encoding="utf-8") as handle:
+            source = handle.read()
+    try:
+        ctx = FileContext(path, source, module=module)
+    except SyntaxError as exc:
+        return [
+            Finding(
+                rule=PARSE_RULE_ID,
+                path=path,
+                line=exc.lineno or 1,
+                col=(exc.offset or 1) - 1,
+                message=f"cannot parse file: {exc.msg}",
+            )
+        ]
+    findings: list[Finding] = []
+    for rule in RULES.values():
+        if rule.applies(ctx):
+            findings.extend(rule.check(ctx))
+    return _apply_suppressions(ctx, findings)
+
+
+def iter_python_files(paths: Iterable[str]) -> Iterator[str]:
+    """Expand files/directories into a sorted, deduplicated ``.py`` list."""
+    seen: set[str] = set()
+    collected: list[str] = []
+    for path in paths:
+        if os.path.isdir(path):
+            for root, dirs, files in os.walk(path):
+                dirs[:] = sorted(
+                    d for d in dirs if d != "__pycache__" and not d.startswith(".")
+                )
+                for name in sorted(files):
+                    if name.endswith(".py"):
+                        collected.append(os.path.join(root, name))
+        else:
+            collected.append(path)
+    for path in collected:
+        resolved = os.path.abspath(path)
+        if resolved not in seen:
+            seen.add(resolved)
+            yield path
+
+
+def lint_paths(paths: Iterable[str]) -> list[Finding]:
+    """Lint every ``.py`` file under ``paths``; findings sorted by position."""
+    findings: list[Finding] = []
+    for path in iter_python_files(paths):
+        findings.extend(lint_file(path))
+    return sorted(findings, key=Finding.sort_key)

@@ -1,0 +1,94 @@
+"""Finding formatters: human text, machine JSON, GitHub annotations.
+
+* ``text`` — ``path:line:col: RULE message`` plus a summary line;
+  what a developer reads in a terminal.
+* ``json`` — a list of finding objects plus counts; for tooling.
+* ``github`` — ``::error file=...`` workflow commands, which the
+  Actions runner turns into inline PR annotations; the CI lint step
+  uses this format.
+"""
+
+from __future__ import annotations
+
+import json
+from collections import Counter
+from collections.abc import Iterable, Sequence
+
+from repro.analysis.engine import RULES, Finding
+
+__all__ = ["FORMATS", "format_findings", "rule_table"]
+
+FORMATS = ("text", "json", "github")
+
+
+def _text(findings: Sequence[Finding]) -> str:
+    lines = [
+        f"{f.path}:{f.line}:{f.col}: {f.rule} {f.message}" for f in findings
+    ]
+    if findings:
+        by_rule = Counter(f.rule for f in findings)
+        breakdown = ", ".join(
+            f"{rule} x{count}" for rule, count in sorted(by_rule.items())
+        )
+        plural = "" if len(findings) == 1 else "s"
+        lines.append(f"{len(findings)} finding{plural} ({breakdown})")
+    else:
+        lines.append("clean: no findings")
+    return "\n".join(lines)
+
+
+def _json(findings: Sequence[Finding]) -> str:
+    payload = {
+        "findings": [f.to_dict() for f in findings],
+        "count": len(findings),
+        "counts_by_rule": dict(
+            sorted(Counter(f.rule for f in findings).items())
+        ),
+    }
+    return json.dumps(payload, indent=2, sort_keys=True)
+
+
+def _github(findings: Sequence[Finding]) -> str:
+    lines = []
+    for f in findings:
+        # Workflow-command payloads are single-line; our messages are,
+        # but escape defensively per the Actions spec.
+        message = (
+            f.message.replace("%", "%25").replace("\r", "%0D").replace("\n", "%0A")
+        )
+        lines.append(
+            f"::error file={f.path},line={f.line},col={f.col + 1},"
+            f"title={f.rule}::{message}"
+        )
+    return "\n".join(lines)
+
+
+def format_findings(findings: Iterable[Finding], fmt: str = "text") -> str:
+    """Render findings in one of :data:`FORMATS`."""
+    ordered = list(findings)
+    if fmt == "text":
+        return _text(ordered)
+    if fmt == "json":
+        return _json(ordered)
+    if fmt == "github":
+        return _github(ordered)
+    raise ValueError(f"unknown format {fmt!r}; expected one of {FORMATS}")
+
+
+def rule_table() -> str:
+    """Plain-text table of every registered rule (``lint --rules``)."""
+    rows = [(rule.id, rule.name, rule.description) for rule in RULES.values()]
+    rows.append(("PARSE001", "syntax-error", "file failed to parse"))
+    rows.append(
+        (
+            "SUP001",
+            "unused-suppression",
+            "a # repro: noqa[...] comment that matches no finding",
+        )
+    )
+    id_w = max(len(r[0]) for r in rows)
+    name_w = max(len(r[1]) for r in rows)
+    return "\n".join(
+        f"{rule_id:<{id_w}}  {name:<{name_w}}  {description}"
+        for rule_id, name, description in rows
+    )

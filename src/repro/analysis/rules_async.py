@@ -1,0 +1,177 @@
+"""ASYNC — event-loop discipline for the serving layer.
+
+The gateway (``repro.serving``) is a single-threaded asyncio server: one
+blocked coroutine stalls *every* connection, admission decision, and
+health check behind it.  The repo's convention is that anything blocking
+— model inference, file IO, process control — runs either on the
+``_ModelWorker`` thread or through ``loop.run_in_executor``.
+
+* ``ASYNC001`` — a known-blocking call (``time.sleep``,
+  ``subprocess.run``, ``open``, ...) lexically inside an ``async def``.
+  Nested *sync* ``def``\\ s inside an async function are exempt: they
+  are exactly the functions handed to ``run_in_executor``.
+* ``ASYNC002`` — a direct model/service call (``.submit_many(...)``,
+  ``.predict*(...)``, ``.fit(...)``) inside an ``async def``.  Passing
+  the bound method *by reference* (``partial(service.submit_many, ...)``
+  into an executor) is fine and not flagged — only the direct call is.
+
+Scope: ``repro.serving`` only.
+"""
+
+from __future__ import annotations
+
+import ast
+from collections.abc import Iterable
+
+from repro.analysis.engine import FileContext, Finding, Rule, dotted_name, register
+
+#: Module prefix where the event loop must never block.
+ASYNC_PREFIXES = ("repro.serving",)
+
+# Dotted calls that block the calling thread.
+_BLOCKING_CALLS = {
+    "time.sleep",
+    "os.system",
+    "os.wait",
+    "os.waitpid",
+    "os.popen",
+    "subprocess.run",
+    "subprocess.call",
+    "subprocess.check_call",
+    "subprocess.check_output",
+    "subprocess.Popen",
+    "socket.create_connection",
+    "urllib.request.urlopen",
+    "requests.get",
+    "requests.post",
+    "requests.put",
+    "requests.delete",
+    "requests.request",
+}
+# Bare built-ins that block (file IO, stdin).
+_BLOCKING_BUILTINS = {"open", "input"}
+# Method names that block on synchronization primitives or model work.
+_BLOCKING_METHODS = {
+    "acquire",  # threading.Lock.acquire — asyncio locks are awaited, not called
+}
+
+# Service/model entry points that must go through the worker thread.
+_MODEL_METHODS = {
+    "submit_many",
+    "predict",
+    "predict_total",
+    "predict_totals",
+    "predict_report",
+    "predict_reports",
+    "fit",
+    "run_many",
+}
+
+
+class _AsyncCallVisitor(ast.NodeVisitor):
+    """Collect calls whose *nearest enclosing function* is ``async def``."""
+
+    def __init__(self) -> None:
+        # Stack of ("async"|"sync", function name); lambdas count as sync
+        # (they are what gets handed to executors).
+        self._stack: list[tuple[str, str]] = []
+        self.async_calls: list[tuple[ast.Call, str]] = []
+
+    def visit_FunctionDef(self, node: ast.FunctionDef) -> None:
+        self._stack.append(("sync", node.name))
+        self.generic_visit(node)
+        self._stack.pop()
+
+    def visit_AsyncFunctionDef(self, node: ast.AsyncFunctionDef) -> None:
+        self._stack.append(("async", node.name))
+        self.generic_visit(node)
+        self._stack.pop()
+
+    def visit_Lambda(self, node: ast.Lambda) -> None:
+        self._stack.append(("sync", "<lambda>"))
+        self.generic_visit(node)
+        self._stack.pop()
+
+    def visit_Call(self, node: ast.Call) -> None:
+        if self._stack and self._stack[-1][0] == "async":
+            self.async_calls.append((node, self._stack[-1][1]))
+        self.generic_visit(node)
+
+
+def _calls_in_async(ctx: FileContext) -> list[tuple[ast.Call, str]]:
+    visitor = _AsyncCallVisitor()
+    visitor.visit(ctx.tree)
+    return visitor.async_calls
+
+
+class _AsyncRule(Rule):
+    def applies(self, ctx: FileContext) -> bool:
+        return ctx.module_is(*ASYNC_PREFIXES)
+
+
+@register
+class BlockingCallRule(_AsyncRule):
+    id = "ASYNC001"
+    name = "blocking-call-in-async"
+    description = (
+        "known-blocking call (time.sleep, subprocess, open, ...) "
+        "lexically inside an async def in the serving layer"
+    )
+
+    def check(self, ctx: FileContext) -> Iterable[Finding]:
+        for node, func_name in _calls_in_async(ctx):
+            name = dotted_name(node.func)
+            blocking = None
+            if name in _BLOCKING_CALLS or name in _BLOCKING_BUILTINS:
+                blocking = name
+            elif (
+                isinstance(node.func, ast.Attribute)
+                and node.func.attr in _BLOCKING_METHODS
+                # `await lock.acquire()` is the asyncio idiom — only the
+                # un-awaited threading form blocks. The tokenizer-free
+                # check: a blocking-method call is fine if its parent is
+                # Await; we approximate by checking the call is not the
+                # value of an Await (handled via _awaited set below).
+            ):
+                blocking = f"...{node.func.attr}"
+            if blocking is None:
+                continue
+            if blocking.startswith("...") and self._is_awaited(ctx, node):
+                continue
+            yield self.finding(
+                ctx,
+                node,
+                f"blocking call '{blocking}(...)' inside 'async def "
+                f"{func_name}' stalls the event loop — route it through "
+                "loop.run_in_executor(...) or the model worker thread",
+            )
+
+    @staticmethod
+    def _is_awaited(ctx: FileContext, call: ast.Call) -> bool:
+        for node in ast.walk(ctx.tree):
+            if isinstance(node, ast.Await) and node.value is call:
+                return True
+        return False
+
+
+@register
+class DirectModelCallRule(_AsyncRule):
+    id = "ASYNC002"
+    name = "model-call-in-async"
+    description = (
+        "direct service/model call (.submit_many, .predict*, .fit) "
+        "inside an async def; hand it to the worker thread instead"
+    )
+
+    def check(self, ctx: FileContext) -> Iterable[Finding]:
+        for node, func_name in _calls_in_async(ctx):
+            func = node.func
+            if isinstance(func, ast.Attribute) and func.attr in _MODEL_METHODS:
+                yield self.finding(
+                    ctx,
+                    node,
+                    f"direct model call '.{func.attr}(...)' inside 'async "
+                    f"def {func_name}' runs inference on the event loop — "
+                    "submit it to the model worker (or wrap it in "
+                    "functools.partial and run_in_executor)",
+                )

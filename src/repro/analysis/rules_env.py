@@ -1,0 +1,112 @@
+"""ENV — every ``REPRO_*`` environment variable goes through the registry.
+
+``repro.env`` declares each knob once (name, type, default, docstring)
+and gives the whole repo typed accessors; the README's env-var table is
+generated from it.  A stray ``os.environ.get("REPRO_...")`` elsewhere
+would reintroduce exactly the drift the registry exists to kill —
+undocumented knobs with ad-hoc parsing.
+
+* ``ENV001`` — a literal ``REPRO_*`` key read via ``os.environ`` /
+  ``os.getenv`` outside ``repro.env``.  Non-``REPRO_`` literals
+  (``CC``, ``XDG_CACHE_HOME``) are third-party contracts and stay
+  legal.
+* ``ENV002`` — an environment read whose key is *not* a string literal
+  (a variable, an f-string): the rule cannot prove it isn't a
+  ``REPRO_*`` name, so it must either move to the registry or carry a
+  justified suppression.
+
+Scope: everything except ``repro/env.py`` itself.  Writes
+(``os.environ[...] = ...``, ``monkeypatch.setenv``) are not reads and
+are not flagged.
+"""
+
+from __future__ import annotations
+
+import ast
+from collections.abc import Iterable
+
+from repro.analysis.engine import FileContext, Finding, Rule, dotted_name, register
+
+_ENVIRON_NAMES = {"os.environ", "environ"}
+_READ_METHODS = {"get", "pop", "setdefault"}
+
+
+def _env_read_key(node: ast.AST) -> ast.AST | None:
+    """The key expression if ``node`` reads the environment, else ``None``."""
+    if isinstance(node, ast.Call):
+        name = dotted_name(node.func)
+        if name in {"os.getenv", "getenv"} and node.args:
+            return node.args[0]
+        if (
+            isinstance(node.func, ast.Attribute)
+            and node.func.attr in _READ_METHODS
+            and dotted_name(node.func.value) in _ENVIRON_NAMES
+            and node.args
+        ):
+            return node.args[0]
+    if (
+        isinstance(node, ast.Subscript)
+        and isinstance(node.ctx, ast.Load)
+        and dotted_name(node.value) in _ENVIRON_NAMES
+    ):
+        return node.slice
+    return None
+
+
+class _EnvRule(Rule):
+    def applies(self, ctx: FileContext) -> bool:
+        return ctx.module != "repro.env"
+
+
+@register
+class ReproEnvReadRule(_EnvRule):
+    id = "ENV001"
+    name = "env-read-outside-registry"
+    description = (
+        "literal REPRO_* environment read outside repro/env.py; use the "
+        "registry accessors (get_str/get_bool/get_float/get_path)"
+    )
+
+    def check(self, ctx: FileContext) -> Iterable[Finding]:
+        for node in ast.walk(ctx.tree):
+            key = _env_read_key(node)
+            if key is None:
+                continue
+            if (
+                isinstance(key, ast.Constant)
+                and isinstance(key.value, str)
+                and key.value.startswith("REPRO_")
+            ):
+                yield self.finding(
+                    ctx,
+                    node,
+                    f"'{key.value}' read directly from os.environ — go "
+                    "through repro.env (declare it in the registry, "
+                    "read it with get_str/get_bool/get_float/get_path)",
+                )
+
+
+@register
+class DynamicEnvReadRule(_EnvRule):
+    id = "ENV002"
+    name = "dynamic-env-read"
+    description = (
+        "environment read with a non-literal key; the linter cannot "
+        "prove it is not a REPRO_* knob"
+    )
+
+    def check(self, ctx: FileContext) -> Iterable[Finding]:
+        for node in ast.walk(ctx.tree):
+            key = _env_read_key(node)
+            if key is None:
+                continue
+            if isinstance(key, ast.Constant) and isinstance(key.value, str):
+                continue
+            yield self.finding(
+                ctx,
+                node,
+                "environment read with a non-literal key — the linter "
+                "cannot verify it is not a REPRO_* knob; use the "
+                "repro.env registry, or suppress with a justification "
+                "if the name is genuinely caller-chosen",
+            )

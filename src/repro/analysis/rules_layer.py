@@ -1,0 +1,136 @@
+"""LAYER — the import DAG points downward.
+
+The repo is layered so that the reproducibility core stays importable
+(and testable) without the serving stack, and nothing heavy sneaks into
+the leaves.  Each ``repro`` subpackage has a layer number; a module may
+import same-or-lower layers only:
+
+====== =============================================================
+layer  packages
+====== =============================================================
+0      env, analysis, arch, library, rtl, parallel, ml
+1      sim, synthesis  (+ dse.cache, vlsi.macro_mapping — see below)
+2      power
+3      core, baselines, vlsi
+4      api, data
+5      dse
+6      serving, experiments
+7      cli, __main__, repro (the package root re-exports everything)
+====== =============================================================
+
+Two *module* overrides sit below their package: ``repro.dse.cache``
+(the content-addressed cache is storage, used by ``vlsi.flow``) and
+``repro.vlsi.macro_mapping`` (pure table lookup, used by ``power``).
+
+``LAYER001`` flags any import of a strictly higher layer.  Lateral
+imports (same layer, different package) are allowed — the DAG we
+enforce is the layering, not full package acyclicity.  Relative
+imports are resolved against the importing module first.
+
+Scope: ``repro.*`` modules only (scripts and benchmarks sit above the
+package and may import anything).
+"""
+
+from __future__ import annotations
+
+import ast
+from collections.abc import Iterable
+
+from repro.analysis.engine import FileContext, Finding, Rule, register
+
+#: Layer number per ``repro`` subpackage (key = second dotted part).
+PACKAGE_LAYERS: dict[str, int] = {
+    "env": 0,
+    "analysis": 0,
+    "arch": 0,
+    "library": 0,
+    "rtl": 0,
+    "parallel": 0,
+    "ml": 0,
+    "sim": 1,
+    "synthesis": 1,
+    "power": 2,
+    "core": 3,
+    "baselines": 3,
+    "vlsi": 3,
+    "api": 4,
+    "data": 4,
+    "dse": 5,
+    "serving": 6,
+    "experiments": 6,
+    "cli": 7,
+    "__main__": 7,
+}
+
+#: Exact-module overrides (checked before the package rule).
+MODULE_LAYERS: dict[str, int] = {
+    "repro": 7,  # the root __init__ re-exports the public API
+    "repro.dse.cache": 1,  # content-addressed storage, used by vlsi.flow
+    "repro.vlsi.macro_mapping": 1,  # pure lookup table, used by power
+}
+
+
+def layer_of(module: str) -> int | None:
+    """Layer for a ``repro[.x[.y]]`` module; ``None`` if not ours."""
+    if module in MODULE_LAYERS:
+        return MODULE_LAYERS[module]
+    parts = module.split(".")
+    if parts[0] != "repro":
+        return None
+    if len(parts) == 1:
+        return MODULE_LAYERS["repro"]
+    return PACKAGE_LAYERS.get(parts[1])
+
+
+def _resolve_relative(ctx_module: str, level: int, target: str | None) -> str | None:
+    """Absolute module for a ``from ... import`` with ``level`` dots."""
+    parts = ctx_module.split(".")
+    if level >= len(parts) + 1:
+        return None
+    base = parts[: len(parts) - level]
+    if target:
+        base.extend(target.split("."))
+    return ".".join(base) if base else None
+
+
+@register
+class LayerImportRule(Rule):
+    id = "LAYER001"
+    name = "upward-import"
+    description = (
+        "module imports a repro package from a strictly higher layer "
+        "(the import DAG must point downward)"
+    )
+
+    def applies(self, ctx: FileContext) -> bool:
+        return ctx.module is not None and ctx.module.startswith("repro")
+
+    def check(self, ctx: FileContext) -> Iterable[Finding]:
+        my_layer = layer_of(ctx.module)
+        if my_layer is None:
+            return
+        for node in ast.walk(ctx.tree):
+            targets: list[str] = []
+            if isinstance(node, ast.Import):
+                targets = [alias.name for alias in node.names]
+            elif isinstance(node, ast.ImportFrom):
+                if node.level:
+                    resolved = _resolve_relative(
+                        ctx.module, node.level, node.module
+                    )
+                    if resolved:
+                        targets = [resolved]
+                elif node.module:
+                    targets = [node.module]
+            for target in targets:
+                target_layer = layer_of(target)
+                if target_layer is None or target_layer <= my_layer:
+                    continue
+                yield self.finding(
+                    ctx,
+                    node,
+                    f"'{ctx.module}' (layer {my_layer}) imports "
+                    f"'{target}' (layer {target_layer}) — lower layers "
+                    "must not depend on higher ones; move the shared "
+                    "piece down or invert the dependency",
+                )

@@ -1,0 +1,246 @@
+"""LOCK — checked ``# guarded-by:`` annotations for shared mutable state.
+
+Comments like "protected by self._lock" rot silently; this rule makes
+them machine-checked.  Annotate the attribute *where it is assigned in
+``__init__``* (or ``__setstate__``)::
+
+    class ServiceStats:
+        ...
+
+    class PredictionService:
+        def __init__(self) -> None:
+            self._stats_lock = threading.Lock()
+            self.stats = ServiceStats()  # guarded-by: _stats_lock
+
+From then on, ``LOCK001`` flags any mutation of ``self.stats`` (or a
+field of it, ``self.stats.requests += 1``) in a method that is not
+lexically inside ``with self._stats_lock:`` (or ``async with``).
+
+Conventions honoured:
+
+* methods named ``*_locked`` are caller-holds-the-lock by contract and
+  are exempt (the project-wide naming convention, see
+  ``dse/jobs.py``),
+* ``__init__`` / ``__new__`` / ``__getstate__`` / ``__setstate__`` /
+  ``__del__`` run before/after the object is shared and are exempt,
+* the sentinel lock name ``loop`` means "confined to the asyncio event
+  loop": mutations are legal only when the nearest enclosing function
+  is ``async def`` (the single-threaded loop *is* the lock) — used for
+  the gateway/batcher counters,
+* ``LOCK002`` flags a ``guarded-by`` comment that is not attached to a
+  ``self.<attr> = ...`` assignment (a typo'd or drifted annotation).
+
+Scope: every file (the annotation opts a class in; un-annotated code is
+untouched).
+"""
+
+from __future__ import annotations
+
+import ast
+import re
+from collections.abc import Iterable
+
+from repro.analysis.engine import FileContext, Finding, Rule, dotted_name, register
+
+GUARDED_RE = re.compile(r"#\s*guarded-by:\s*([A-Za-z_][A-Za-z0-9_]*)")
+
+#: Lock name meaning "event-loop confined" rather than a real lock attr.
+LOOP_SENTINEL = "loop"
+
+_EXEMPT_METHODS = {"__init__", "__new__", "__getstate__", "__setstate__", "__del__"}
+
+
+def _self_attr_path(node: ast.AST) -> str | None:
+    """``"stats.requests"`` for ``self.stats.requests``; ``None`` otherwise.
+
+    Subscripts are transparent: ``self._jobs[k]`` resolves to ``_jobs``
+    so dict/list mutations on a guarded container are checked too.
+    """
+    parts: list[str] = []
+    while True:
+        if isinstance(node, ast.Attribute):
+            parts.append(node.attr)
+            node = node.value
+        elif isinstance(node, ast.Subscript):
+            node = node.value
+        elif isinstance(node, ast.Name):
+            return ".".join(reversed(parts)) if node.id == "self" and parts else None
+        else:
+            return None
+
+
+def _mutation_targets(node: ast.stmt) -> list[ast.AST]:
+    if isinstance(node, ast.Assign):
+        return list(node.targets)
+    if isinstance(node, ast.AugAssign):
+        return [node.target]
+    if isinstance(node, ast.AnnAssign) and node.value is not None:
+        return [node.target]
+    if isinstance(node, ast.Delete):
+        return list(node.targets)
+    return []
+
+
+class _MethodWalker:
+    """Walk one method body tracking held locks and function nesting."""
+
+    def __init__(self, rule: Rule, ctx: FileContext, guards: dict[str, str]) -> None:
+        self.rule = rule
+        self.ctx = ctx
+        self.guards = guards  # attr root -> lock name
+        self.findings: list[Finding] = []
+
+    def walk(self, method: ast.AST) -> list[Finding]:
+        is_async = isinstance(method, ast.AsyncFunctionDef)
+        for stmt in getattr(method, "body", []):
+            self._walk_stmt(stmt, held=frozenset(), in_async=is_async)
+        return self.findings
+
+    def _walk_stmt(self, stmt: ast.stmt, held: frozenset, in_async: bool) -> None:
+        if isinstance(stmt, (ast.With, ast.AsyncWith)):
+            acquired = set()
+            for item in stmt.items:
+                name = dotted_name(item.context_expr)
+                if name and name.startswith("self."):
+                    acquired.add(name[len("self."):])
+            new_held = held | acquired
+            for inner in stmt.body:
+                self._walk_stmt(inner, new_held, in_async)
+            return
+        if isinstance(stmt, (ast.FunctionDef, ast.AsyncFunctionDef)):
+            # Nested function: it may run later on another thread, so
+            # held locks do not transfer; async-ness is its own.
+            nested_async = isinstance(stmt, ast.AsyncFunctionDef)
+            for inner in stmt.body:
+                self._walk_stmt(inner, frozenset(), nested_async)
+            return
+        self._check_stmt(stmt, held, in_async)
+        for inner in ast.iter_child_nodes(stmt):
+            if isinstance(inner, ast.stmt):
+                self._walk_stmt(inner, held, in_async)
+            elif isinstance(inner, (ast.ExceptHandler, ast.match_case)):
+                for deeper in inner.body:
+                    self._walk_stmt(deeper, held, in_async)
+            elif hasattr(inner, "body") and isinstance(
+                getattr(inner, "body", None), list
+            ):  # pragma: no cover - defensive
+                for deeper in inner.body:
+                    if isinstance(deeper, ast.stmt):
+                        self._walk_stmt(deeper, held, in_async)
+
+    def _check_stmt(self, stmt: ast.stmt, held: frozenset, in_async: bool) -> None:
+        for target in _mutation_targets(stmt):
+            path = _self_attr_path(target)
+            if path is None:
+                continue
+            root = path.split(".", 1)[0]
+            lock = self.guards.get(root)
+            if lock is None:
+                continue
+            if lock == LOOP_SENTINEL:
+                if in_async:
+                    continue
+                self.findings.append(
+                    self.rule.finding(
+                        self.ctx,
+                        target,
+                        f"'self.{path}' is event-loop confined (guarded-by: "
+                        "loop) but is mutated outside an 'async def' — only "
+                        "coroutines on the loop may touch it",
+                    )
+                )
+            elif lock not in held:
+                self.findings.append(
+                    self.rule.finding(
+                        self.ctx,
+                        target,
+                        f"'self.{path}' is guarded by 'self.{lock}' but is "
+                        f"mutated outside 'with self.{lock}:' — take the "
+                        "lock, or rename the method '*_locked' if the "
+                        "caller holds it",
+                    )
+                )
+
+
+@register
+class GuardedMutationRule(Rule):
+    id = "LOCK001"
+    name = "guarded-mutation"
+    description = (
+        "attribute annotated '# guarded-by: <lock>' mutated outside "
+        "'with self.<lock>:' (or outside async code for 'loop')"
+    )
+
+    def check(self, ctx: FileContext) -> Iterable[Finding]:
+        for class_node in ast.walk(ctx.tree):
+            if not isinstance(class_node, ast.ClassDef):
+                continue
+            guards = _collect_guards(ctx, class_node)
+            if not guards:
+                continue
+            for method in class_node.body:
+                if not isinstance(method, (ast.FunctionDef, ast.AsyncFunctionDef)):
+                    continue
+                if method.name in _EXEMPT_METHODS or method.name.endswith("_locked"):
+                    continue
+                walker = _MethodWalker(self, ctx, guards)
+                yield from walker.walk(method)
+
+
+def _collect_guards(ctx: FileContext, class_node: ast.ClassDef) -> dict[str, str]:
+    """``{attr: lock}`` from guarded-by comments on ``self.X = ...`` lines."""
+    guards: dict[str, str] = {}
+    for node in ast.walk(class_node):
+        targets = _mutation_targets(node) if isinstance(node, ast.stmt) else []
+        for target in targets:
+            path = _self_attr_path(target)
+            if path is None or "." in path:
+                continue
+            for line in range(node.lineno, (node.end_lineno or node.lineno) + 1):
+                comment = ctx.comments.get(line)
+                if not comment:
+                    continue
+                match = GUARDED_RE.search(comment)
+                if match:
+                    guards[path] = match.group(1)
+    return guards
+
+
+@register
+class DanglingGuardRule(Rule):
+    id = "LOCK002"
+    name = "dangling-guard-annotation"
+    description = (
+        "'# guarded-by:' comment not attached to a 'self.<attr> = ...' "
+        "assignment inside a class"
+    )
+
+    def check(self, ctx: FileContext) -> Iterable[Finding]:
+        bound_lines: set[int] = set()
+        for class_node in ast.walk(ctx.tree):
+            if not isinstance(class_node, ast.ClassDef):
+                continue
+            for node in ast.walk(class_node):
+                if not isinstance(node, ast.stmt):
+                    continue
+                for target in _mutation_targets(node):
+                    path = _self_attr_path(target)
+                    if path is None or "." in path:
+                        continue
+                    for line in range(
+                        node.lineno, (node.end_lineno or node.lineno) + 1
+                    ):
+                        bound_lines.add(line)
+        for line, comment in sorted(ctx.comments.items()):
+            if GUARDED_RE.search(comment) and line not in bound_lines:
+                yield Finding(
+                    rule=self.id,
+                    path=ctx.path,
+                    line=line,
+                    col=0,
+                    message=(
+                        "guarded-by annotation is not attached to a "
+                        "'self.<attr> = ...' assignment — move it onto the "
+                        "attribute's __init__ assignment line"
+                    ),
+                )

@@ -38,7 +38,7 @@ class PowerModel(Protocol):
     signatures follow the conventions documented in the module docstring.
     """
 
-    def fit_results(self, results: list) -> "PowerModel":
+    def fit_results(self, results: list) -> PowerModel:
         """Train from precomputed flow results (training configs only)."""
         ...
 
@@ -55,7 +55,7 @@ class PowerModel(Protocol):
         ...
 
     @classmethod
-    def from_state(cls, state: dict, library: Any = None) -> "PowerModel":
+    def from_state(cls, state: dict, library: Any = None) -> PowerModel:
         """Rebuild a fitted model from :meth:`to_state` output."""
         ...
 

@@ -15,7 +15,8 @@ registered as aliases so existing experiment call sites keep working.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Any, Callable
+from collections.abc import Callable
+from typing import Any
 
 __all__ = [
     "MethodSpec",

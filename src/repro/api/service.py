@@ -31,7 +31,8 @@ from __future__ import annotations
 
 import threading
 from dataclasses import dataclass
-from typing import Any, Iterable, Iterator, Sequence
+from collections.abc import Iterable, Iterator, Sequence
+from typing import Any
 
 import numpy as np
 
@@ -197,7 +198,7 @@ class PredictionService:
         self.n_jobs = n_jobs
         self.backend = backend
         self.max_batch_size = max_batch_size
-        self.stats = ServiceStats()
+        self.stats = ServiceStats()  # guarded-by: _stats_lock
         self._stats_lock = threading.Lock()
 
     def stats_snapshot(self) -> dict:

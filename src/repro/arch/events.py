@@ -141,7 +141,7 @@ class EventParams:
             for name, value in self.for_component(component_name).items()
         }
 
-    def scaled(self, factor: float) -> "EventParams":
+    def scaled(self, factor: float) -> EventParams:
         """A copy with every count (including cycles) multiplied by factor."""
         if factor <= 0:
             raise ValueError("factor must be positive")
@@ -178,7 +178,7 @@ class EventBatch:
         self.matrix = matrix
 
     @classmethod
-    def from_events(cls, events) -> "EventBatch":
+    def from_events(cls, events) -> EventBatch:
         """Stack a sequence of :class:`EventParams` (or pass one through)."""
         if isinstance(events, EventBatch):
             return events

@@ -86,7 +86,7 @@ class AutoPowerMinus:
         workloads,
         n_jobs: int | None = None,
         backend: str | None = None,
-    ) -> "AutoPowerMinus":
+    ) -> AutoPowerMinus:
         executor = self._executor(n_jobs, backend)
         results = flow.run_many(
             list(train_configs), list(workloads), executor=executor
@@ -105,7 +105,7 @@ class AutoPowerMinus:
         n_jobs: int | None = None,
         backend: str | None = None,
         executor=None,
-    ) -> "AutoPowerMinus":
+    ) -> AutoPowerMinus:
         if not results:
             raise ValueError("cannot fit on an empty result list")
         if executor is None:
@@ -214,7 +214,7 @@ class AutoPowerMinus:
         }
 
     @classmethod
-    def from_state(cls, state: dict, library=None) -> "AutoPowerMinus":
+    def from_state(cls, state: dict, library=None) -> AutoPowerMinus:
         """Rebuild a fitted model from :meth:`to_state` output."""
         model = cls(
             use_program_features=bool(state["use_program_features"]),

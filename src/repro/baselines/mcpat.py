@@ -95,11 +95,11 @@ class McPatAnalytical:
         return min(total / 2.0, 1.0)
 
     # ------------------------------------------------------------------
-    def fit(self, flow, train_configs, workloads) -> "McPatAnalytical":
+    def fit(self, flow, train_configs, workloads) -> McPatAnalytical:
         """No-op: the analytical model has no learned state."""
         return self
 
-    def fit_results(self, results: list) -> "McPatAnalytical":
+    def fit_results(self, results: list) -> McPatAnalytical:
         """No-op: the analytical model has no learned state."""
         return self
 
@@ -172,7 +172,7 @@ class McPatAnalytical:
         }
 
     @classmethod
-    def from_state(cls, state: dict, library=None) -> "McPatAnalytical":
+    def from_state(cls, state: dict, library=None) -> McPatAnalytical:
         """Rebuild from :meth:`to_state` output (library arg unused)."""
         return cls(
             mw_per_kunit=float(state["mw_per_kunit"]),

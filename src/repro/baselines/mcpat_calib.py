@@ -77,11 +77,11 @@ class McPatCalib:
         return HARDWARE_PARAMETERS + rates + ("ipc", "mcpat_total")
 
     # ------------------------------------------------------------------
-    def fit(self, flow, train_configs, workloads) -> "McPatCalib":
+    def fit(self, flow, train_configs, workloads) -> McPatCalib:
         results = flow.run_many(list(train_configs), list(workloads))
         return self.fit_results(results)
 
-    def fit_results(self, results: list) -> "McPatCalib":
+    def fit_results(self, results: list) -> McPatCalib:
         if not results:
             raise ValueError("cannot fit on an empty result list")
         x = np.stack([self._features(r.config, r.events) for r in results])
@@ -122,7 +122,7 @@ class McPatCalib:
         }
 
     @classmethod
-    def from_state(cls, state: dict, library=None) -> "McPatCalib":
+    def from_state(cls, state: dict, library=None) -> McPatCalib:
         """Rebuild a fitted model from :meth:`to_state` output."""
         model = cls(
             mcpat=McPatAnalytical.from_state(state["mcpat"]),

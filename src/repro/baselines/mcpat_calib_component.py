@@ -64,11 +64,11 @@ class McPatCalibComponent:
         )
 
     # ------------------------------------------------------------------
-    def fit(self, flow, train_configs, workloads) -> "McPatCalibComponent":
+    def fit(self, flow, train_configs, workloads) -> McPatCalibComponent:
         results = flow.run_many(list(train_configs), list(workloads))
         return self.fit_results(results)
 
-    def fit_results(self, results: list) -> "McPatCalibComponent":
+    def fit_results(self, results: list) -> McPatCalibComponent:
         if not results:
             raise ValueError("cannot fit on an empty result list")
         for comp in COMPONENTS:
@@ -134,7 +134,7 @@ class McPatCalibComponent:
         }
 
     @classmethod
-    def from_state(cls, state: dict, library=None) -> "McPatCalibComponent":
+    def from_state(cls, state: dict, library=None) -> McPatCalibComponent:
         """Rebuild a fitted model from :meth:`to_state` output."""
         model = cls(
             mcpat=McPatAnalytical.from_state(state["mcpat"]),

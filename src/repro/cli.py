@@ -15,7 +15,11 @@ Three command families:
   hand-off as a long-running asyncio HTTP/JSON gateway
   (:mod:`repro.serving`) with cross-request micro-batching,
 * ``python -m repro cache stats|path|clear`` — inspect or reset the
-  persistent flow result cache (:mod:`repro.dse.cache`).
+  persistent flow result cache (:mod:`repro.dse.cache`),
+* ``python -m repro lint [paths...]`` — the project-invariant static
+  analysis (:mod:`repro.analysis`); exit 1 when findings,
+* ``python -m repro env [--markdown]`` — the ``REPRO_*`` environment
+  variable reference, generated from :mod:`repro.env`.
 
 Bare ``python -m repro`` lists the experiments and registered methods.
 """
@@ -24,6 +28,7 @@ from __future__ import annotations
 
 import argparse
 import asyncio
+import os
 import sys
 import time
 
@@ -84,6 +89,10 @@ def _print_overview() -> None:
         "\n        [--queue-depth N] [--default-deadline-ms MS]"
         " [--drain-timeout S]"
         "\n  cache {stats|path|clear}  inspect / reset the flow disk cache"
+        "\n\ntooling commands:"
+        "\n  lint [--format text|json|github] [--rules] [PATH...]"
+        "  project-invariant static analysis"
+        "\n  env [--markdown]  REPRO_* environment-variable reference"
     )
 
 
@@ -780,6 +789,79 @@ def _cmd_cache(argv: list[str]) -> int:
     return 0
 
 
+def _cmd_lint(argv: list[str]) -> int:
+    """``python -m repro lint [--format text|json|github] [paths...]``."""
+    parser = argparse.ArgumentParser(
+        prog="python -m repro lint",
+        description=(
+            "Run the project-invariant static analysis (repro.analysis): "
+            "determinism (DET), event-loop discipline (ASYNC), lock "
+            "discipline (LOCK), env-registry (ENV) and layering (LAYER) "
+            "rules.  Exit 0 when clean, 1 when findings, 2 on usage "
+            "errors."
+        ),
+    )
+    parser.add_argument(
+        "paths",
+        nargs="*",
+        default=None,
+        metavar="PATH",
+        help="files or directories to lint (default: src)",
+    )
+    parser.add_argument(
+        "--format",
+        choices=("text", "json", "github"),
+        default="text",
+        help="output format (github = Actions inline annotations)",
+    )
+    parser.add_argument(
+        "--rules",
+        action="store_true",
+        help="list every rule id and description, then exit",
+    )
+    args = parser.parse_args(argv)
+
+    from repro import analysis
+
+    if args.rules:
+        print(analysis.rule_table())
+        return 0
+    paths = args.paths or ["src"]
+    missing = [p for p in paths if not os.path.exists(p)]
+    if missing:
+        print(
+            f"error: no such file or directory: {', '.join(missing)}",
+            file=sys.stderr,
+        )
+        return 2
+    findings = analysis.lint_paths(paths)
+    print(analysis.format_findings(findings, args.format))
+    return 1 if findings else 0
+
+
+def _cmd_env(argv: list[str]) -> int:
+    """``python -m repro env [--markdown]``."""
+    parser = argparse.ArgumentParser(
+        prog="python -m repro env",
+        description=(
+            "Show every REPRO_* environment variable the project reads "
+            "(from the repro.env registry): type, default, and effect. "
+            "--markdown emits the table embedded in the README."
+        ),
+    )
+    parser.add_argument(
+        "--markdown",
+        action="store_true",
+        help="emit a GitHub-markdown table instead of plain text",
+    )
+    args = parser.parse_args(argv)
+
+    from repro import env
+
+    print(env.markdown_table() if args.markdown else env.plain_table())
+    return 0
+
+
 def main(argv: list[str] | None = None) -> int:
     argv = list(sys.argv[1:]) if argv is None else list(argv)
     if argv and argv[0] == "fit":
@@ -790,6 +872,10 @@ def main(argv: list[str] | None = None) -> int:
         return _cmd_serve(argv[1:])
     if argv and argv[0] == "cache":
         return _cmd_cache(argv[1:])
+    if argv and argv[0] == "lint":
+        return _cmd_lint(argv[1:])
+    if argv and argv[0] == "env":
+        return _cmd_env(argv[1:])
 
     parser = argparse.ArgumentParser(
         prog="python -m repro",

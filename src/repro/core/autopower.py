@@ -131,7 +131,7 @@ class AutoPower:
         workloads,
         n_jobs: int | None = None,
         backend: str | None = None,
-    ) -> "AutoPower":
+    ) -> AutoPower:
         """Train all sub-models from the flow outputs of known configs.
 
         ``flow`` is a :class:`repro.vlsi.flow.VlsiFlow`; it is only ever
@@ -151,7 +151,7 @@ class AutoPower:
         n_jobs: int | None = None,
         backend: str | None = None,
         executor: Executor | None = None,
-    ) -> "AutoPower":
+    ) -> AutoPower:
         """Train from precomputed flow results (train configs only)."""
         if not results:
             raise ValueError("cannot fit on an empty result list")
@@ -182,7 +182,7 @@ class AutoPower:
     @classmethod
     def from_state(
         cls, state: dict, library: TechLibrary | None = None
-    ) -> "AutoPower":
+    ) -> AutoPower:
         """Rebuild a fitted model from :meth:`to_state` output."""
         from repro.core.persistence import autopower_from_state
 

@@ -104,7 +104,7 @@ class ClockPowerModel:
     # ------------------------------------------------------------------
     def fit(
         self, results: list, executor: Executor | None = None
-    ) -> "ClockPowerModel":
+    ) -> ClockPowerModel:
         """Train from flow results of the known configurations.
 
         ``results`` is a list of :class:`repro.vlsi.flow.FlowResult`

@@ -99,7 +99,7 @@ class RegisterPowerModel:
 
     def fit(
         self, results: list, executor: Executor | None = None
-    ) -> "RegisterPowerModel":
+    ) -> RegisterPowerModel:
         if not results:
             raise ValueError("cannot fit on an empty result list")
         if executor is None:
@@ -191,7 +191,7 @@ class CombPowerModel:
 
     def fit(
         self, results: list, executor: Executor | None = None
-    ) -> "CombPowerModel":
+    ) -> CombPowerModel:
         if not results:
             raise ValueError("cannot fit on an empty result list")
         if executor is None:
@@ -286,7 +286,7 @@ class LogicPowerModel:
 
     def fit(
         self, results: list, executor: Executor | None = None
-    ) -> "LogicPowerModel":
+    ) -> LogicPowerModel:
         self.register_model.fit(results, executor=executor)
         self.comb_model.fit(results, executor=executor)
         self._fitted = True

@@ -173,7 +173,7 @@ def save_autopower(model: AutoPower, path: str | Path) -> None:
     compatibility); the file written is a method-agnostic format-v2
     envelope.
     """
-    from repro.api import save_model
+    from repro.api import save_model  # repro: noqa[LAYER001] -- lazy back-compat shim; repro.api owns the format, this name predates it
 
     save_model(model, path)
 
@@ -187,7 +187,7 @@ def load_autopower(path: str | Path, library: TechLibrary | None = None) -> Auto
     part of the flow, not of the learned state); pass ``library``
     explicitly when using a non-default one.
     """
-    from repro.api import load_model
+    from repro.api import load_model  # repro: noqa[LAYER001] -- lazy back-compat shim; repro.api owns the format, this name predates it
 
     model = load_model(path, library=library)
     if not isinstance(model, AutoPower):

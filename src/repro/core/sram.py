@@ -139,7 +139,7 @@ class SramPowerModel:
     # ------------------------------------------------------------------
     def fit(
         self, results: list, executor: Executor | None = None
-    ) -> "SramPowerModel":
+    ) -> SramPowerModel:
         """Train from flow results of the known configurations.
 
         The per-position fits (scaling laws + read/write GBMs) are

@@ -49,6 +49,8 @@ import pickle
 import tempfile
 import threading
 
+from repro.env import get_bool, get_float, get_path
+
 __all__ = [
     "FLOW_CACHE_VERSION",
     "CacheStats",
@@ -64,10 +66,6 @@ __all__ = [
 # of cached flow results changes — old entries then read as misses.
 FLOW_CACHE_VERSION = 1
 
-_ENV_DIR = "REPRO_FLOW_CACHE_DIR"
-_ENV_DISABLE = "REPRO_NO_FLOW_CACHE"
-_ENV_MAX_MB = "REPRO_FLOW_CACHE_MAX_MB"
-_DEFAULT_MAX_MB = 512.0
 _SUFFIX = ".pkl"
 
 
@@ -88,7 +86,7 @@ def _encode(obj: object, out: list[bytes]) -> None:
         # processes and identical to the float json puts on the wire.
         out.append(b"f" + repr(obj).encode("ascii") + b";")
     elif isinstance(obj, str):
-        raw = obj.encode("utf-8")
+        raw = obj.encode()
         out.append(b"s" + str(len(raw)).encode("ascii") + b":" + raw)
     elif isinstance(obj, bytes):
         out.append(b"b" + str(len(obj)).encode("ascii") + b":" + obj)
@@ -111,7 +109,7 @@ def _encode(obj: object, out: list[bytes]) -> None:
         out.extend(sorted(canonical_bytes(item) for item in obj))
         out.append(b">")
     elif dataclasses.is_dataclass(obj) and not isinstance(obj, type):
-        out.append(b"D" + type(obj).__qualname__.encode("utf-8") + b"{")
+        out.append(b"D" + type(obj).__qualname__.encode() + b"{")
         for field in dataclasses.fields(obj):
             _encode(field.name, out)
             _encode(getattr(obj, field.name), out)
@@ -119,7 +117,7 @@ def _encode(obj: object, out: list[bytes]) -> None:
     elif hasattr(obj, "__dict__"):
         # Plain objects (simulators, the SRAM compiler): type identity
         # plus every instance attribute, in sorted attribute order.
-        out.append(b"O" + type(obj).__qualname__.encode("utf-8") + b"{")
+        out.append(b"O" + type(obj).__qualname__.encode() + b"{")
         for name in sorted(vars(obj)):
             _encode(name, out)
             _encode(vars(obj)[name], out)
@@ -148,29 +146,23 @@ def content_key(*parts: object) -> str:
 # ---------------------------------------------------------------------------
 def cache_enabled() -> bool:
     """Whether the disk cache is on (``REPRO_NO_FLOW_CACHE`` unset)."""
-    return os.environ.get(_ENV_DISABLE, "").strip() not in ("1", "true", "yes")
+    return not get_bool("REPRO_NO_FLOW_CACHE")
 
 
 def flow_cache_root() -> str:
     """The configured cache root directory (may not exist yet)."""
-    root = os.environ.get(_ENV_DIR, "").strip()
-    if root:
-        return os.path.abspath(os.path.expanduser(root))
-    return os.path.join(
+    default = os.path.join(
         os.path.expanduser("~"), ".cache", "repro", "flow-cache"
     )
+    return get_path("REPRO_FLOW_CACHE_DIR", default=default)
 
 
 def _max_bytes_from_env() -> int:
-    raw = os.environ.get(_ENV_MAX_MB, "").strip()
-    try:
-        mb = float(raw) if raw else _DEFAULT_MAX_MB
-    except ValueError:
-        mb = _DEFAULT_MAX_MB
+    mb = get_float("REPRO_FLOW_CACHE_MAX_MB")
     return max(0, int(mb * 1024 * 1024))
 
 
-def default_flow_cache() -> "FlowDiskCache | None":
+def default_flow_cache() -> FlowDiskCache | None:
     """The cache a fresh :class:`~repro.vlsi.flow.VlsiFlow` adopts.
 
     ``None`` with ``REPRO_NO_FLOW_CACHE=1`` — the escape hatch that
@@ -220,9 +212,10 @@ class FlowDiskCache:
         self.max_bytes = (
             int(max_bytes) if max_bytes is not None else _max_bytes_from_env()
         )
-        self.stats = CacheStats()
+        self.stats = CacheStats()  # guarded-by: _lock
         self._lock = threading.Lock()
-        self._approx_bytes: int | None = None  # lazily scanned on first put
+        # Lazily scanned on first put.
+        self._approx_bytes: int | None = None  # guarded-by: _lock
 
     # Pickle support: the lock is per-process; counters travel (they are
     # merged nowhere, so a worker copy simply counts its own traffic).

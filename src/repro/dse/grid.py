@@ -21,7 +21,7 @@ positive parameter combinations are valid, so modest axes already reach
 from __future__ import annotations
 
 import itertools
-from typing import Iterable, Mapping
+from collections.abc import Iterable, Mapping
 
 from repro.arch.config import BoomConfig, config_by_name
 from repro.arch.params import (

@@ -181,12 +181,13 @@ class DseJob:
     def __init__(self, job_id: str, spec: dict) -> None:
         self.id = job_id
         self.spec = spec
-        self.state = "pending"  # -> running -> done | failed | cancelled
-        self.error: str | None = None
-        self.results: list[dict] | None = None
+        # -> running -> done | failed | cancelled
+        self.state = "pending"  # guarded-by: _lock
+        self.error: str | None = None  # guarded-by: _lock
+        self.results: list[dict] | None = None  # guarded-by: _lock
         self.submitted_unix = time.time()
-        self.started_monotonic: float | None = None
-        self.runtime_s: float | None = None
+        self.started_monotonic: float | None = None  # guarded-by: _lock
+        self.runtime_s: float | None = None  # guarded-by: _lock
         self._lock = threading.Lock()
         self._cancel = threading.Event()
         self.thread: threading.Thread | None = None
@@ -227,8 +228,8 @@ class DseJob:
 
     def run(self) -> None:
         """The job body (runs on the manager's daemon thread)."""
-        self.started_monotonic = time.monotonic()
         with self._lock:
+            self.started_monotonic = time.monotonic()
             self.state = "running"
         try:
             flow = _build_flow(self.spec["library"])
@@ -410,10 +411,10 @@ class DseJobManager:
     def __init__(self, max_finished: int = 64, max_running: int = 4) -> None:
         self.max_finished = max_finished
         self.max_running = max_running
-        self._jobs: dict[str, DseJob] = {}
+        self._jobs: dict[str, DseJob] = {}  # guarded-by: _lock
         self._lock = threading.Lock()
-        self._counter = 0
-        self.submitted = 0
+        self._counter = 0  # guarded-by: _lock
+        self.submitted = 0  # guarded-by: _lock
 
     def submit(self, spec: dict) -> DseJob:
         normalized = normalize_spec(spec)

@@ -32,7 +32,7 @@ import subprocess
 import sys
 import tempfile
 
-_KERNEL_ENV_DISABLE = "REPRO_NO_KERNEL"
+from repro.env import get_bool
 
 _CDEF = """
 long gbm_fit_exact(
@@ -330,7 +330,7 @@ def get_kernel():
     if _kernel_tried:
         return _kernel
     _kernel_tried = True
-    if os.environ.get(_KERNEL_ENV_DISABLE):
+    if get_bool("REPRO_NO_KERNEL"):
         return None
     if not sys.platform.startswith(("linux", "darwin")):
         return None

@@ -101,7 +101,7 @@ class _FlatEnsemble:
         value: np.ndarray,
         roots: np.ndarray,
         depth: int,
-    ) -> "_FlatEnsemble":
+    ) -> _FlatEnsemble:
         ens = object.__new__(cls)
         ens.feature = feature
         ens.threshold = threshold
@@ -228,7 +228,7 @@ class GradientBoostingRegressor:
         self._ensemble: _FlatEnsemble | None = None
 
     # ------------------------------------------------------------------
-    def fit(self, X, y) -> "GradientBoostingRegressor":
+    def fit(self, X, y) -> GradientBoostingRegressor:
         X = np.atleast_2d(np.asarray(X, dtype=float))
         y = np.asarray(y, dtype=float).ravel()
         if X.shape[0] != y.shape[0]:

@@ -53,7 +53,7 @@ class RidgeRegression:
         self.intercept_: float = 0.0
 
     # ------------------------------------------------------------------
-    def fit(self, X, y) -> "RidgeRegression":
+    def fit(self, X, y) -> RidgeRegression:
         """Fit coefficients from a (n_samples, n_features) design matrix."""
         X = np.atleast_2d(np.asarray(X, dtype=float))
         y = np.asarray(y, dtype=float).ravel()

@@ -18,7 +18,7 @@ class StandardScaler:
         self.mean_: np.ndarray | None = None
         self.scale_: np.ndarray | None = None
 
-    def fit(self, X) -> "StandardScaler":
+    def fit(self, X) -> StandardScaler:
         X = np.atleast_2d(np.asarray(X, dtype=float))
         self.mean_ = X.mean(axis=0)
         scale = X.std(axis=0)

@@ -120,8 +120,8 @@ class TreeNode:
     value: float = 0.0
     feature: int = -1
     threshold: float = 0.0
-    left: "TreeNode | None" = None
-    right: "TreeNode | None" = None
+    left: TreeNode | None = None
+    right: TreeNode | None = None
     n_samples: int = 0
     depth: int = 0
     gain: float = 0.0
@@ -176,7 +176,7 @@ class FlatTree:
         value: np.ndarray,
         n_samples: np.ndarray,
         depth: int,
-    ) -> "FlatTree":
+    ) -> FlatTree:
         """Wrap already-typed arrays with a known depth (builder hot path).
 
         Structure arrays (``left``/``right``/``n_samples``) may be shared
@@ -198,7 +198,7 @@ class FlatTree:
 
     # ------------------------------------------------------------------
     @classmethod
-    def from_node(cls, root: TreeNode) -> "FlatTree":
+    def from_node(cls, root: TreeNode) -> FlatTree:
         """Flatten a :class:`TreeNode` graph (preorder)."""
         feature: list[int] = []
         threshold: list[float] = []
@@ -327,7 +327,7 @@ class TreeWorkspace:
             self._posof = posof
         return self._posof
 
-    def subset_cols(self, cols: np.ndarray) -> "TreeWorkspace":
+    def subset_cols(self, cols: np.ndarray) -> TreeWorkspace:
         sub = object.__new__(TreeWorkspace)
         sub.xt = self.xt[cols]
         sub.order = self.order[cols]
@@ -398,7 +398,7 @@ class HistogramBinner:
             self._cand = np.arange(width - 1)[None, :] < self.n_edges[:, None]
         return self._cand
 
-    def subset(self, rows: np.ndarray | None, cols: np.ndarray | None) -> "HistogramBinner":
+    def subset(self, rows: np.ndarray | None, cols: np.ndarray | None) -> HistogramBinner:
         """A view of the cache restricted to a row/column subsample."""
         sub = object.__new__(HistogramBinner)
         binned = self.binned
@@ -521,7 +521,7 @@ class RegressionTree:
         self._root = node
 
     # ------------------------------------------------------------------
-    def fit(self, X, y) -> "RegressionTree":
+    def fit(self, X, y) -> RegressionTree:
         """Fit as a plain regression tree (single boosting round from 0)."""
         X = np.atleast_2d(np.asarray(X, dtype=float))
         y = np.asarray(y, dtype=float).ravel()
@@ -539,7 +539,7 @@ class RegressionTree:
         binner: HistogramBinner | None = None,
         workspace: TreeWorkspace | None = None,
         train_pred: np.ndarray | None = None,
-    ) -> "RegressionTree":
+    ) -> RegressionTree:
         """Fit on explicit first/second-order statistics (boosting path).
 
         ``binner``/``workspace`` supply precomputed per-``X`` caches (a
@@ -583,7 +583,7 @@ class RegressionTree:
         binner: HistogramBinner | None,
         workspace: TreeWorkspace | None,
         train_pred: np.ndarray | None,
-    ) -> "RegressionTree":
+    ) -> RegressionTree:
         """Validation-free fit used by the boosting loop (caches prebuilt)."""
         self.n_features_ = X.shape[1]
         if binner is not None:

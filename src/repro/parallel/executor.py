@@ -41,6 +41,8 @@ import pickle
 from concurrent.futures import ProcessPoolExecutor, ThreadPoolExecutor
 from concurrent.futures.process import BrokenProcessPool
 
+from repro.env import get_str
+
 __all__ = [
     "BACKENDS",
     "Executor",
@@ -122,7 +124,7 @@ def resolve_jobs(n_jobs: int | None = None) -> tuple[int, str | None]:
     """
     env_backend: str | None = None
     env_jobs: int | None = None
-    spec = os.environ.get(ENV_JOBS, "").strip()
+    spec = get_str(ENV_JOBS)
     if spec:
         env_jobs, env_backend = parse_jobs_spec(spec)
     if n_jobs is None:
@@ -171,7 +173,7 @@ class Executor:
     def close(self) -> None:
         """Release the worker pool (no-op for the serial backend)."""
 
-    def __enter__(self) -> "Executor":
+    def __enter__(self) -> Executor:
         return self
 
     def __exit__(self, *exc_info) -> None:

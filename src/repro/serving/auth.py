@@ -35,7 +35,7 @@ import math
 import os
 import time
 from pathlib import Path
-from typing import Callable, Iterable
+from collections.abc import Callable, Iterable
 
 from repro.serving.resilience import ResilienceError
 
@@ -74,7 +74,7 @@ def client_digest(token_or_peer: str) -> str:
     Never reversible to the bearer token: sha256, truncated to 12 hex
     characters (collision-safe for counter purposes).
     """
-    return hashlib.sha256(token_or_peer.encode("utf-8")).hexdigest()[:12]
+    return hashlib.sha256(token_or_peer.encode()).hexdigest()[:12]
 
 
 class Authenticator:
@@ -101,7 +101,7 @@ class Authenticator:
         token: str | None = None,
         env: str | None = None,
         file: str | Path | None = None,
-    ) -> "Authenticator":
+    ) -> Authenticator:
         """Collect tokens from a literal, an env var, and a token file.
 
         The file holds one token per line (blank lines and ``#``
@@ -113,7 +113,7 @@ class Authenticator:
         if token:
             tokens.append(token)
         if env is not None:
-            value = os.environ.get(env, "")
+            value = os.environ.get(env, "")  # repro: noqa[ENV002] -- name is operator-chosen via --auth-token-env, never a REPRO_* knob
             if not value:
                 raise ValueError(
                     f"auth token environment variable {env!r} is unset or empty"

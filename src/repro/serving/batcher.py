@@ -54,7 +54,7 @@ import threading
 import time
 from dataclasses import dataclass
 from functools import partial
-from typing import Callable
+from collections.abc import Callable
 
 from repro.api.service import PredictRequest, PredictResponse, PredictionService
 from repro.serving.resilience import (
@@ -190,17 +190,17 @@ class MicroBatcher:
         )
         self.service_time = ServiceTimeEstimator()
         # Coalescing counters (pre-resilience observability).
-        self.flushes = 0
-        self.flushed_requests = 0
-        self.max_flush_size = 0
+        self.flushes = 0  # guarded-by: loop
+        self.flushed_requests = 0  # guarded-by: loop
+        self.max_flush_size = 0  # guarded-by: loop
         # Resilience counters.
-        self.shed_overload = 0
-        self.shed_deadline = 0
-        self.shed_draining = 0
-        self.shed_circuit = 0
-        self.model_timeouts = 0
-        self.worker_recycles = 0
-        self.drained_requests = 0
+        self.shed_overload = 0  # guarded-by: loop
+        self.shed_deadline = 0  # guarded-by: loop
+        self.shed_draining = 0  # guarded-by: loop
+        self.shed_circuit = 0  # guarded-by: loop
+        self.model_timeouts = 0  # guarded-by: loop
+        self.worker_recycles = 0  # guarded-by: loop
+        self.drained_requests = 0  # guarded-by: loop
         self._clock_override = clock
         self._clock: Callable[[], float] = clock or time.monotonic
         self._queue: asyncio.Queue | None = None
@@ -424,7 +424,7 @@ class MicroBatcher:
         live: list[_Pending] = []
         for pending in batch:
             if pending.deadline is not None and now >= pending.deadline:
-                self.shed_deadline += 1
+                self.shed_deadline += 1  # repro: noqa[LOCK001] -- sync helper, but called only from the _flush coroutine on the loop
                 if not pending.future.done():
                     pending.future.set_exception(
                         DeadlineExceededError(

@@ -19,7 +19,8 @@ import http.client
 import json
 import random
 import time
-from typing import Any, Callable, Sequence
+from collections.abc import Callable, Sequence
+from typing import Any
 
 from repro.api.service import PredictRequest
 from repro.serving import wire
@@ -237,7 +238,7 @@ class ServingClient:
             raw = response.read()
             headers = {k.lower(): v for k, v in response.getheaders()}
             try:
-                decoded = json.loads(raw.decode("utf-8")) if raw else None
+                decoded = json.loads(raw.decode()) if raw else None
             except (UnicodeDecodeError, json.JSONDecodeError):
                 decoded = None
             return response.status, headers, decoded

@@ -25,9 +25,11 @@ import os
 import threading
 import time
 from dataclasses import dataclass
-from typing import Any, Sequence
+from collections.abc import Sequence
+from typing import Any
 
 from repro.api.service import PredictRequest, PredictResponse
+from repro.env import get_path
 
 __all__ = [
     "Fault",
@@ -95,7 +97,7 @@ class FaultInjector:
     # -- scripting ------------------------------------------------------
     def fail_at(
         self, *indices: int, exception: BaseException | None = None
-    ) -> "FaultInjector":
+    ) -> FaultInjector:
         """Raise at these request indices (default: ``RuntimeError``)."""
         with self._lock:
             for index in indices:
@@ -106,14 +108,14 @@ class FaultInjector:
                 )
         return self
 
-    def hang_at(self, *indices: int) -> "FaultInjector":
+    def hang_at(self, *indices: int) -> FaultInjector:
         """Block the service call at these indices until released."""
         with self._lock:
             for index in indices:
                 self._script[index] = Fault(hang=True)
         return self
 
-    def delay_at(self, index: int, seconds: float) -> "FaultInjector":
+    def delay_at(self, index: int, seconds: float) -> FaultInjector:
         """Sleep ``seconds`` before serving the call at ``index``."""
         with self._lock:
             self._script[index] = Fault(delay_s=seconds)
@@ -226,9 +228,9 @@ class ProcessChaos:
         self.directory = directory
 
     @classmethod
-    def from_env(cls, env: dict | None = None) -> "ProcessChaos | None":
-        directory = (env if env is not None else os.environ).get(cls.ENV)
-        if not directory:
+    def from_env(cls, env: dict | None = None) -> ProcessChaos | None:
+        directory = get_path(cls.ENV, environ=env)
+        if directory is None:
             return None
         return cls(directory)
 

@@ -47,7 +47,8 @@ import re
 import select
 import socket
 import time
-from typing import Any, Callable
+from collections.abc import Callable
+from typing import Any
 
 from repro.api.service import PredictionService
 from repro.serving import wire
@@ -577,7 +578,7 @@ def _worker_call(
         response = conn.getresponse()
         raw = response.read()
         try:
-            decoded = json.loads(raw.decode("utf-8")) if raw else None
+            decoded = json.loads(raw.decode()) if raw else None
         except (UnicodeDecodeError, json.JSONDecodeError):
             decoded = None
         return response.status, decoded

@@ -226,13 +226,13 @@ class Gateway:
         self.reuse_port = reuse_port
         self.control_port: int | None = None
         self._requested_control_port = control_port
-        self.stats = GatewayStats()
+        self.stats = GatewayStats()  # guarded-by: loop
         self._server: asyncio.base_events.Server | None = None
         self._control_server: asyncio.base_events.Server | None = None
         # Live connection handlers and their phase ("idle" = waiting for
         # the next request on a keep-alive connection, "busy" = a parsed
         # request is being served) — what graceful drain walks.
-        self._handlers: dict[asyncio.Task, dict] = {}
+        self._handlers: dict[asyncio.Task, dict] = {}  # guarded-by: loop
 
     # Back-compat accessors: the default model's service and batcher
     # (the pre-fleet single-model surface tests and embedders use).
@@ -516,7 +516,7 @@ class Gateway:
         keep_alive: bool,
         extra_headers: dict | None = None,
     ) -> None:
-        body = json.dumps(payload).encode("utf-8")
+        body = json.dumps(payload).encode()
         extra = "".join(
             f"{name}: {value}\r\n"
             for name, value in (extra_headers or {}).items()
@@ -613,7 +613,7 @@ class Gateway:
             raise DseError(503, "gateway is draining; not accepting DSE jobs")
         self.rate_limiter.admit(client, cost=1)
         try:
-            payload = json.loads(body.decode("utf-8"))
+            payload = json.loads(body.decode())
         except (UnicodeDecodeError, json.JSONDecodeError):
             raise wire.WireError(400, "request body is not valid JSON") from None
         spec = wire.decode_dse_submit(payload)
@@ -705,7 +705,7 @@ class Gateway:
 
         validate_model_name(name)  # 400 before any body or model work
         try:
-            payload = json.loads(body.decode("utf-8"))
+            payload = json.loads(body.decode())
         except (UnicodeDecodeError, json.JSONDecodeError):
             raise wire.WireError(400, "request body is not valid JSON") from None
         kind, value = wire.decode_model_load(payload)
@@ -729,7 +729,7 @@ class Gateway:
 
     async def _predict(self, body: bytes, entry: FleetEntry, client: str):
         try:
-            payload = json.loads(body.decode("utf-8"))
+            payload = json.loads(body.decode())
         except (UnicodeDecodeError, json.JSONDecodeError):
             raise wire.WireError(400, "request body is not valid JSON") from None
         single = isinstance(payload, dict)
@@ -791,7 +791,7 @@ class GatewayThread:
     def host(self) -> str:
         return self.gateway.host
 
-    def start(self) -> "GatewayThread":
+    def start(self) -> GatewayThread:
         if self._thread is not None:
             raise RuntimeError("gateway thread is already running")
         ready = threading.Event()
@@ -879,7 +879,7 @@ class GatewayThread:
         self._thread = None
         self._loop = None
 
-    def __enter__(self) -> "GatewayThread":
+    def __enter__(self) -> GatewayThread:
         return self.start()
 
     def __exit__(self, *exc_info) -> None:

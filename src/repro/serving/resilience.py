@@ -35,7 +35,7 @@ from __future__ import annotations
 import math
 import time
 from dataclasses import dataclass
-from typing import Callable
+from collections.abc import Callable
 
 __all__ = [
     "CircuitBreaker",

@@ -50,7 +50,8 @@ import sys
 import threading
 import time
 from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
-from typing import Any, Callable
+from collections.abc import Callable
+from typing import Any
 
 from repro.serving.fleet import (
     _read_announce,
@@ -172,9 +173,9 @@ class AdminJournal:
 
     def __init__(self) -> None:
         self._lock = threading.Lock()
-        self._ops: list[dict] = []
-        self.compactions = 0
-        self.dropped_ops = 0
+        self._ops: list[dict] = []  # guarded-by: _lock
+        self.compactions = 0  # guarded-by: _lock
+        self.dropped_ops = 0  # guarded-by: _lock
 
     def append(
         self, method: str, path: str, body: bytes | None, headers: dict
@@ -954,7 +955,7 @@ def _control_handler(supervisor: Supervisor) -> type:
             pass
 
         def _reply(self, status: int, payload: Any) -> None:
-            body = json.dumps(payload).encode("utf-8")
+            body = json.dumps(payload).encode()
             self.send_response(status)
             self.send_header("Content-Type", "application/json")
             self.send_header("Content-Length", str(len(body)))

@@ -51,7 +51,7 @@ _PIPELINE_EVENTS = frozenset(
 
 def stable_seed(*parts: str) -> int:
     """Deterministic 32-bit seed from string parts (process-independent)."""
-    return zlib.crc32("|".join(parts).encode("utf-8"))
+    return zlib.crc32("|".join(parts).encode())
 
 
 class PerfSimulator:

@@ -62,7 +62,7 @@ class FlowResult:
 
 
 def _run_config_task(
-    flow: "VlsiFlow", task: tuple[BoomConfig, tuple[Workload, ...]]
+    flow: VlsiFlow, task: tuple[BoomConfig, tuple[Workload, ...]]
 ) -> list["FlowResult"]:
     """One configuration's flow runs over its missing workloads.
 
@@ -275,7 +275,7 @@ class VlsiFlow:
                         self._merge_result(config, workload, res)
         return [self.run(c, w) for c in configs for w in workloads]
 
-    def worker_copy(self) -> "VlsiFlow":
+    def worker_copy(self) -> VlsiFlow:
         """A fresh flow sharing this one's simulators but not its caches.
 
         What ``run_many`` ships to worker processes: pickling the

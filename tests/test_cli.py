@@ -294,3 +294,87 @@ class TestCacheCommand:
     def test_listing_includes_cache_command(self, capsys):
         assert main([]) == 0
         assert "cache {stats|path|clear}" in capsys.readouterr().out
+
+
+class TestLintCommand:
+    @pytest.fixture()
+    def dirty_tree(self, tmp_path):
+        bad = tmp_path / "src" / "repro" / "ml" / "bad.py"
+        bad.parent.mkdir(parents=True)
+        bad.write_text("import time\nstamp = time.time()\n")
+        return tmp_path / "src"
+
+    def test_clean_tree_exits_zero(self, tmp_path, capsys):
+        clean = tmp_path / "src" / "repro" / "ml" / "ok.py"
+        clean.parent.mkdir(parents=True)
+        clean.write_text("x = 1\n")
+        assert main(["lint", str(tmp_path / "src")]) == 0
+        assert "clean" in capsys.readouterr().out
+
+    def test_findings_exit_one(self, dirty_tree, capsys):
+        assert main(["lint", str(dirty_tree)]) == 1
+        out = capsys.readouterr().out
+        assert "DET002" in out
+        assert "bad.py:2" in out
+
+    def test_json_format(self, dirty_tree, capsys):
+        import json
+
+        assert main(["lint", "--format", "json", str(dirty_tree)]) == 1
+        payload = json.loads(capsys.readouterr().out)
+        assert payload["counts_by_rule"] == {"DET002": 1}
+
+    def test_github_format(self, dirty_tree, capsys):
+        assert main(["lint", "--format", "github", str(dirty_tree)]) == 1
+        assert capsys.readouterr().out.startswith("::error file=")
+
+    def test_missing_path_exits_two(self, tmp_path, capsys):
+        assert main(["lint", str(tmp_path / "nope")]) == 2
+        assert "no such file" in capsys.readouterr().err
+
+    def test_rules_listing(self, capsys):
+        assert main(["lint", "--rules"]) == 0
+        out = capsys.readouterr().out
+        for rule_id in ("DET001", "ASYNC001", "LOCK001", "ENV001", "LAYER001"):
+            assert rule_id in out
+
+    def test_bad_format_exits_two(self, capsys):
+        with pytest.raises(SystemExit) as excinfo:
+            main(["lint", "--format", "xml"])
+        assert excinfo.value.code == 2
+
+    def test_repo_src_is_clean_through_the_cli(self, capsys):
+        # The acceptance criterion: `python -m repro lint src` on this
+        # repo exits 0 (run from the repo root, as CI does).
+        import pathlib
+
+        root = pathlib.Path(__file__).resolve().parent.parent
+        assert main(["lint", str(root / "src")]) == 0
+
+
+class TestEnvCommand:
+    def test_plain_table_lists_every_knob(self, capsys):
+        assert main(["env"]) == 0
+        out = capsys.readouterr().out
+        for name in (
+            "REPRO_JOBS",
+            "REPRO_NO_KERNEL",
+            "REPRO_NO_FLOW_CACHE",
+            "REPRO_FLOW_CACHE_DIR",
+            "REPRO_FLOW_CACHE_MAX_MB",
+            "REPRO_CHAOS_DIR",
+            "REPRO_BENCH_JSON",
+        ):
+            assert name in out
+
+    def test_markdown_table(self, capsys):
+        assert main(["env", "--markdown"]) == 0
+        out = capsys.readouterr().out
+        assert out.startswith("| Variable ")
+        assert "`REPRO_JOBS`" in out
+
+    def test_listing_includes_tooling_commands(self, capsys):
+        assert main([]) == 0
+        out = capsys.readouterr().out
+        assert "lint [--format" in out
+        assert "env [--markdown]" in out
